@@ -1,0 +1,176 @@
+package semibfs
+
+import "testing"
+
+func TestClusterBFSAndValidate(t *testing.T) {
+	edges := testEdges(t)
+	for _, machines := range []int{1, 3} {
+		c, err := NewCluster(edges, ClusterOptions{Machines: machines, Alpha: 64, Beta: 640})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Machines() != machines {
+			t.Fatalf("Machines = %d", c.Machines())
+		}
+		root := int64(0)
+		var res *ClusterResult
+		for {
+			res, err = c.BFS(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Visited > 1 {
+				break
+			}
+			root++
+		}
+		if err := c.Validate(res); err != nil {
+			t.Fatalf("machines=%d: validation: %v", machines, err)
+		}
+		if res.Seconds <= 0 || res.Levels == 0 {
+			t.Fatalf("degenerate result: %+v", res)
+		}
+		if machines > 1 && res.CommBytes == 0 {
+			t.Error("multi-machine run reported no communication")
+		}
+		if machines == 1 && res.CommBytes != 0 {
+			t.Error("single machine reported communication")
+		}
+	}
+}
+
+func TestClusterNVMSlower(t *testing.T) {
+	edges := testEdges(t)
+	mk := func(onNVM bool) float64 {
+		c, err := NewCluster(edges, ClusterOptions{
+			Machines: 2, Alpha: 64, Beta: 640, ForwardOnNVM: onNVM,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := int64(0)
+		var res *ClusterResult
+		for {
+			var err error
+			res, err = c.BFS(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Visited > 1 {
+				break
+			}
+			root++
+		}
+		return res.Seconds
+	}
+	if mk(true) <= mk(false) {
+		t.Fatal("per-machine NVM offload not slower than DRAM")
+	}
+}
+
+func TestClusterMatchesSingleNodeVisited(t *testing.T) {
+	edges := testEdges(t)
+	sys, err := NewSystem(edges, Options{Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	root := sys.FirstConnectedVertex()
+	single, err := sys.BFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(edges, ClusterOptions{Machines: 4, Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := c.BFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Visited != multi.Visited {
+		t.Fatalf("visited differ: single %d, cluster %d", single.Visited, multi.Visited)
+	}
+}
+
+func TestCluster2DLayout(t *testing.T) {
+	edges := testEdges(t)
+	c, err := NewCluster(edges, ClusterOptions{
+		Machines: 4, Layout: Layout2D, Alpha: 64, Beta: 640,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machines() != 4 {
+		t.Fatalf("Machines = %d", c.Machines())
+	}
+	root := int64(0)
+	var res *ClusterResult
+	for {
+		res, err = c.BFS(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Visited > 1 {
+			break
+		}
+		root++
+	}
+	if err := c.Validate(res); err != nil {
+		t.Fatalf("2D validation: %v", err)
+	}
+	// 2D + per-machine NVM is rejected.
+	if _, err := NewCluster(edges, ClusterOptions{
+		Machines: 4, Layout: Layout2D, ForwardOnNVM: true,
+	}); err == nil {
+		t.Fatal("2D with NVM offload accepted")
+	}
+}
+
+func TestClusterValidateRejectsNil(t *testing.T) {
+	edges := testEdges(t)
+	c, err := NewCluster(edges, ClusterOptions{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(nil); err == nil {
+		t.Fatal("nil result validated")
+	}
+}
+
+func TestClusterNetworkOverride(t *testing.T) {
+	edges := testEdges(t)
+	fast, err := NewCluster(edges, ClusterOptions{
+		Machines: 4, Alpha: 64, Beta: 640,
+		NetworkLatencySeconds: 100e-9, NetworkBandwidth: 100e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewCluster(edges, ClusterOptions{
+		Machines: 4, Alpha: 64, Beta: 640,
+		NetworkLatencySeconds: 1e-3, NetworkBandwidth: 1e8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := int64(0)
+	var fr, sr *ClusterResult
+	for {
+		fr, err = fast.BFS(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Visited > 1 {
+			break
+		}
+		root++
+	}
+	sr, err = slow.BFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Seconds <= fr.Seconds {
+		t.Fatalf("slow network (%v) not slower than fast (%v)", sr.Seconds, fr.Seconds)
+	}
+}

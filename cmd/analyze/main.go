@@ -1,0 +1,130 @@
+// Command analyze regenerates the paper's analysis figures and tables
+// (Table I/II, Figures 3, 10, 11, 12/13, 14, the headline comparison, and
+// the Green Graph500 estimate) and prints them as text tables.
+//
+// Examples:
+//
+//	analyze -exp all -scale 18
+//	analyze -exp fig11 -scale 18 -roots 8
+//	analyze -exp headline -scale 20 -roots 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semibfs/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|all")
+		scale = flag.Int("scale", 18, "large instance scale")
+		ef    = flag.Int("edgefactor", 16, "edges per vertex")
+		seed  = flag.Uint64("seed", 12345, "generator seed")
+		roots = flag.Int("roots", 8, "BFS iterations per configuration")
+		dir   = flag.String("dir", "", "directory for NVM store files")
+		noEq  = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence in performance experiments")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:                  *scale,
+		EdgeFactor:             *ef,
+		Seed:                   *seed,
+		Roots:                  *roots,
+		Dir:                    *dir,
+		ScaleEquivalentLatency: !*noEq,
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig3", "headline", "fig10", "fig11", "fig12-13", "fig14", "green", "ablations", "scaling", "pearce"}
+	}
+	for _, name := range names {
+		if err := run(strings.TrimSpace(name), opts); err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, opts experiments.Options) error {
+	switch name {
+	case "table1":
+		fmt.Println(experiments.FormatTableI(experiments.TableI()))
+	case "table2":
+		measured, paper, err := experiments.TableII(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTableII(opts.WithDefaults().Scale, measured, paper))
+	case "fig3":
+		fmt.Println(experiments.FormatFig3(experiments.Fig3(nil, opts.EdgeFactor)))
+	case "fig10":
+		rows, err := experiments.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig10(rows))
+	case "fig11":
+		res, err := experiments.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig11(res))
+	case "fig12-13", "fig12", "fig13":
+		usages, err := experiments.Fig12And13(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig12And13(usages))
+	case "fig14":
+		rows, err := experiments.Fig14(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig14(rows))
+	case "headline":
+		rows, err := experiments.Headline(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatHeadline(rows))
+	case "green":
+		rows, err := experiments.Green(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatGreen(rows))
+	case "ablations":
+		rows, err := experiments.Ablations(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblations(rows))
+	case "scaling":
+		rows, err := experiments.Scaling(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatScaling(rows))
+	case "pearce":
+		rows, err := experiments.PearceComparison(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPearce(rows))
+	case "trace":
+		rows, err := experiments.Trace(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTrace(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

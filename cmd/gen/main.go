@@ -1,0 +1,71 @@
+// Command gen generates a Graph500 Kronecker edge list (Step 1) and
+// writes it in the tuple format, either to a file or to stdout statistics.
+//
+// Examples:
+//
+//	gen -scale 20 -out /tmp/s20.edges
+//	gen -scale 16 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/generator"
+	"semibfs/internal/stats"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 16, "log2 of the number of vertices")
+		ef      = flag.Int("edgefactor", 16, "edges per vertex")
+		seed    = flag.Uint64("seed", 12345, "generator seed")
+		out     = flag.String("out", "", "output file for the binary tuple edge list")
+		doStats = flag.Bool("stats", false, "print degree-distribution statistics")
+	)
+	flag.Parse()
+
+	cfg := generator.Config{Scale: *scale, EdgeFactor: *ef, Seed: *seed}
+	list, err := generator.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %d vertices, %d edges\n", list.NumVertices, len(list.Edges))
+
+	if *out != "" {
+		if err := edgelist.SaveFile(*out, list); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", *out,
+			stats.FormatBytes(24+int64(len(list.Edges))*edgelist.EdgeBytes))
+	}
+
+	if *doStats {
+		deg, err := csr.Degrees(edgelist.ListSource{List: list})
+		if err != nil {
+			fatal(err)
+		}
+		var isolated, max, sum int64
+		for _, d := range deg {
+			if d == 0 {
+				isolated++
+			}
+			if d > max {
+				max = d
+			}
+			sum += d
+		}
+		fmt.Printf("isolated vertices:  %d (%.1f%%)\n",
+			isolated, 100*float64(isolated)/float64(len(deg)))
+		fmt.Printf("max degree:         %d\n", max)
+		fmt.Printf("mean degree:        %.2f\n", float64(sum)/float64(len(deg)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

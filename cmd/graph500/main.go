@@ -1,0 +1,201 @@
+// Command graph500 runs the full Graph500 benchmark protocol (generate,
+// construct, 64 x BFS + validate) over one of the paper's three scenarios
+// and prints a Graph500-style report.
+//
+// Examples:
+//
+//	graph500 -scale 20 -scenario dram
+//	graph500 -scale 20 -scenario pcie -alpha 1e6 -beta-mult 1
+//	graph500 -scale 19 -scenario ssd -roots 64 -dir /tmp/stores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/graph500"
+	"semibfs/internal/nvm"
+	"semibfs/internal/stats"
+	"semibfs/internal/vtime"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 18, "log2 of the number of vertices")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex")
+		seed       = flag.Uint64("seed", 12345, "graph generator seed")
+		roots      = flag.Int("roots", 64, "number of BFS iterations")
+		validate   = flag.Int("validate", 4, "fully validate this many roots (0 = all)")
+		scenario   = flag.String("scenario", "dram", "dram | pcie | ssd")
+		alpha      = flag.Float64("alpha", 1e4, "top-down -> bottom-up switch threshold")
+		betaMult   = flag.Float64("beta-mult", 10, "beta = beta-mult * alpha")
+		mode       = flag.String("mode", "hybrid", "hybrid | topdown | bottomup | reference")
+		dir        = flag.String("dir", "", "directory for NVM store files (empty = in-memory)")
+		bwLimit    = flag.Int("backward-limit", 0, "DRAM edges per vertex for the backward graph (0 = all)")
+		levels     = flag.Bool("levels", false, "print per-level statistics of the first root")
+		latScale   = flag.String("latency-scale", "1", "device latency scale factor, or 'auto' for the SCALE-27 equivalence factor")
+		aggIO      = flag.Bool("aggregate-io", false, "raise forward-graph requests from 4 KiB to 128 KiB (libaio-style aggregation ablation)")
+		idxDRAM    = flag.Bool("index-in-dram", false, "keep the forward graph's index arrays in DRAM (ablation; the paper stores them on NVM)")
+		elNVM      = flag.Bool("edgelist-nvm", false, "offload the edge list to its own NVM store and stream construction/validation from it (the paper's Step 1/2 data path)")
+		edgesFile  = flag.String("edges", "", "load the edge list from a file written by cmd/gen instead of generating")
+		official   = flag.Bool("official", false, "print the official Graph500 output format instead of the extended report")
+	)
+	flag.Parse()
+
+	sc, err := scenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	if *bwLimit > 0 {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-backward-limit requires an NVM scenario (pcie or ssd)"))
+		}
+		sc.BackwardDRAMEdgeLimit = *bwLimit
+	}
+	switch *latScale {
+	case "", "1":
+	case "auto":
+		sc.LatencyScale = nvm.ScaleEquivalenceFactor(*scale, 27)
+	default:
+		f, err := strconv.ParseFloat(*latScale, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -latency-scale %q: %v", *latScale, err))
+		}
+		sc.LatencyScale = f
+	}
+	if *aggIO || *idxDRAM {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-aggregate-io / -index-in-dram require an NVM scenario"))
+		}
+		sc.AggregateIO = *aggIO
+		sc.IndexInDRAM = *idxDRAM
+	}
+	bfsMode, isRef, err := modeByName(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	p := graph500.Params{
+		Scale:          *scale,
+		EdgeFactor:     *edgeFactor,
+		Seed:           *seed,
+		Roots:          *roots,
+		ValidateRoots:  *validate,
+		Scenario:       sc,
+		Dir:            *dir,
+		SeriesBinWidth: 10 * vtime.Millisecond,
+		KeepLevelStats: *levels,
+		EdgeListOnNVM:  *elNVM,
+		BFS: bfs.Config{
+			Alpha: *alpha,
+			Beta:  *betaMult * *alpha,
+			Mode:  bfsMode,
+		},
+	}
+
+	start := time.Now()
+	var res *graph500.Result
+	switch {
+	case isRef:
+		res, err = graph500.RunReference(p)
+	case *edgesFile != "":
+		list, lerr := edgelist.LoadFile(*edgesFile)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		res, err = graph500.RunList(list, p)
+	default:
+		res, err = graph500.Run(p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *official {
+		if err := graph500.WriteReport(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printReport(res, time.Since(start))
+}
+
+func scenarioByName(name string) (core.Scenario, error) {
+	switch strings.ToLower(name) {
+	case "dram", "dram-only":
+		return core.ScenarioDRAMOnly, nil
+	case "pcie", "pcieflash", "iodrive2":
+		return core.ScenarioPCIeFlash, nil
+	case "ssd", "ssd320":
+		return core.ScenarioSSD, nil
+	default:
+		return core.Scenario{}, fmt.Errorf("unknown scenario %q (want dram, pcie, or ssd)", name)
+	}
+}
+
+func modeByName(name string) (bfs.Mode, bool, error) {
+	switch strings.ToLower(name) {
+	case "hybrid":
+		return bfs.ModeHybrid, false, nil
+	case "topdown", "top-down":
+		return bfs.ModeTopDownOnly, false, nil
+	case "bottomup", "bottom-up":
+		return bfs.ModeBottomUpOnly, false, nil
+	case "reference", "ref":
+		return bfs.ModeHybrid, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func printReport(res *graph500.Result, wall time.Duration) {
+	p := res.Params
+	fmt.Printf("SCALE:                %d\n", p.Scale)
+	fmt.Printf("edgefactor:           %d\n", p.EdgeFactor)
+	fmt.Printf("NBFS:                 %d\n", len(res.PerRoot))
+	fmt.Printf("scenario:             %s\n", p.Scenario.Name)
+	fmt.Printf("mode:                 %s  alpha=%g beta=%g\n", p.BFS.Mode, p.BFS.Alpha, p.BFS.Beta)
+	fmt.Printf("graph DRAM bytes:     %s\n", stats.FormatBytes(res.DRAMBytes))
+	fmt.Printf("graph NVM bytes:      %s\n", stats.FormatBytes(res.NVMBytes))
+	fmt.Printf("BFS status bytes:     %s\n", stats.FormatBytes(res.StatusBytes))
+	s := res.TEPS
+	fmt.Printf("min_TEPS:             %s\n", stats.FormatTEPS(s.Min))
+	fmt.Printf("firstquartile_TEPS:   %s\n", stats.FormatTEPS(s.FirstQuartile))
+	fmt.Printf("median_TEPS:          %s\n", stats.FormatTEPS(s.Median))
+	fmt.Printf("thirdquartile_TEPS:   %s\n", stats.FormatTEPS(s.ThirdQuartile))
+	fmt.Printf("max_TEPS:             %s\n", stats.FormatTEPS(s.Max))
+	fmt.Printf("harmonic_mean_TEPS:   %s\n", stats.FormatTEPS(s.HarmonicMean))
+	if res.DeviceStats.Reads > 0 {
+		d := res.DeviceStats
+		fmt.Printf("NVM reads:            %d (%s)\n", d.Reads, stats.FormatBytes(d.ReadBytes))
+		fmt.Printf("NVM avgqu-sz:         %.1f\n", d.AvgQueueSize)
+		fmt.Printf("NVM avgrq-sz:         %.1f sectors\n", d.AvgRequestSectors)
+		fmt.Printf("NVM await:            %v\n", (d.AvgWait + d.AvgService).ToTime())
+	}
+	if res.ConstructionTime > 0 {
+		fmt.Printf("construction vtime:   %v (edge list on NVM: %d reads, %d writes)\n",
+			res.ConstructionTime.ToTime(),
+			res.EdgeListDevice.Reads, res.EdgeListDevice.Writes)
+	}
+	fmt.Printf("wall time:            %v\n", wall.Round(time.Millisecond))
+	if p.KeepLevelStats && len(res.PerRoot) > 0 {
+		fmt.Println("\nper-level stats of first root:")
+		fmt.Println("level  direction   frontier  avg-degree  examined(DRAM/NVM)   vtime")
+		for _, l := range res.PerRoot[0].Levels {
+			fmt.Printf("%5d  %-10s %9d  %10.1f  %9d/%-9d  %v\n",
+				l.Level, l.Direction, l.Frontier, l.AvgDegree(),
+				l.ExaminedDRAM, l.ExaminedNVM, l.Time.ToTime())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graph500:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command sweep runs the (alpha, beta) parameter-space exploration of
+// Figures 7, 8 and 9 and prints the heatmaps / bar tables.
+//
+// Examples:
+//
+//	sweep -fig 7 -scale 18 -roots 8
+//	sweep -fig 8 -scale 18
+//	sweep -fig 9 -scale 18       # runs at scale-1, the paper's "smaller graph"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semibfs/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 7, "figure to regenerate: 7, 8, or 9")
+		scale = flag.Int("scale", 18, "large instance scale (fig 9 uses scale-1)")
+		ef    = flag.Int("edgefactor", 16, "edges per vertex")
+		seed  = flag.Uint64("seed", 12345, "generator seed")
+		roots = flag.Int("roots", 8, "BFS iterations per configuration")
+		dir   = flag.String("dir", "", "directory for NVM store files")
+		noEq  = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence")
+		csv   = flag.Bool("csv", false, "emit CSV rows (scenario,alpha,beta,teps) instead of tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:                  *scale,
+		EdgeFactor:             *ef,
+		Seed:                   *seed,
+		Roots:                  *roots,
+		Dir:                    *dir,
+		ScaleEquivalentLatency: !*noEq,
+	}
+
+	var err error
+	switch *fig {
+	case 7:
+		var sweeps []experiments.ScenarioSweep
+		sweeps, err = experiments.Fig7(opts)
+		if err == nil {
+			if *csv {
+				printSweepCSV(sweeps)
+			} else {
+				fmt.Println(experiments.FormatFig7(sweeps,
+					experiments.SweepAlphas, experiments.SweepBetaMults))
+			}
+		}
+	case 8:
+		var series []experiments.Fig8Series
+		series, err = experiments.Fig8(opts)
+		if err == nil {
+			if *csv {
+				printSeriesCSV(series)
+			} else {
+				fmt.Println(experiments.FormatFig8(
+					fmt.Sprintf("Figure 8: BFS performance, SCALE %d", *scale), series))
+			}
+		}
+	case 9:
+		var series []experiments.Fig8Series
+		series, err = experiments.Fig9(opts)
+		if err == nil {
+			if *csv {
+				printSeriesCSV(series)
+			} else {
+				fmt.Println(experiments.FormatFig8(
+					fmt.Sprintf("Figure 9: BFS performance, SCALE %d (fits in DRAM)", *scale-1), series))
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown figure %d (want 7, 8, or 9)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func printSweepCSV(sweeps []experiments.ScenarioSweep) {
+	fmt.Println("scenario,alpha,beta,teps")
+	for _, sw := range sweeps {
+		for _, c := range sw.Cells {
+			fmt.Printf("%s,%g,%g,%.0f\n", sw.Scenario, c.Alpha, c.Beta, c.TEPS)
+		}
+	}
+}
+
+func printSeriesCSV(series []experiments.Fig8Series) {
+	fmt.Println("series,alpha,beta,teps")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Printf("%s,%g,%g,%.0f\n", s.Name, p.Alpha, p.Beta, p.TEPS)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package semibfs
+
+import "sort"
+
+// ComponentStats summarizes the connected components of an edge list.
+type ComponentStats struct {
+	// Components is the number of connected components, counting each
+	// isolated vertex as its own component.
+	Components int64
+	// LargestSize is the vertex count of the largest component.
+	LargestSize int64
+	// LargestRoot is the smallest vertex ID inside the largest
+	// component — a ready-made BFS source.
+	LargestRoot int64
+	// Isolated is the number of degree-zero vertices.
+	Isolated int64
+	// Sizes holds the component sizes in descending order, capped at
+	// the 32 largest.
+	Sizes []int64
+}
+
+// Components analyzes the edge list's connectivity with a union-find
+// pass. A Kronecker instance has one giant component plus isolated
+// vertices; custom graphs may not, and Graph500-style TEPS figures only
+// make sense for roots inside a substantial component — use LargestRoot.
+func (e *EdgeList) Components() ComponentStats {
+	n := e.list.NumVertices
+	parent := make([]int64, n)
+	size := make([]int64, n)
+	for i := range parent {
+		parent[i] = int64(i)
+		size[i] = 1
+	}
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	touched := make([]bool, n)
+	for _, edge := range e.list.Edges {
+		if edge.U == edge.V {
+			continue
+		}
+		touched[edge.U] = true
+		touched[edge.V] = true
+		union(edge.U, edge.V)
+	}
+
+	stats := ComponentStats{LargestRoot: -1}
+	var sizes []int64
+	rootSeen := make(map[int64]bool)
+	for v := int64(0); v < n; v++ {
+		if !touched[v] {
+			stats.Isolated++
+			stats.Components++
+			continue
+		}
+		r := find(v)
+		if rootSeen[r] {
+			continue
+		}
+		rootSeen[r] = true
+		stats.Components++
+		sizes = append(sizes, size[r])
+		if size[r] > stats.LargestSize {
+			stats.LargestSize = size[r]
+			// v is the smallest ID seen for this root because the
+			// scan is in ascending vertex order.
+			stats.LargestRoot = v
+		}
+	}
+	if stats.LargestRoot == -1 && n > 0 {
+		// Edgeless graph: every vertex is its own (isolated)
+		// component.
+		stats.LargestSize = 1
+		stats.LargestRoot = 0
+	}
+	sort.Slice(sizes, func(a, b int) bool { return sizes[a] > sizes[b] })
+	if len(sizes) > 32 {
+		sizes = sizes[:32]
+	}
+	stats.Sizes = sizes
+	return stats
+}

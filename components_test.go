@@ -1,0 +1,106 @@
+package semibfs
+
+import "testing"
+
+func TestComponentsPathGraph(t *testing.T) {
+	el, err := NewEdgeList(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components: {0,1,2}, {3,4}, isolated {5}.
+	s := el.Components()
+	if s.Components != 3 {
+		t.Fatalf("Components = %d", s.Components)
+	}
+	if s.LargestSize != 3 || s.LargestRoot != 0 {
+		t.Fatalf("largest: size %d root %d", s.LargestSize, s.LargestRoot)
+	}
+	if s.Isolated != 1 {
+		t.Fatalf("Isolated = %d", s.Isolated)
+	}
+	if len(s.Sizes) != 2 || s.Sizes[0] != 3 || s.Sizes[1] != 2 {
+		t.Fatalf("Sizes = %v", s.Sizes)
+	}
+}
+
+func TestComponentsSelfLoopsIgnored(t *testing.T) {
+	el, err := NewEdgeList(3, []Edge{{0, 0}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := el.Components()
+	// Vertex 0 has only a self-loop: isolated for traversal purposes.
+	if s.Isolated != 1 || s.Components != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.LargestSize != 2 || s.LargestRoot != 1 {
+		t.Fatalf("largest: %+v", s)
+	}
+}
+
+func TestComponentsEdgeless(t *testing.T) {
+	el, err := NewEdgeList(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := el.Components()
+	if s.Components != 4 || s.Isolated != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.LargestSize != 1 || s.LargestRoot != 0 {
+		t.Fatalf("largest: %+v", s)
+	}
+}
+
+func TestComponentsMatchBFS(t *testing.T) {
+	edges := testEdges(t)
+	s := edges.Components()
+	if s.LargestRoot < 0 {
+		t.Fatal("no largest root")
+	}
+	sys, err := NewSystem(edges, Options{Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.BFS(s.LargestRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	// A BFS from the largest component's root visits exactly that
+	// component.
+	if res.Visited != s.LargestSize {
+		t.Fatalf("BFS visited %d, union-find says %d", res.Visited, s.LargestSize)
+	}
+	// Kronecker graphs have a giant component plus isolated vertices.
+	if s.LargestSize < edges.NumVertices()/2 {
+		t.Fatalf("giant component only %d of %d", s.LargestSize, edges.NumVertices())
+	}
+}
+
+func TestComponentsSizesSortedAndCapped(t *testing.T) {
+	// 40 two-vertex components -> sizes capped at 32 entries.
+	var es []Edge
+	for i := int64(0); i < 80; i += 2 {
+		es = append(es, Edge{i, i + 1})
+	}
+	el, err := NewEdgeList(80, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := el.Components()
+	if s.Components != 40 {
+		t.Fatalf("Components = %d", s.Components)
+	}
+	if len(s.Sizes) != 32 {
+		t.Fatalf("Sizes capped at %d", len(s.Sizes))
+	}
+	for i := 1; i < len(s.Sizes); i++ {
+		if s.Sizes[i] > s.Sizes[i-1] {
+			t.Fatal("sizes not descending")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Capacity planning under a DRAM budget: given graphs that outgrow DRAM,
+// use the placement planner to decide what to offload — nothing, the
+// forward graph (the paper's Section V technique), or additionally the
+// backward graph's per-vertex tails (Section VI-E) — then build the
+// planned system and verify it works and what it costs.
+//
+// The scenario mirrors a web-crawl analytics service whose link graph
+// grows every week while the machine's DRAM does not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semibfs"
+)
+
+func main() {
+	// A machine with a tight DRAM budget for graph data.
+	const budget = 192 << 20 // 192 MiB
+
+	fmt.Printf("DRAM budget for graph data: %s\n\n", semibfs.FormatBytes(budget))
+	fmt.Printf("%-6s %-12s %-34s %-12s %-10s\n",
+		"SCALE", "graph size", "plan", "DRAM after", "fits")
+	for scale := 15; scale <= 19; scale++ {
+		est := semibfs.EstimateSizes(scale, 16)
+		plan := semibfs.PlanForBudget(scale, 16, budget)
+		desc := "everything in DRAM"
+		if plan.ForwardOnNVM {
+			desc = "forward graph -> NVM"
+		}
+		if plan.BackwardDRAMEdgeLimit > 0 {
+			desc += fmt.Sprintf(" + backward tails (k=%d)", plan.BackwardDRAMEdgeLimit)
+		}
+		fmt.Printf("%-6d %-12s %-34s %-12s %-10v\n",
+			scale, semibfs.FormatBytes(est.TotalGraphBytes()), desc,
+			semibfs.FormatBytes(plan.DRAMBytes), plan.Fits)
+	}
+
+	// Execute this week's plan: the SCALE 19 crawl, which no longer
+	// fits and gets its forward graph offloaded.
+	const scale = 19
+	plan := semibfs.PlanForBudget(scale, 16, budget)
+	fmt.Printf("\nexecuting the SCALE %d plan on PCIe flash...\n", scale)
+	edges, err := semibfs.GenerateKronecker(scale, 16, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := plan.ApplyPlan(semibfs.PlacePCIeFlash, semibfs.Options{
+		Alpha: 1e4,
+		// Reproduce paper-scale latency ratios at this small scale.
+		DeviceLatencyScale: semibfs.ScaleEquivalentLatency(scale),
+	})
+	sys, err := semibfs.NewSystem(edges, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Printf("built: %s in DRAM (budget %s), %s on NVM\n",
+		semibfs.FormatBytes(sys.DRAMBytes()), semibfs.FormatBytes(budget),
+		semibfs.FormatBytes(sys.NVMBytes()))
+	if sys.DRAMBytes() > budget {
+		fmt.Println("WARNING: plan exceeded the budget")
+	}
+
+	sum, err := sys.Benchmark(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8 validated traversals: median %s (min %s, max %s)\n",
+		semibfs.FormatTEPS(sum.MedianTEPS), semibfs.FormatTEPS(sum.MinTEPS),
+		semibfs.FormatTEPS(sum.MaxTEPS))
+	d := sys.DeviceStats()
+	fmt.Printf("NVM traffic: %d requests, %s read\n", d.Reads, semibfs.FormatBytes(d.ReadBytes))
+}

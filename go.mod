@@ -1,0 +1,3 @@
+module semibfs
+
+go 1.22

@@ -1,0 +1,163 @@
+// Package bfs implements the NUMA-optimized hybrid (direction-optimizing)
+// breadth-first search of the paper: NETAL's top-down and bottom-up
+// kernels, the alpha/beta direction-switching rule of Section III-C, and
+// the virtual-time cost accounting that emulates the 48-core testbed.
+//
+// The kernels are agnostic to where the graphs live: they traverse through
+// the ForwardAccess/BackwardAccess interfaces, whose DRAM implementations
+// wrap the csr package and whose NVM implementations wrap the semiext
+// package. Device time for NVM requests is charged to each simulated
+// worker's clock inside the access layer; DRAM costs are charged by the
+// kernels from the numa.CostModel.
+package bfs
+
+import (
+	"semibfs/internal/csr"
+	"semibfs/internal/semiext"
+	"semibfs/internal/vtime"
+)
+
+// ForwardCursor is a per-worker view of the forward graph. Neighbors
+// returns the adjacency of v restricted to NUMA node k's replica and
+// reports whether the bytes came from NVM (in which case device time has
+// already been charged to the worker's clock).
+type ForwardCursor interface {
+	Neighbors(k int, v int64) (nbs []int64, fromNVM bool, err error)
+	// NVMEdges returns the cumulative neighbor IDs served from NVM.
+	NVMEdges() int64
+}
+
+// ForwardAccess hands out per-worker cursors over a forward graph.
+type ForwardAccess interface {
+	NewCursor(clock *vtime.Clock) ForwardCursor
+	// OnNVM reports whether the graph's adjacency lives on NVM.
+	OnNVM() bool
+}
+
+// BackwardScan is a per-worker view of the backward graph. Scan streams
+// v's neighbors through fn until fn returns false; it returns how many
+// neighbors were examined from DRAM and from NVM.
+type BackwardScan interface {
+	Scan(k int, v int64, fn func(nb int64) bool) (dram, nvmEdges int64, err error)
+}
+
+// BackwardAccess hands out per-worker scanners over a backward graph.
+type BackwardAccess interface {
+	NewScanner(clock *vtime.Clock) BackwardScan
+	// Degree returns the full degree of v (free of device charges; the
+	// engine uses it only for level statistics).
+	Degree(v int64) int64
+}
+
+// ScanCounters is optionally implemented by BackwardScan values that track
+// cumulative DRAM/NVM edge examinations (the Figure 14 access-ratio data).
+type ScanCounters interface {
+	Counters() (dram, nvmEdges int64)
+}
+
+// DRAMForward adapts a DRAM-resident csr.ForwardGraph.
+type DRAMForward struct {
+	G *csr.ForwardGraph
+}
+
+// NewCursor implements ForwardAccess.
+func (d DRAMForward) NewCursor(*vtime.Clock) ForwardCursor {
+	return &dramForwardCursor{g: d.G}
+}
+
+// OnNVM implements ForwardAccess.
+func (DRAMForward) OnNVM() bool { return false }
+
+type dramForwardCursor struct {
+	g *csr.ForwardGraph
+}
+
+func (c *dramForwardCursor) Neighbors(k int, v int64) ([]int64, bool, error) {
+	return c.g.PerNode[k].Neighbors(v), false, nil
+}
+
+func (c *dramForwardCursor) NVMEdges() int64 { return 0 }
+
+// NVMForward adapts a semi-external semiext.SemiForward.
+type NVMForward struct {
+	SF *semiext.SemiForward
+}
+
+// NewCursor implements ForwardAccess.
+func (n NVMForward) NewCursor(clock *vtime.Clock) ForwardCursor {
+	return &nvmForwardCursor{r: semiext.NewForwardReader(n.SF, clock)}
+}
+
+// OnNVM implements ForwardAccess.
+func (NVMForward) OnNVM() bool { return true }
+
+type nvmForwardCursor struct {
+	r *semiext.ForwardReader
+}
+
+func (c *nvmForwardCursor) Neighbors(k int, v int64) ([]int64, bool, error) {
+	nbs, err := c.r.Neighbors(k, v)
+	return nbs, true, err
+}
+
+func (c *nvmForwardCursor) NVMEdges() int64 { return c.r.EdgesRead }
+
+// DRAMBackward adapts a DRAM-resident csr.BackwardGraph.
+type DRAMBackward struct {
+	G *csr.BackwardGraph
+}
+
+// NewScanner implements BackwardAccess.
+func (d DRAMBackward) NewScanner(*vtime.Clock) BackwardScan {
+	return &dramBackwardScan{g: d.G}
+}
+
+// Degree implements BackwardAccess.
+func (d DRAMBackward) Degree(v int64) int64 { return d.G.Degree(v) }
+
+type dramBackwardScan struct {
+	g *csr.BackwardGraph
+}
+
+func (s *dramBackwardScan) Scan(k int, v int64, fn func(nb int64) bool) (int64, int64, error) {
+	nbs := s.g.PerNode[k].Neighbors(v)
+	var examined int64
+	for _, nb := range nbs {
+		examined++
+		if !fn(nb) {
+			break
+		}
+	}
+	return examined, 0, nil
+}
+
+// HybridBackwardAccess adapts a semiext.HybridBackward (DRAM prefix + NVM
+// tail).
+type HybridBackwardAccess struct {
+	HB *semiext.HybridBackward
+}
+
+// NewScanner implements BackwardAccess.
+func (h HybridBackwardAccess) NewScanner(clock *vtime.Clock) BackwardScan {
+	return &hybridBackwardScan{s: semiext.NewBackwardScanner(h.HB, clock)}
+}
+
+// Degree implements BackwardAccess.
+func (h HybridBackwardAccess) Degree(v int64) int64 { return h.HB.Degree(v) }
+
+type hybridBackwardScan struct {
+	s *semiext.BackwardScanner
+}
+
+func (s *hybridBackwardScan) Scan(k int, v int64, fn func(nb int64) bool) (int64, int64, error) {
+	dram0, nvm0 := s.s.DRAMEdgesScanned, s.s.NVMEdgesScanned
+	if _, err := s.s.Scan(k, v, fn); err != nil {
+		return 0, 0, err
+	}
+	return s.s.DRAMEdgesScanned - dram0, s.s.NVMEdgesScanned - nvm0, nil
+}
+
+// Counters implements ScanCounters.
+func (s *hybridBackwardScan) Counters() (int64, int64) {
+	return s.s.DRAMEdgesScanned, s.s.NVMEdgesScanned
+}

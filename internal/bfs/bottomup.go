@@ -1,0 +1,101 @@
+package bfs
+
+import (
+	"math/bits"
+
+	"semibfs/internal/vtime"
+)
+
+// wordRangeOfNode returns the half-open range of 64-bit bitmap word
+// indices whose *base bit* falls inside node k's vertex range. A word
+// straddling a node boundary is owned by the node of its base bit; the
+// owning worker delegates the spill-over vertices to the right node's CSR
+// (the scanners accept any node index), so every vertex is examined by
+// exactly one worker and all next/visited word writes stay word-exclusive.
+func (r *Runner) wordRangeOfNode(k int) (lo, hi int) {
+	sLo, sHi := r.part.Range(k)
+	lo = (sLo + 63) / 64
+	if k == 0 {
+		lo = 0
+	}
+	hi = (sHi + 63) / 64
+	return lo, hi
+}
+
+// runBottomUpLevel expands one level in the bottom-up direction: every
+// unvisited vertex scans its neighbor list (highest-degree first when the
+// backward graph was built with the NETAL ordering) and claims the first
+// neighbor found in the frontier as its parent, terminating the scan
+// early (Section III-B).
+func (r *Runner) runBottomUpLevel() error {
+	cm := &r.cfg.Cost
+	n := int(r.n)
+	return r.parallel(func(w int) error {
+		k := r.nodeOfWorker(w)
+		j := w % r.cpn
+		clock := r.clocks[w]
+		scanner := r.scanners[w]
+		acc := &r.acc[w]
+		frontier := r.frontBM[k]
+		wordLo, wordHi := r.wordRangeOfNode(k)
+		edgeCost := cm.EdgeCompute + cm.BitmapProbe
+		// One probe closure per worker per level: allocating it inside
+		// the vertex loop would cost one heap allocation per scanned
+		// vertex (real GC pressure at scale).
+		parent := int64(-1)
+		probe := func(nb int64) bool {
+			if frontier.Test(int(nb)) {
+				parent = nb
+				return false
+			}
+			return true
+		}
+		for wi := wordLo + j; wi < wordHi; wi += r.cpn {
+			var t vtime.Duration
+			t += cm.Stream(8) // visited word load
+			word := r.visited.WordAt(wi)
+			unvisited := ^word
+			base := wi * 64
+			if base+64 > n {
+				unvisited &= (1 << uint(n-base)) - 1
+			}
+			if unvisited == 0 {
+				clock.Advance(t)
+				continue
+			}
+			for unvisited != 0 {
+				bit := bits.TrailingZeros64(unvisited)
+				unvisited &= unvisited - 1
+				v := int64(base + bit)
+				t += cm.VertexOverhead
+				clock.Advance(t)
+				t = 0
+				// Delegate straddling vertices to their owner
+				// node's CSR.
+				vk := k
+				if v < int64(r.part.Starts[k]) || v >= int64(r.part.Starts[k+1]) {
+					vk = r.part.NodeOf(int(v))
+				}
+				parent = -1
+				dram, nvmEdges, err := scanner.Scan(vk, v, probe)
+				if err != nil {
+					return err
+				}
+				examined := dram + nvmEdges
+				t += edgeCost * vtime.Duration(examined)
+				t += cm.Stream(int(dram) * 8)
+				acc.examinedDRAM += dram
+				acc.examinedNVM += nvmEdges
+				if parent >= 0 {
+					r.tree[v] = parent
+					r.visited.Set(int(v))
+					r.nextBM.Set(int(v))
+					t += cm.LocalAccess + 2*cm.BitmapProbe
+					acc.claimed++
+				}
+			}
+			clock.Advance(t)
+		}
+		return nil
+	})
+}

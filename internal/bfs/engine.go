@@ -1,0 +1,452 @@
+package bfs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semibfs/internal/bitmap"
+	"semibfs/internal/numa"
+	"semibfs/internal/vtime"
+)
+
+// Direction is a BFS search direction.
+type Direction int
+
+// The two search directions of the hybrid algorithm.
+const (
+	TopDown Direction = iota
+	BottomUp
+)
+
+func (d Direction) String() string {
+	if d == TopDown {
+		return "top-down"
+	}
+	return "bottom-up"
+}
+
+// Mode selects the traversal policy.
+type Mode int
+
+const (
+	// ModeHybrid switches directions by the alpha/beta rule (the paper's
+	// algorithm).
+	ModeHybrid Mode = iota
+	// ModeTopDownOnly forces the conventional top-down BFS.
+	ModeTopDownOnly
+	// ModeBottomUpOnly forces bottom-up at every level.
+	ModeBottomUpOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "hybrid"
+	case ModeTopDownOnly:
+		return "top-down-only"
+	case ModeBottomUpOnly:
+		return "bottom-up-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Topology is the simulated machine; zero selects the paper's
+	// 4x12-core testbed.
+	Topology numa.Topology
+	// Cost is the memory-system cost model; zero selects the calibrated
+	// default.
+	Cost numa.CostModel
+	// Alpha is the top-down -> bottom-up switching threshold: switch
+	// when the frontier grew and exceeds N/Alpha vertices.
+	Alpha float64
+	// Beta is the bottom-up -> top-down threshold: switch back when the
+	// frontier shrank below N/Beta vertices.
+	Beta float64
+	// Mode selects hybrid or single-direction traversal.
+	Mode Mode
+	// RealWorkers bounds the number of real goroutines executing the
+	// simulated workers; 0 selects GOMAXPROCS.
+	RealWorkers int
+}
+
+// WithDefaults returns c with zero fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.Topology.Nodes == 0 {
+		c.Topology = numa.DefaultTopology
+	}
+	if c.Cost == (numa.CostModel{}) {
+		c.Cost = numa.DefaultCostModel
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1e4
+	}
+	if c.Beta == 0 {
+		c.Beta = 10 * c.Alpha
+	}
+	if c.RealWorkers <= 0 {
+		c.RealWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// LevelStats records one BFS level's activity.
+type LevelStats struct {
+	Level     int
+	Direction Direction
+	// Frontier is the number of vertices in the level's frontier.
+	Frontier int64
+	// FrontierDegree is the summed degree of the frontier vertices,
+	// computed for top-down levels (-1 for bottom-up levels).
+	FrontierDegree int64
+	// ExaminedDRAM / ExaminedNVM count neighbor IDs examined from each
+	// tier during the level.
+	ExaminedDRAM int64
+	ExaminedNVM  int64
+	// Claimed is the number of vertices newly added to the BFS tree.
+	Claimed int64
+	// Time is the level's virtual duration; Start its virtual start.
+	Time  vtime.Duration
+	Start vtime.Duration
+}
+
+// Examined returns the level's total examined neighbor IDs.
+func (l LevelStats) Examined() int64 { return l.ExaminedDRAM + l.ExaminedNVM }
+
+// AvgDegree returns the frontier's average degree, or 0 when unknown.
+func (l LevelStats) AvgDegree() float64 {
+	if l.Frontier <= 0 || l.FrontierDegree < 0 {
+		return 0
+	}
+	return float64(l.FrontierDegree) / float64(l.Frontier)
+}
+
+// Result is one BFS execution's outcome.
+type Result struct {
+	Root    int64
+	Visited int64
+	// Tree aliases the Runner's parent array and is valid until the
+	// next Run call; use CloneTree to keep it.
+	Tree        []int64
+	Levels      []LevelStats
+	Time        vtime.Duration
+	ExaminedTD  int64
+	ExaminedBU  int64
+	ExaminedNVM int64
+	Switches    int
+}
+
+// CloneTree returns a copy of the parent array.
+func (r *Result) CloneTree() []int64 {
+	return append([]int64(nil), r.Tree...)
+}
+
+// TDLevels returns the statistics of the top-down levels only.
+func (r *Result) TDLevels() []LevelStats {
+	var out []LevelStats
+	for _, l := range r.Levels {
+		if l.Direction == TopDown {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Runner executes BFS repeatedly over one pair of graphs, reusing all BFS
+// status data (tree, bitmaps, queues) across runs — the structures whose
+// sizes Table II reports.
+type Runner struct {
+	fwd  ForwardAccess
+	bwd  BackwardAccess
+	part *numa.Partition
+	cfg  Config
+	n    int64
+
+	nWorkers int
+	cpn      int // cores per node
+
+	// BFS status data.
+	tree    []int64
+	visited *bitmap.Atomic
+	frontBM []*bitmap.Atomic // per-node frontier replicas
+	nextBM  *bitmap.Bitmap
+	frontQ  []int64
+	nextQ   [][]int64 // per-worker output queues
+
+	clocks   []*vtime.Clock
+	cursors  []ForwardCursor
+	scanners []BackwardScan
+	barrier  *vtime.Barrier
+
+	// per-level, per-worker accumulators
+	acc []workerAcc
+}
+
+type workerAcc struct {
+	examinedDRAM int64
+	examinedNVM  int64
+	claimed      int64
+	frontierDeg  int64
+	_pad         [4]int64 // avoid false sharing between workers
+}
+
+// NewRunner prepares a Runner over the given graphs.
+func NewRunner(fwd ForwardAccess, bwd BackwardAccess, part *numa.Partition, cfg Config) (*Runner, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if part.Topology != cfg.Topology {
+		return nil, fmt.Errorf("bfs: partition topology %+v != config topology %+v",
+			part.Topology, cfg.Topology)
+	}
+	n := int64(part.N)
+	nw := cfg.Topology.TotalCores()
+	r := &Runner{
+		fwd:      fwd,
+		bwd:      bwd,
+		part:     part,
+		cfg:      cfg,
+		n:        n,
+		nWorkers: nw,
+		cpn:      cfg.Topology.CoresPerNode,
+		tree:     make([]int64, n),
+		visited:  bitmap.NewAtomic(int(n)),
+		nextBM:   bitmap.New(int(n)),
+		nextQ:    make([][]int64, nw),
+		clocks:   make([]*vtime.Clock, nw),
+		cursors:  make([]ForwardCursor, nw),
+		scanners: make([]BackwardScan, nw),
+		barrier:  vtime.NewBarrier(cfg.Cost.Barrier),
+		acc:      make([]workerAcc, nw),
+	}
+	r.frontBM = make([]*bitmap.Atomic, cfg.Topology.Nodes)
+	for k := range r.frontBM {
+		r.frontBM[k] = bitmap.NewAtomic(int(n))
+	}
+	for w := 0; w < nw; w++ {
+		r.clocks[w] = vtime.NewClock(0)
+		r.cursors[w] = fwd.NewCursor(r.clocks[w])
+		r.scanners[w] = bwd.NewScanner(r.clocks[w])
+		r.nextQ[w] = make([]int64, 0, 1024)
+	}
+	return r, nil
+}
+
+// StatusBytes returns the DRAM footprint of the BFS status data (tree,
+// visited/frontier/next bitmaps, frontier queues) — the "BFS Status Data"
+// row of Table II.
+func (r *Runner) StatusBytes() int64 {
+	b := int64(len(r.tree)) * 8                  // tree
+	b += (r.n + 7) / 8                           // visited
+	b += int64(len(r.frontBM)) * ((r.n + 7) / 8) // frontier replicas
+	b += (r.n + 7) / 8                           // next bitmap
+	b += int64(cap(r.frontQ)) * 8                // frontier queue
+	for _, q := range r.nextQ {
+		b += int64(cap(q)) * 8
+	}
+	return b
+}
+
+// Config returns the runner's effective (defaulted) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// BackwardScanTotals sums the cumulative DRAM/NVM backward-scan edge
+// counts across all workers (zero when the backward access does not track
+// them).
+func (r *Runner) BackwardScanTotals() (dram, nvmEdges int64) {
+	for _, s := range r.scanners {
+		if c, ok := s.(ScanCounters); ok {
+			d, n := c.Counters()
+			dram += d
+			nvmEdges += n
+		}
+	}
+	return dram, nvmEdges
+}
+
+// parallel runs fn(w) for every simulated worker w, multiplexed over the
+// configured number of real goroutines. Errors are collected; the first
+// non-nil one is returned.
+func (r *Runner) parallel(fn func(w int) error) error {
+	real := r.cfg.RealWorkers
+	if real > r.nWorkers {
+		real = r.nWorkers
+	}
+	if real <= 1 {
+		for w := 0; w < r.nWorkers; w++ {
+			if err := fn(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, real)
+	var wg sync.WaitGroup
+	for g := 0; g < real; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for w := g; w < r.nWorkers; w += real {
+				if err := fn(w); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeOfWorker returns the NUMA node simulated worker w runs on.
+func (r *Runner) nodeOfWorker(w int) int { return w / r.cpn }
+
+// decide applies the Section III-C switching rule given the frontier sizes
+// of the previous two levels.
+func (r *Runner) decide(cur Direction, prevCount, curCount int64) Direction {
+	switch r.cfg.Mode {
+	case ModeTopDownOnly:
+		return TopDown
+	case ModeBottomUpOnly:
+		return BottomUp
+	}
+	switch cur {
+	case TopDown:
+		if curCount > prevCount && float64(curCount) > float64(r.n)/r.cfg.Alpha {
+			return BottomUp
+		}
+	case BottomUp:
+		if curCount < prevCount && float64(curCount) < float64(r.n)/r.cfg.Beta {
+			return TopDown
+		}
+	}
+	return cur
+}
+
+// Run executes one BFS from root and returns its result. The returned
+// Tree aliases internal storage; see Result.Tree.
+func (r *Runner) Run(root int64) (*Result, error) {
+	if root < 0 || root >= r.n {
+		return nil, fmt.Errorf("bfs: root %d outside [0,%d)", root, r.n)
+	}
+	// Reset status data (setup is not charged to BFS time, matching the
+	// Graph500 timing protocol which starts the clock at traversal).
+	for i := range r.tree {
+		r.tree[i] = -1
+	}
+	r.visited.Reset()
+	r.nextBM.Reset()
+	for _, bm := range r.frontBM {
+		bm.Reset()
+	}
+	r.frontQ = r.frontQ[:0]
+	for w := range r.nextQ {
+		r.nextQ[w] = r.nextQ[w][:0]
+	}
+	for _, c := range r.clocks {
+		c.AdvanceTo(0)
+	}
+	start := r.clocks[0].Now()
+
+	r.tree[root] = root
+	r.visited.Set(int(root))
+
+	res := &Result{Root: root, Visited: 1}
+	dir := TopDown
+	if r.cfg.Mode == ModeBottomUpOnly {
+		dir = BottomUp
+	}
+	// Level 0 frontier: the root, in the representation dir wants.
+	if dir == TopDown {
+		r.frontQ = append(r.frontQ, root)
+	} else {
+		for _, bm := range r.frontBM {
+			bm.Set(int(root))
+		}
+	}
+	prevCount, curCount := int64(0), int64(1)
+
+	for level := 0; ; level++ {
+		if level > int(r.n) {
+			return nil, fmt.Errorf("bfs: level %d exceeds vertex count; cycle in control logic", level)
+		}
+		newDir := dir
+		if level > 0 {
+			// The paper's rule: BFS always starts top-down from the
+			// source vertex; switching is evaluated from level 1 on,
+			// comparing the frontier sizes of the last two levels.
+			newDir = r.decide(dir, prevCount, curCount)
+		}
+		if newDir != dir {
+			if err := r.convertFrontier(dir, newDir); err != nil {
+				return nil, err
+			}
+			res.Switches++
+			dir = newDir
+		}
+		for w := range r.acc {
+			r.acc[w] = workerAcc{}
+		}
+		levelStart := vtime.MaxOf(r.clocks)
+		var err error
+		if dir == TopDown {
+			err = r.runTopDownLevel()
+		} else {
+			err = r.runBottomUpLevel()
+		}
+		if err != nil {
+			return nil, err
+		}
+		levelEnd := r.barrier.Sync(r.clocks)
+
+		ls := LevelStats{
+			Level:     level,
+			Direction: dir,
+			Frontier:  curCount,
+			Start:     levelStart,
+			Time:      levelEnd - levelStart,
+		}
+		if dir == TopDown {
+			for w := range r.acc {
+				ls.FrontierDegree += r.acc[w].frontierDeg
+			}
+		} else {
+			ls.FrontierDegree = -1
+		}
+		var claimed int64
+		for w := range r.acc {
+			ls.ExaminedDRAM += r.acc[w].examinedDRAM
+			ls.ExaminedNVM += r.acc[w].examinedNVM
+			claimed += r.acc[w].claimed
+		}
+		ls.Claimed = claimed
+		res.Levels = append(res.Levels, ls)
+		res.Visited += claimed
+		if dir == TopDown {
+			res.ExaminedTD += ls.Examined()
+		} else {
+			res.ExaminedBU += ls.Examined()
+		}
+		res.ExaminedNVM += ls.ExaminedNVM
+
+		if claimed == 0 {
+			break
+		}
+		if err := r.promoteNext(dir); err != nil {
+			return nil, err
+		}
+		prevCount, curCount = curCount, claimed
+	}
+	res.Time = vtime.MaxOf(r.clocks) - start
+	res.Tree = r.tree
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package bfs
+
+import (
+	"fmt"
+	"math/bits"
+
+	"semibfs/internal/vtime"
+)
+
+// promoteNext installs the level's output (per-worker queues after a
+// top-down level, the next bitmap after a bottom-up level) as the frontier
+// in the representation matching dir. Direction switches are handled
+// afterwards by convertFrontier.
+//
+// Invariant maintained across levels: whenever the current direction is
+// top-down, the per-node frontier bitmap replicas are all-clear.
+func (r *Runner) promoteNext(dir Direction) error {
+	if dir == TopDown {
+		return r.gatherQueues()
+	}
+	return r.replicateNextBitmap()
+}
+
+// convertFrontier rewrites the current frontier from the representation of
+// direction from into the representation of direction to.
+func (r *Runner) convertFrontier(from, to Direction) error {
+	switch {
+	case from == TopDown && to == BottomUp:
+		return r.queueToReplicas()
+	case from == BottomUp && to == TopDown:
+		return r.replicasToQueue()
+	default:
+		return fmt.Errorf("bfs: bad frontier conversion %v -> %v", from, to)
+	}
+}
+
+// gatherQueues concatenates the per-worker next queues into the frontier
+// queue. Each worker copies its own output at a precomputed offset, so the
+// copy itself parallelizes; the bytes moved are charged as streams.
+func (r *Runner) gatherQueues() error {
+	total := 0
+	offs := make([]int, r.nWorkers+1)
+	for w := 0; w < r.nWorkers; w++ {
+		offs[w] = total
+		total += len(r.nextQ[w])
+	}
+	offs[r.nWorkers] = total
+	if cap(r.frontQ) < total {
+		r.frontQ = make([]int64, total)
+	}
+	r.frontQ = r.frontQ[:total]
+	err := r.parallel(func(w int) error {
+		q := r.nextQ[w]
+		if len(q) > 0 {
+			copy(r.frontQ[offs[w]:offs[w+1]], q)
+			// Read + write of the vertex IDs.
+			r.clocks[w].Advance(r.cfg.Cost.Stream(len(q) * 16))
+		}
+		r.nextQ[w] = q[:0]
+		return nil
+	})
+	return err
+}
+
+// replicateNextBitmap copies the next bitmap into every NUMA node's
+// frontier replica and clears it. This is the per-level frontier broadcast
+// that buys the bottom-up kernel its purely node-local frontier probes.
+func (r *Runner) replicateNextBitmap() error {
+	words := r.nextBM.Words()
+	nw := len(words)
+	return r.parallel(func(w int) error {
+		lo, hi := stripe(nw, r.nWorkers, w)
+		if lo >= hi {
+			return nil
+		}
+		var t vtime.Duration
+		for _, bm := range r.frontBM {
+			dst := bm.Words()
+			copy(dst[lo:hi], words[lo:hi])
+			t += r.cfg.Cost.Stream((hi - lo) * 8 * 2)
+		}
+		for i := lo; i < hi; i++ {
+			words[i] = 0
+		}
+		t += r.cfg.Cost.Stream((hi - lo) * 8)
+		r.clocks[w].Advance(t)
+		return nil
+	})
+}
+
+// queueToReplicas sets the frontier queue's vertices in every node's
+// frontier bitmap replica (top-down -> bottom-up switch).
+func (r *Runner) queueToReplicas() error {
+	return r.parallel(func(w int) error {
+		lo, hi := stripe(len(r.frontQ), r.nWorkers, w)
+		if lo >= hi {
+			return nil
+		}
+		var t vtime.Duration
+		t += r.cfg.Cost.Stream((hi - lo) * 8)
+		probes := vtime.Duration(len(r.frontBM)) * r.cfg.Cost.BitmapProbe
+		for _, v := range r.frontQ[lo:hi] {
+			for _, bm := range r.frontBM {
+				bm.Set(int(v))
+			}
+			t += probes
+		}
+		r.clocks[w].Advance(t)
+		return nil
+	})
+}
+
+// replicasToQueue extracts the frontier from the bitmap replicas into the
+// frontier queue and clears all replicas (bottom-up -> top-down switch).
+func (r *Runner) replicasToQueue() error {
+	src := r.frontBM[0]
+	nw := src.NumWords()
+	err := r.parallel(func(w int) error {
+		lo, hi := stripe(nw, r.nWorkers, w)
+		q := r.nextQ[w][:0]
+		var t vtime.Duration
+		for i := lo; i < hi; i++ {
+			t += r.cfg.Cost.Stream(8)
+			word := src.WordAt(i)
+			base := i * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				q = append(q, int64(base+b))
+				t += r.cfg.Cost.QueueAppend
+			}
+		}
+		r.nextQ[w] = q
+		// Clear this stripe in every replica.
+		for _, bm := range r.frontBM {
+			dst := bm.Words()
+			for i := lo; i < hi; i++ {
+				dst[i] = 0
+			}
+		}
+		t += r.cfg.Cost.Stream((hi - lo) * 8 * len(r.frontBM))
+		r.clocks[w].Advance(t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return r.gatherQueues()
+}
+
+// stripe splits n items into nWorkers nearly-equal contiguous ranges and
+// returns worker w's half-open range.
+func stripe(n, nWorkers, w int) (lo, hi int) {
+	base, rem := n/nWorkers, n%nWorkers
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}

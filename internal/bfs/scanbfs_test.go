@@ -1,0 +1,166 @@
+package bfs
+
+import (
+	"testing"
+
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/generator"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/validate"
+)
+
+func newScan(t *testing.T, list *edgelist.List) *ScanRunner {
+	t.Helper()
+	r, err := NewScanRunner(edgelist.ListSource{List: list},
+		numa.DefaultTopology, numa.DefaultCostModel, nvm.ProfileIoDrive2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestScanBFSMatchesSerial(t *testing.T) {
+	list, err := generator.Generate(generator.Config{Scale: 9, EdgeFactor: 8, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newScan(t, list)
+	for _, root := range []int64{0, 7, 100} {
+		// Skip isolated roots.
+		found := false
+		for _, e := range list.Edges {
+			if (e.U == root || e.V == root) && e.U != e.V {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		res, err := r.Run(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, res.Tree, list, root)
+		if _, err := validate.Run(res.Tree, root, edgelist.ListSource{List: list}); err != nil {
+			t.Fatalf("validation: %v", err)
+		}
+	}
+}
+
+func TestScanBFSScansAllEdgesPerLevel(t *testing.T) {
+	list, err := generator.Generate(generator.Config{Scale: 8, EdgeFactor: 8, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newScan(t, list)
+	root := int64(0)
+	for {
+		connected := false
+		for _, e := range list.Edges {
+			if (e.U == root || e.V == root) && e.U != e.V {
+				connected = true
+				break
+			}
+		}
+		if connected {
+			break
+		}
+		root++
+	}
+	res, err := r.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every level examines all non-loop directed edges — the structural
+	// weakness the paper's comparison highlights.
+	var nonLoop int64
+	for _, e := range list.Edges {
+		if e.U != e.V {
+			nonLoop += 2
+		}
+	}
+	for _, l := range res.Levels {
+		if l.ExaminedNVM != nonLoop {
+			t.Fatalf("level %d examined %d, want full scan %d",
+				l.Level, l.ExaminedNVM, nonLoop)
+		}
+	}
+	if r.Device().Snapshot().Reads == 0 {
+		t.Fatal("no device reads recorded")
+	}
+}
+
+func TestScanBFSSlowerThanHybrid(t *testing.T) {
+	topo := numa.DefaultTopology
+	list, err := generator.Generate(generator.Config{Scale: 11, EdgeFactor: 8, Seed: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := edgelist.ListSource{List: list}
+	part := numa.NewPartition(topo, int(list.NumVertices))
+	fg, err := csr.BuildForward(src, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := csr.BuildBackward(src, part, csr.SortByDegreeDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := hybridZero(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := NewRunner(DRAMForward{G: fg}, bwd, part, Config{Topology: topo, Alpha: 100, Beta: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := int64(0)
+	for bg.Degree(root) == 0 {
+		root++
+	}
+	hres, err := hr.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := newScan(t, list).Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Time < 10*hres.Time {
+		t.Fatalf("scan BFS (%v) not at least 10x slower than hybrid (%v)",
+			sres.Time, hres.Time)
+	}
+}
+
+func TestScanBFSFootprint(t *testing.T) {
+	list, err := generator.Generate(generator.Config{Scale: 8, EdgeFactor: 8, Seed: 87})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newScan(t, list)
+	if r.NVMBytes() != int64(len(list.Edges))*edgelist.EdgeBytes {
+		t.Fatalf("NVM bytes %d", r.NVMBytes())
+	}
+	// Status data is a tiny fraction: the Pearce-style DRAM:NVM trade.
+	if r.DRAMBytes() >= r.NVMBytes() {
+		t.Fatalf("scan BFS keeps too much in DRAM: %d vs %d",
+			r.DRAMBytes(), r.NVMBytes())
+	}
+}
+
+func TestScanBFSRejectsBadRoot(t *testing.T) {
+	list, err := generator.Generate(generator.Config{Scale: 7, EdgeFactor: 8, Seed: 89})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newScan(t, list)
+	if _, err := r.Run(-1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := r.Run(list.NumVertices); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package bfs
+
+import "semibfs/internal/vtime"
+
+// chunkSize is the number of frontier vertices a worker dequeues at a
+// time, following the paper's Section V-C ("each thread dequeues a fixed
+// number (64 in our current implementation) of vertices").
+const chunkSize = 64
+
+// runTopDownLevel expands the frontier queue r.frontQ one level in the
+// top-down direction. Every NUMA node's workers scan the whole frontier,
+// but against the node's own forward-graph replica, which contains only
+// the neighbors the node owns — so every visited/tree write is node-local
+// (the NETAL delegation scheme of Section IV-A).
+func (r *Runner) runTopDownLevel() error {
+	cm := &r.cfg.Cost
+	numChunks := (len(r.frontQ) + chunkSize - 1) / chunkSize
+	return r.parallel(func(w int) error {
+		k := r.nodeOfWorker(w)
+		j := w % r.cpn
+		clock := r.clocks[w]
+		cursor := r.cursors[w]
+		acc := &r.acc[w]
+		nq := r.nextQ[w]
+		edgeCost := cm.EdgeCompute + cm.BitmapProbe
+		for c := j; c < numChunks; c += r.cpn {
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > len(r.frontQ) {
+				hi = len(r.frontQ)
+			}
+			var t vtime.Duration
+			t += cm.Stream((hi - lo) * 8) // dequeue the chunk
+			for _, v := range r.frontQ[lo:hi] {
+				t += cm.VertexOverhead
+				if r.part.NodeOf(int(v)) == k {
+					// Statistics only (degree of the frontier
+					// vertex, counted once across nodes).
+					acc.frontierDeg += r.bwd.Degree(v)
+				}
+				clock.Advance(t)
+				t = 0
+				nbs, fromNVM, err := cursor.Neighbors(k, v)
+				if err != nil {
+					return err
+				}
+				if fromNVM {
+					acc.examinedNVM += int64(len(nbs))
+				} else {
+					// Index entry fetch plus the streamed
+					// adjacency bytes.
+					t += cm.LocalAccess + cm.Stream(len(nbs)*8)
+					acc.examinedDRAM += int64(len(nbs))
+				}
+				for _, nb := range nbs {
+					t += edgeCost
+					if r.visited.Test(int(nb)) {
+						continue
+					}
+					if r.visited.TestAndSet(int(nb)) {
+						t += cm.AtomicOp + cm.LocalAccess + cm.QueueAppend
+						r.tree[nb] = v
+						nq = append(nq, nb)
+						acc.claimed++
+					} else {
+						t += cm.AtomicOp
+					}
+				}
+			}
+			clock.Advance(t)
+		}
+		r.nextQ[w] = nq
+		return nil
+	})
+}

@@ -1,0 +1,274 @@
+package bitmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(1000)
+	if b.Count() != 0 {
+		t.Fatal("fresh bitmap non-empty")
+	}
+	for i := 0; i < 1000; i += 7 {
+		b.Set(i)
+	}
+	want := (1000 + 6) / 7
+	if got := b.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	b := New(300)
+	set := map[int]bool{}
+	for i := 0; i < 300; i += 3 {
+		b.Set(i)
+		set[i] = true
+	}
+	for _, r := range [][2]int{{0, 300}, {0, 1}, {1, 2}, {63, 65}, {64, 128}, {100, 100}, {150, 299}, {5, 6}} {
+		want := 0
+		for i := r[0]; i < r[1]; i++ {
+			if set[i] {
+				want++
+			}
+		}
+		if got := b.CountRange(r[0], r[1]); got != want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", r[0], r[1], got, want)
+		}
+	}
+}
+
+func TestForEachSet(t *testing.T) {
+	b := New(500)
+	want := []int{3, 64, 65, 130, 255, 256, 449}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(0, 500, func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Windowed iteration.
+	got = got[:0]
+	b.ForEachSet(64, 256, func(i int) { got = append(got, i) })
+	wantWin := []int{64, 65, 130, 255}
+	if len(got) != len(wantWin) {
+		t.Fatalf("window [64,256): got %v, want %v", got, wantWin)
+	}
+	for i := range wantWin {
+		if got[i] != wantWin[i] {
+			t.Fatalf("window [64,256): got %v, want %v", got, wantWin)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(5)
+	a.Set(127)
+	b.CopyFrom(a)
+	if !b.Test(5) || !b.Test(127) || b.Count() != 2 {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestQuickBitmapMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 512
+		b := New(n)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			switch (op >> 12) % 3 {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				delete(ref, i)
+			case 2:
+				if b.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicSetTest(t *testing.T) {
+	b := NewAtomic(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for i := 0; i < 130; i++ {
+		want := i == 0 || i == 64 || i == 129
+		if b.Test(i) != want {
+			t.Fatalf("bit %d = %v", i, b.Test(i))
+		}
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+}
+
+func TestAtomicTestAndSet(t *testing.T) {
+	b := NewAtomic(64)
+	if !b.TestAndSet(10) {
+		t.Fatal("first TestAndSet lost")
+	}
+	if b.TestAndSet(10) {
+		t.Fatal("second TestAndSet won")
+	}
+}
+
+func TestAtomicConcurrentClaims(t *testing.T) {
+	// Many goroutines race to claim every bit; each bit must be won by
+	// exactly one claimant.
+	const n = 1 << 14
+	const workers = 8
+	b := NewAtomic(n)
+	wins := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if b.TestAndSet(i) {
+					wins[w] = append(wins[w], i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	seen := make([]bool, n)
+	for _, ws := range wins {
+		for _, i := range ws {
+			if seen[i] {
+				t.Fatalf("bit %d claimed twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("claimed %d bits, want %d", total, n)
+	}
+	if b.Count() != n {
+		t.Fatalf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestAtomicConcurrentSetSameWord(t *testing.T) {
+	// Concurrent sets within one 64-bit word must not lose updates.
+	b := NewAtomic(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Set(i)
+		}(i)
+	}
+	wg.Wait()
+	if b.Count() != 64 {
+		t.Fatalf("lost updates: Count = %d", b.Count())
+	}
+}
+
+func TestAtomicWords(t *testing.T) {
+	b := NewAtomic(128)
+	b.Set(1)
+	b.Set(64)
+	if b.NumWords() != 2 {
+		t.Fatalf("NumWords = %d", b.NumWords())
+	}
+	if b.WordAt(0) != 2 {
+		t.Fatalf("WordAt(0) = %x", b.WordAt(0))
+	}
+	if b.WordAt(1) != 1 {
+		t.Fatalf("WordAt(1) = %x", b.WordAt(1))
+	}
+	w := b.Words()
+	w[0] = 0xFF
+	if b.Count() != 9 {
+		t.Fatalf("raw word write not visible: Count = %d", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func TestLen(t *testing.T) {
+	if New(100).Len() != 100 {
+		t.Fatal("Bitmap.Len")
+	}
+	if NewAtomic(100).Len() != 100 {
+		t.Fatal("Atomic.Len")
+	}
+}
+
+func BenchmarkBitmapSet(b *testing.B) {
+	bm := New(1 << 20)
+	for i := 0; i < b.N; i++ {
+		bm.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkAtomicTestAndSet(b *testing.B) {
+	bm := NewAtomic(1 << 20)
+	for i := 0; i < b.N; i++ {
+		bm.TestAndSet(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkBitmapCount(b *testing.B) {
+	bm := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = bm.Count()
+	}
+	_ = sink
+}

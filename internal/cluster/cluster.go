@@ -1,0 +1,236 @@
+// Package cluster implements the paper's stated future work ("applying
+// our technique to multi-node environments"): a distributed-memory hybrid
+// BFS in the style of Beamer et al. (MTAAP 2013), with the semi-external
+// forward-graph offloading applied independently on every machine.
+//
+// The cluster is simulated the same way the single node is: the graph is
+// 1D block-partitioned across P machines, each machine executes its real
+// share of every BFS level, and time is modeled — each machine owns a
+// virtual clock charged for its compute (scaled by its core count) and
+// its NVM requests, and communication phases charge a latency + bandwidth
+// network model. The resulting BFS tree is exact and validated.
+//
+// Communication structure per level:
+//
+//   - top-down: machines expand their local frontier; discoveries owned
+//     by remote machines travel in per-destination outboxes exchanged
+//     all-to-all at the level end, and the owner claims them.
+//   - bottom-up: each machine needs the whole frontier bitmap to test
+//     "is this neighbor in the frontier?"; the next bitmap fragments are
+//     allgathered at the end of every bottom-up level.
+//   - direction switching uses the global frontier count (an allreduce,
+//     charged as a log2(P) latency tree).
+package cluster
+
+import (
+	"fmt"
+
+	"semibfs/internal/bitmap"
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// NetworkModel is the interconnect cost model.
+type NetworkModel struct {
+	// Latency is the per-message one-way latency.
+	Latency vtime.Duration
+	// Bandwidth is the per-link bandwidth in bytes/second.
+	Bandwidth float64
+}
+
+// DefaultNetwork models a commodity InfiniBand-class interconnect.
+var DefaultNetwork = NetworkModel{
+	Latency:   5 * vtime.Microsecond,
+	Bandwidth: 4e9,
+}
+
+// transfer returns the modeled time for moving n bytes point-to-point.
+func (m NetworkModel) transfer(n int64) vtime.Duration {
+	if n < 0 {
+		n = 0
+	}
+	return m.Latency + vtime.Duration(float64(n)*1e9/m.Bandwidth)
+}
+
+// Config parameterizes a simulated cluster.
+type Config struct {
+	// Machines is the number of nodes P.
+	Machines int
+	// CoresPerMachine scales each machine's compute throughput.
+	CoresPerMachine int
+	// Cost is the per-core memory cost model; zero selects the default.
+	Cost numa.CostModel
+	// Net is the interconnect model; zero selects DefaultNetwork.
+	Net NetworkModel
+	// Alpha / Beta are the hybrid switching thresholds on the *global*
+	// frontier size; zero selects 1e4 / 10*alpha.
+	Alpha, Beta float64
+	// ForwardOnNVM offloads every machine's forward adjacency to a
+	// per-machine NVM device — the paper's technique, per node.
+	ForwardOnNVM bool
+	// Device is the per-machine NVM profile (required when
+	// ForwardOnNVM); zero selects the ioDrive2 profile.
+	Device nvm.Profile
+	// LatencyScale scales the device's fixed latencies (see
+	// nvm.Profile.WithLatencyScale).
+	LatencyScale float64
+}
+
+// WithDefaults returns c with zero fields defaulted.
+func (c Config) WithDefaults() Config {
+	if c.Machines == 0 {
+		c.Machines = 4
+	}
+	if c.CoresPerMachine == 0 {
+		c.CoresPerMachine = 48
+	}
+	if c.Cost == (numa.CostModel{}) {
+		c.Cost = numa.DefaultCostModel
+	}
+	if c.Net == (NetworkModel{}) {
+		c.Net = DefaultNetwork
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1e4
+	}
+	if c.Beta == 0 {
+		c.Beta = 10 * c.Alpha
+	}
+	if c.ForwardOnNVM && c.Device.Name == "" {
+		c.Device = nvm.ProfileIoDrive2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if c.Machines < 1 {
+		return fmt.Errorf("cluster: %d machines", c.Machines)
+	}
+	if c.CoresPerMachine < 1 {
+		return fmt.Errorf("cluster: %d cores per machine", c.CoresPerMachine)
+	}
+	if c.ForwardOnNVM {
+		if err := c.Device.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// machine is one simulated cluster node.
+type machine struct {
+	id     int
+	lo, hi int64 // owned vertex range
+	adj    *csr.LocalGraph
+	clock  *vtime.Clock
+	// Semi-external adjacency (nil when in DRAM).
+	dev        *nvm.Device
+	indexStore nvm.Storage
+	valueStore nvm.Storage
+	readBuf    []byte
+	valBuf     []int64
+	// Per-level outboxes: candidate (child, parent) pairs per owner.
+	outbox [][]pair
+}
+
+type pair struct{ child, parent int64 }
+
+// Cluster is a built, partitioned graph ready for distributed traversal.
+type Cluster struct {
+	cfg      Config
+	n        int64
+	part     *numa.Partition
+	machines []*machine
+
+	// BFS status data (globally addressed; each machine writes only its
+	// own range, so the single arrays stand in for per-machine copies).
+	tree     []int64
+	visited  *bitmap.Bitmap
+	frontier *bitmap.Bitmap // global frontier bitmap (bottom-up + ownership tests)
+	next     *bitmap.Bitmap
+	frontQ   [][]int64 // per-machine top-down frontier queues
+
+	// CommBytes / CommTime accumulate interconnect usage per Run.
+	commBytes int64
+}
+
+// Build partitions src across the configured machines and constructs each
+// machine's local adjacency (hubs-first, as in NETAL). With ForwardOnNVM,
+// every machine's adjacency is additionally offloaded to its own device
+// and the DRAM copy is kept only for the bottom-up direction, mirroring
+// the single-node placement (forward on NVM, backward in DRAM).
+func Build(src edgelist.Source, cfg Config) (*Cluster, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := src.NumVertices()
+	// Reuse the NUMA partitioner: machines play the role of nodes.
+	part := numa.NewPartition(numa.Topology{Nodes: cfg.Machines, CoresPerNode: 1}, int(n))
+	bg, err := csr.BuildBackward(src, part, csr.SortByDegreeDesc)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		n:        n,
+		part:     part,
+		tree:     make([]int64, n),
+		visited:  bitmap.New(int(n)),
+		frontier: bitmap.New(int(n)),
+		next:     bitmap.New(int(n)),
+		frontQ:   make([][]int64, cfg.Machines),
+	}
+	for k := 0; k < cfg.Machines; k++ {
+		lo, hi := part.Range(k)
+		m := &machine{
+			id:     k,
+			lo:     int64(lo),
+			hi:     int64(hi),
+			adj:    bg.PerNode[k],
+			clock:  vtime.NewClock(0),
+			outbox: make([][]pair, cfg.Machines),
+		}
+		if cfg.ForwardOnNVM {
+			profile := cfg.Device
+			if cfg.LatencyScale > 0 {
+				profile = profile.WithLatencyScale(cfg.LatencyScale)
+			}
+			m.dev = nvm.NewDevice(profile, 0)
+			m.indexStore = nvm.NewMemStore(m.dev, 0)
+			m.valueStore = nvm.NewMemStore(m.dev, 0)
+			if err := writeInt64s(m.indexStore, m.adj.Index); err != nil {
+				return nil, err
+			}
+			if err := writeInt64s(m.valueStore, m.adj.Value); err != nil {
+				return nil, err
+			}
+			m.readBuf = make([]byte, nvm.DefaultChunkSize)
+		}
+		c.machines = append(c.machines, m)
+	}
+	return c, nil
+}
+
+// NumMachines returns the cluster size.
+func (c *Cluster) NumMachines() int { return c.cfg.Machines }
+
+// Owner returns the machine owning vertex v.
+func (c *Cluster) Owner(v int64) int { return c.part.NodeOf(int(v)) }
+
+// DeviceStats returns per-machine NVM statistics (nil without offload).
+func (c *Cluster) DeviceStats() []nvm.Stats {
+	if !c.cfg.ForwardOnNVM {
+		return nil
+	}
+	out := make([]nvm.Stats, len(c.machines))
+	for i, m := range c.machines {
+		out[i] = m.dev.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"testing"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/generator"
+	"semibfs/internal/nvm"
+	"semibfs/internal/validate"
+)
+
+func testList(t *testing.T, scale int, seed uint64) *edgelist.List {
+	t.Helper()
+	list, err := generator.Generate(generator.Config{Scale: scale, EdgeFactor: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list
+}
+
+func serialLevels(list *edgelist.List, root int64) []int64 {
+	n := list.NumVertices
+	adj := make([][]int64, n)
+	for _, e := range list.Edges {
+		if e.U != e.V {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+	}
+	levels := make([]int64, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[root] = 0
+	queue := []int64{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if levels[w] == -1 {
+				levels[w] = levels[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return levels
+}
+
+func firstConnected(list *edgelist.List) int64 {
+	deg := make([]int64, list.NumVertices)
+	for _, e := range list.Edges {
+		if e.U != e.V {
+			deg[e.U]++
+			deg[e.V]++
+		}
+	}
+	for v, d := range deg {
+		if d > 0 {
+			return int64(v)
+		}
+	}
+	return -1
+}
+
+func checkTree(t *testing.T, list *edgelist.List, res *Result) {
+	t.Helper()
+	want := serialLevels(list, res.Root)
+	got, err := validate.Levels(res.Tree, res.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if want[v] != got[v] {
+			t.Fatalf("vertex %d: level %d, serial says %d", v, got[v], want[v])
+		}
+	}
+	if _, err := validate.Run(res.Tree, res.Root, edgelist.ListSource{List: list}); err != nil {
+		t.Fatalf("Graph500 validation: %v", err)
+	}
+}
+
+func TestClusterMatchesSerial(t *testing.T) {
+	list := testList(t, 10, 51)
+	src := edgelist.ListSource{List: list}
+	for _, machines := range []int{1, 2, 4, 7} {
+		c, err := Build(src, Config{Machines: machines, Alpha: 64, Beta: 640})
+		if err != nil {
+			t.Fatalf("machines=%d: %v", machines, err)
+		}
+		root := firstConnected(list)
+		res, err := c.Run(root)
+		if err != nil {
+			t.Fatalf("machines=%d: %v", machines, err)
+		}
+		checkTree(t, list, res)
+		if res.Time <= 0 {
+			t.Fatalf("machines=%d: no virtual time", machines)
+		}
+	}
+}
+
+func TestClusterHybridSwitches(t *testing.T) {
+	list := testList(t, 10, 52)
+	c, err := Build(edgelist.ListSource{List: list}, Config{Machines: 4, Alpha: 32, Beta: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(firstConnected(list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches == 0 {
+		t.Fatal("no direction switches at alpha=32")
+	}
+	dirs := map[bfs.Direction]bool{}
+	for _, l := range res.Levels {
+		dirs[l.Direction] = true
+	}
+	if !dirs[bfs.TopDown] || !dirs[bfs.BottomUp] {
+		t.Fatalf("directions used: %v", dirs)
+	}
+	checkTree(t, list, res)
+}
+
+func TestClusterCommunicationAccounting(t *testing.T) {
+	list := testList(t, 10, 53)
+	src := edgelist.ListSource{List: list}
+	c2, err := Build(src, Config{Machines: 2, Alpha: 32, Beta: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := Build(src, Config{Machines: 8, Alpha: 32, Beta: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnected(list)
+	r2, err := c2.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := c8.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CommBytes <= 0 || r8.CommBytes <= 0 {
+		t.Fatal("no communication recorded")
+	}
+	// More machines -> more interconnect traffic for the same graph.
+	if r8.CommBytes <= r2.CommBytes {
+		t.Fatalf("8-machine traffic %d not above 2-machine %d", r8.CommBytes, r2.CommBytes)
+	}
+	// Per-level bytes must sum to the total.
+	var sum int64
+	for _, l := range r8.Levels {
+		sum += l.CommBytes
+	}
+	if sum > r8.CommBytes {
+		t.Fatalf("per-level comm %d exceeds total %d", sum, r8.CommBytes)
+	}
+}
+
+func TestClusterForwardOnNVM(t *testing.T) {
+	list := testList(t, 10, 54)
+	src := edgelist.ListSource{List: list}
+	dram, err := Build(src, Config{Machines: 4, Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvmC, err := Build(src, Config{Machines: 4, Alpha: 64, Beta: 640, ForwardOnNVM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnected(list)
+	a, err := dram.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aVisited, aTime := a.Visited, a.Time
+	b, err := nvmC.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, list, b)
+	if b.Visited != aVisited {
+		t.Fatalf("visited differ: %d vs %d", b.Visited, aVisited)
+	}
+	if b.Time <= aTime {
+		t.Fatalf("NVM cluster (%v) not slower than DRAM cluster (%v)", b.Time, aTime)
+	}
+	stats := nvmC.DeviceStats()
+	if len(stats) != 4 {
+		t.Fatalf("%d device stats", len(stats))
+	}
+	var reads int64
+	for _, s := range stats {
+		reads += s.Reads
+	}
+	if reads == 0 {
+		t.Fatal("no per-machine NVM reads")
+	}
+	if dram.DeviceStats() != nil {
+		t.Fatal("DRAM cluster has device stats")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	list := testList(t, 9, 55)
+	src := edgelist.ListSource{List: list}
+	root := firstConnected(list)
+	var times []int64
+	for trial := 0; trial < 2; trial++ {
+		c, err := Build(src, Config{Machines: 3, Alpha: 32, Beta: 320})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, int64(res.Time))
+	}
+	if times[0] != times[1] {
+		t.Fatalf("virtual times differ: %v", times)
+	}
+}
+
+func TestClusterReuseAcrossRoots(t *testing.T) {
+	list := testList(t, 9, 56)
+	c, err := Build(edgelist.ListSource{List: list}, Config{Machines: 4, Alpha: 32, Beta: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	deg := make([]int64, list.NumVertices)
+	for _, e := range list.Edges {
+		if e.U != e.V {
+			deg[e.U]++
+			deg[e.V]++
+		}
+	}
+	for v := int64(0); v < list.NumVertices && count < 6; v++ {
+		if deg[v] == 0 {
+			continue
+		}
+		count++
+		res, err := c.Run(v)
+		if err != nil {
+			t.Fatalf("root %d: %v", v, err)
+		}
+		checkTree(t, list, res)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if err := (Config{Machines: -1}).Validate(); err == nil {
+		t.Error("negative machines validated")
+	}
+	bad := Config{ForwardOnNVM: true, Device: nvm.Profile{Name: "broken"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("broken device validated")
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestClusterRejectsBadRoot(t *testing.T) {
+	list := testList(t, 8, 57)
+	c, err := Build(edgelist.ListSource{List: list}, Config{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(-1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := c.Run(list.NumVertices); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestNetworkModelTransfer(t *testing.T) {
+	m := NetworkModel{Latency: 100, Bandwidth: 1e9} // 1 byte/ns
+	if got := m.transfer(1000); got != 1100 {
+		t.Fatalf("transfer(1000) = %v", got)
+	}
+	if got := m.transfer(0); got != 100 {
+		t.Fatalf("transfer(0) = %v", got)
+	}
+	if got := m.transfer(-5); got != 100 {
+		t.Fatalf("transfer(-5) = %v", got)
+	}
+}
+
+func TestClusterOddVertexCount(t *testing.T) {
+	// A prime vertex count exercises straddling-word delegation.
+	const n = 521
+	l := &edgelist.List{NumVertices: n}
+	for v := int64(0); v+1 < n; v++ {
+		l.Edges = append(l.Edges, edgelist.Edge{U: v, V: v + 1})
+	}
+	for v := int64(0); v+29 < n; v += 7 {
+		l.Edges = append(l.Edges, edgelist.Edge{U: v, V: v + 29})
+	}
+	c, err := Build(edgelist.ListSource{List: l}, Config{Machines: 3, Alpha: 8, Beta: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != n {
+		t.Fatalf("visited %d, want %d", res.Visited, n)
+	}
+	checkTree(t, l, res)
+}

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/vtime"
+)
+
+// Grid is the 2D-partitioned distributed hybrid BFS of Beamer et al.
+// (MTAAP 2013) — the paper's citation [14] for multi-node direction-
+// optimizing BFS. The adjacency matrix is blocked over an R x C processor
+// grid: machine (i,j) owns the directed edges whose source lies in column
+// block j and whose destination lies in row block i. Vertex status is
+// striped so machine (i,j) owns the j-th slice of row block i.
+//
+// Communication per level follows the 2D schedule:
+//
+//   - top-down: the frontier fragment of column block j is allgathered
+//     down each processor column (R-1 fragments in, instead of the 1D
+//     layout's P-1), each machine expands its block, and candidate
+//     parents travel across each processor row to their owners;
+//   - bottom-up: each row performs C ring sub-phases — machine (i,j)
+//     scans the not-yet-claimed vertices of one stripe of row i against
+//     its own edge block, then passes the stripe's claim state to its
+//     right neighbor, exactly Beamer's rotating scheme.
+//
+// The point of 2D is communication volume: collectives span sqrt(P)
+// machines instead of P, which the CommBytes accounting exposes (see the
+// Scaling2D experiment).
+type Grid struct {
+	cfg  Config
+	rows int
+	cols int
+	n    int64
+
+	// blocks[i][j] is a CSR over column block j's sources, restricted
+	// to destinations in row block i (the top-down layout); bu[i][j] is
+	// the transpose — a CSR over row block i's destinations listing
+	// their sources in column block j (the bottom-up layout, hubs kept
+	// in edge order).
+	blocks [][]*gridBlock
+	bu     [][]*gridBlock
+	clocks [][]*vtime.Clock
+
+	// rowStart[i] / colStart[j] delimit the vertex blocks.
+	rowStart []int64
+	colStart []int64
+
+	tree     []int64
+	visited  []bool
+	frontier []bool
+	next     []bool
+
+	commBytes int64
+}
+
+type gridBlock struct {
+	// index over local sources (colStart[j] .. colStart[j+1]).
+	index []int64
+	value []int64
+	base  int64
+}
+
+func (b *gridBlock) neighbors(u int64) []int64 {
+	i := u - b.base
+	return b.value[b.index[i]:b.index[i+1]]
+}
+
+// GridShape returns the most square R x C factorization of p.
+func GridShape(p int) (rows, cols int) {
+	if p < 1 {
+		return 1, 1
+	}
+	r := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			r = d
+		}
+	}
+	return r, p / r
+}
+
+// BuildGrid partitions src over the most square R x C grid with
+// cfg.Machines processors.
+func BuildGrid(src edgelist.Source, cfg Config) (*Grid, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ForwardOnNVM {
+		return nil, fmt.Errorf("cluster: grid layout does not support per-machine NVM offload yet")
+	}
+	rows, cols := GridShape(cfg.Machines)
+	n := src.NumVertices()
+	g := &Grid{
+		cfg:      cfg,
+		rows:     rows,
+		cols:     cols,
+		n:        n,
+		rowStart: blockStarts(n, rows),
+		colStart: blockStarts(n, cols),
+		tree:     make([]int64, n),
+		visited:  make([]bool, n),
+		frontier: make([]bool, n),
+		next:     make([]bool, n),
+	}
+	g.blocks = make([][]*gridBlock, rows)
+	g.bu = make([][]*gridBlock, rows)
+	g.clocks = make([][]*vtime.Clock, rows)
+	for i := 0; i < rows; i++ {
+		g.blocks[i] = make([]*gridBlock, cols)
+		g.bu[i] = make([]*gridBlock, cols)
+		g.clocks[i] = make([]*vtime.Clock, cols)
+		for j := 0; j < cols; j++ {
+			g.blocks[i][j] = &gridBlock{base: g.colStart[j]}
+			g.bu[i][j] = &gridBlock{base: g.rowStart[i]}
+			g.clocks[i][j] = vtime.NewClock(0)
+		}
+	}
+	// The top-down blocks index by source u; the bottom-up transpose
+	// indexes by destination v. Both are filled in one count pass and
+	// one placement pass over the edge list.
+	if err := g.fillBlocks(src, false); err != nil {
+		return nil, err
+	}
+	if err := g.fillBlocks(src, true); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// fillBlocks builds either the source-indexed top-down blocks or the
+// destination-indexed bottom-up transpose.
+func (g *Grid) fillBlocks(src edgelist.Source, transpose bool) error {
+	rows, cols := g.rows, g.cols
+	target := func(i, j int) *gridBlock {
+		if transpose {
+			return g.bu[i][j]
+		}
+		return g.blocks[i][j]
+	}
+	counts := make([][][]int64, rows)
+	for i := range counts {
+		counts[i] = make([][]int64, cols)
+		for j := range counts[i] {
+			var span int64
+			if transpose {
+				span = g.rowStart[i+1] - g.rowStart[i]
+			} else {
+				span = g.colStart[j+1] - g.colStart[j]
+			}
+			counts[i][j] = make([]int64, span+1)
+		}
+	}
+	add := func(u, v int64) {
+		i, j := g.rowOf(v), g.colOf(u)
+		if transpose {
+			counts[i][j][v-g.rowStart[i]+1]++
+		} else {
+			counts[i][j][u-g.colStart[j]+1]++
+		}
+	}
+	err := src.ForEach(func(e edgelist.Edge) error {
+		if e.U == e.V {
+			return nil
+		}
+		add(e.U, e.V)
+		add(e.V, e.U)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cursors := make([][][]int64, rows)
+	for i := 0; i < rows; i++ {
+		cursors[i] = make([][]int64, cols)
+		for j := 0; j < cols; j++ {
+			idx := counts[i][j]
+			for k := 0; k+1 < len(idx); k++ {
+				idx[k+1] += idx[k]
+			}
+			b := target(i, j)
+			b.index = idx
+			b.value = make([]int64, idx[len(idx)-1])
+			cur := make([]int64, len(idx)-1)
+			copy(cur, idx[:len(idx)-1])
+			cursors[i][j] = cur
+		}
+	}
+	place := func(u, v int64) {
+		i, j := g.rowOf(v), g.colOf(u)
+		b := target(i, j)
+		c := cursors[i][j]
+		key := u
+		if transpose {
+			key = v
+		}
+		b.value[c[key-b.base]] = pick(transpose, u, v)
+		c[key-b.base]++
+	}
+	err = src.ForEach(func(e edgelist.Edge) error {
+		if e.U == e.V {
+			return nil
+		}
+		place(e.U, e.V)
+		place(e.V, e.U)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// pick returns the stored endpoint: the destination for top-down blocks,
+// the source for the bottom-up transpose.
+func pick(transpose bool, u, v int64) int64 {
+	if transpose {
+		return u
+	}
+	return v
+}
+
+func blockStarts(n int64, parts int) []int64 {
+	starts := make([]int64, parts+1)
+	base, rem := n/int64(parts), n%int64(parts)
+	off := int64(0)
+	for k := 0; k < parts; k++ {
+		starts[k] = off
+		off += base
+		if int64(k) < rem {
+			off++
+		}
+	}
+	starts[parts] = n
+	return starts
+}
+
+func (g *Grid) rowOf(v int64) int { return blockOf(v, g.rowStart) }
+func (g *Grid) colOf(v int64) int { return blockOf(v, g.colStart) }
+
+func blockOf(v int64, starts []int64) int {
+	lo, hi := 0, len(starts)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if v >= starts[mid] {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Shape returns the grid dimensions.
+func (g *Grid) Shape() (rows, cols int) { return g.rows, g.cols }
+
+// NumMachines returns the total processor count.
+func (g *Grid) NumMachines() int { return g.rows * g.cols }
+
+// ownerOf returns the grid machine owning vertex v's status: the vertex
+// lies in row block i; within the row its stripe index selects the
+// column.
+func (g *Grid) ownerOf(v int64) (int, int) {
+	i := g.rowOf(v)
+	lo, hi := g.rowStart[i], g.rowStart[i+1]
+	span := hi - lo
+	if span == 0 {
+		return i, 0
+	}
+	j := int((v - lo) * int64(g.cols) / span)
+	if j >= g.cols {
+		j = g.cols - 1
+	}
+	return i, j
+}
+
+// stripeRange returns the vertex range of stripe (i, t): the t-th slice
+// of row block i.
+func (g *Grid) stripeRange(i, t int) (int64, int64) {
+	lo, hi := g.rowStart[i], g.rowStart[i+1]
+	span := hi - lo
+	sLo := lo + span*int64(t)/int64(g.cols)
+	sHi := lo + span*int64(t+1)/int64(g.cols)
+	return sLo, sHi
+}
+
+func (g *Grid) allClocks() []*vtime.Clock {
+	out := make([]*vtime.Clock, 0, g.rows*g.cols)
+	for i := range g.clocks {
+		out = append(out, g.clocks[i]...)
+	}
+	return out
+}
+
+func (g *Grid) barrier() vtime.Duration {
+	clocks := g.allClocks()
+	max := vtime.MaxOf(clocks) + g.cfg.Net.Latency
+	for _, c := range clocks {
+		c.AdvanceTo(max)
+	}
+	return max
+}
+
+// chargeAll advances every clock by a collective's cost.
+func (g *Grid) chargeAll(cost vtime.Duration, bytes int64) {
+	for _, c := range g.allClocks() {
+		c.Advance(cost)
+	}
+	g.commBytes += bytes
+}
+
+// decide2D applies the alpha/beta rule (global counts, allreduce charged
+// by the caller).
+func (g *Grid) decide(dir bfs.Direction, prev, cur int64) bfs.Direction {
+	switch dir {
+	case bfs.TopDown:
+		if cur > prev && float64(cur) > float64(g.n)/g.cfg.Alpha {
+			return bfs.BottomUp
+		}
+	case bfs.BottomUp:
+		if cur < prev && float64(cur) < float64(g.n)/g.cfg.Beta {
+			return bfs.TopDown
+		}
+	}
+	return dir
+}
+
+// allreduce charges a log2(P) tree.
+func (g *Grid) allreduce(bytes int64) {
+	p := g.rows * g.cols
+	steps := bits.Len(uint(p - 1))
+	cost := vtime.Duration(steps) * g.cfg.Net.transfer(bytes)
+	g.chargeAll(cost, int64(steps)*bytes*int64(p))
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/vtime"
+)
+
+// Run executes one 2D-partitioned hybrid BFS from root.
+func (g *Grid) Run(root int64) (*Result, error) {
+	if root < 0 || root >= g.n {
+		return nil, fmt.Errorf("cluster: grid root %d outside [0,%d)", root, g.n)
+	}
+	for i := range g.tree {
+		g.tree[i] = -1
+		g.visited[i] = false
+		g.frontier[i] = false
+		g.next[i] = false
+	}
+	g.commBytes = 0
+	for _, c := range g.allClocks() {
+		c.AdvanceTo(0)
+	}
+	g.tree[root] = root
+	g.visited[root] = true
+	g.frontier[root] = true
+
+	res := &Result{Root: root, Visited: 1}
+	dir := bfs.TopDown
+	prevCount, curCount := int64(0), int64(1)
+
+	for level := 0; ; level++ {
+		if level > int(g.n) {
+			return nil, fmt.Errorf("cluster: grid runaway at level %d", level)
+		}
+		if level > 0 {
+			newDir := g.decide(dir, prevCount, curCount)
+			if newDir != dir {
+				res.Switches++
+				dir = newDir
+			}
+		}
+		start := vtime.MaxOf(g.allClocks())
+		comm0 := g.commBytes
+
+		// Frontier distribution: every machine receives its column
+		// block's frontier flags, allgathered down the processor
+		// column — R-1 fragments instead of the 1D layout's P-1.
+		colSpanBytes := (g.n/int64(g.cols) + 7) / 8
+		frag := colSpanBytes * int64(g.rows-1) / int64(g.rows)
+		g.chargeAll(g.cfg.Net.transfer(frag), frag*int64(g.rows*g.cols))
+
+		var claimed, examined int64
+		if dir == bfs.TopDown {
+			claimed, examined = g.topDownLevel()
+		} else {
+			claimed, examined = g.bottomUpLevel()
+		}
+		g.allreduce(8)
+		end := g.barrier()
+
+		res.Levels = append(res.Levels, LevelStats{
+			Level:     level,
+			Direction: dir,
+			Frontier:  curCount,
+			Claimed:   claimed,
+			Examined:  examined,
+			CommBytes: g.commBytes - comm0,
+			Time:      end - start,
+		})
+		res.Visited += claimed
+		if claimed == 0 {
+			break
+		}
+		copy(g.frontier, g.next)
+		for i := range g.next {
+			g.next[i] = false
+		}
+		prevCount, curCount = curCount, claimed
+	}
+	res.Time = vtime.MaxOf(g.allClocks())
+	res.Tree = g.tree
+	res.CommBytes = g.commBytes
+	return res, nil
+}
+
+// topDownLevel expands every block against the frontier; candidate
+// (child, parent) pairs cross each processor row to their owners.
+func (g *Grid) topDownLevel() (claimed, examined int64) {
+	cm := &g.cfg.Cost
+	cores := vtime.Duration(g.cfg.CoresPerMachine)
+	// Candidates per owner machine.
+	inbox := make([][][]pair, g.rows)
+	for i := range inbox {
+		inbox[i] = make([][]pair, g.cols)
+	}
+	sentBytes := make([][]int64, g.rows)
+	for i := range sentBytes {
+		sentBytes[i] = make([]int64, g.cols)
+	}
+	for i := 0; i < g.rows; i++ {
+		for j := 0; j < g.cols; j++ {
+			var t vtime.Duration
+			b := g.blocks[i][j]
+			lo, hi := g.colStart[j], g.colStart[j+1]
+			t += cm.Stream(int(hi-lo) / 8) // frontier flag scan
+			for u := lo; u < hi; u++ {
+				if !g.frontier[u] {
+					continue
+				}
+				t += cm.VertexOverhead + cm.LocalAccess
+				nbs := b.neighbors(u)
+				t += cm.Stream(len(nbs) * 8)
+				examined += int64(len(nbs))
+				for _, v := range nbs {
+					t += cm.EdgeCompute + cm.BitmapProbe
+					if g.visited[v] {
+						continue
+					}
+					oi, oj := g.ownerOf(v)
+					inbox[oi][oj] = append(inbox[oi][oj], pair{v, u})
+					if oi != i || oj != j {
+						sentBytes[oi][oj] += 16
+						g.commBytes += 16
+					}
+					t += cm.QueueAppend
+				}
+			}
+			g.clocks[i][j].Advance(t / cores)
+		}
+	}
+	// Owners receive (charged at the largest incoming transfer) and
+	// claim, first proposal wins.
+	for i := 0; i < g.rows; i++ {
+		for j := 0; j < g.cols; j++ {
+			if sentBytes[i][j] > 0 {
+				g.clocks[i][j].Advance(g.cfg.Net.transfer(sentBytes[i][j]))
+			}
+			var t vtime.Duration
+			for _, pr := range inbox[i][j] {
+				t += cm.EdgeCompute + cm.BitmapProbe
+				if !g.visited[pr.child] {
+					g.visited[pr.child] = true
+					g.tree[pr.child] = pr.parent
+					g.next[pr.child] = true
+					t += cm.AtomicOp + cm.LocalAccess
+					claimed++
+				}
+			}
+			g.clocks[i][j].Advance(t / cores)
+		}
+	}
+	return claimed, examined
+}
+
+// bottomUpLevel runs Beamer's rotating sub-phases: within each processor
+// row, every stripe of unvisited vertices visits all C machines in turn,
+// each machine scanning the stripe against its own edge block, with the
+// stripe's claim state ring-transferred between sub-phases.
+func (g *Grid) bottomUpLevel() (claimed, examined int64) {
+	cm := &g.cfg.Cost
+	cores := vtime.Duration(g.cfg.CoresPerMachine)
+	for i := 0; i < g.rows; i++ {
+		for s := 0; s < g.cols; s++ {
+			// Sub-phase s: machine (i,j) handles stripe (j+s) mod C.
+			for j := 0; j < g.cols; j++ {
+				t0 := (j + s) % g.cols
+				lo, hi := g.stripeRange(i, t0)
+				var t vtime.Duration
+				t += cm.Stream(int(hi-lo) / 8)
+				bu := g.bu[i][j]
+				for v := lo; v < hi; v++ {
+					if g.visited[v] {
+						continue
+					}
+					t += cm.VertexOverhead
+					nbs := bu.neighbors(v)
+					scanned := 0
+					var parent int64 = -1
+					for _, u := range nbs {
+						scanned++
+						if g.frontier[u] {
+							parent = u
+							break
+						}
+					}
+					examined += int64(scanned)
+					t += (cm.EdgeCompute + cm.BitmapProbe) * vtime.Duration(scanned)
+					t += cm.Stream(scanned * 8)
+					if parent >= 0 {
+						g.visited[v] = true
+						g.tree[v] = parent
+						g.next[v] = true
+						t += cm.LocalAccess + 2*cm.BitmapProbe
+						claimed++
+					}
+				}
+				g.clocks[i][j].Advance(t / cores)
+			}
+			// Ring shift of the stripes' claim state within the row.
+			if g.cols > 1 {
+				stripeBytes := (g.rowStart[i+1] - g.rowStart[i]) / int64(g.cols) / 8
+				if stripeBytes == 0 {
+					stripeBytes = 1
+				}
+				cost := g.cfg.Net.transfer(stripeBytes)
+				var max vtime.Duration
+				for j := 0; j < g.cols; j++ {
+					if now := g.clocks[i][j].Now(); now > max {
+						max = now
+					}
+				}
+				for j := 0; j < g.cols; j++ {
+					g.clocks[i][j].AdvanceTo(max + cost)
+				}
+				g.commBytes += stripeBytes * int64(g.cols)
+			}
+		}
+	}
+	return claimed, examined
+}

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// LevelStats records one distributed level.
+type LevelStats struct {
+	Level     int
+	Direction bfs.Direction
+	Frontier  int64
+	Claimed   int64
+	Examined  int64
+	CommBytes int64
+	Time      vtime.Duration
+}
+
+// Result is one distributed BFS outcome.
+type Result struct {
+	Root     int64
+	Visited  int64
+	Tree     []int64 // aliases cluster storage; valid until the next Run
+	Levels   []LevelStats
+	Time     vtime.Duration
+	Switches int
+	// CommBytes is the total interconnect traffic of the run.
+	CommBytes int64
+}
+
+// Run executes one distributed hybrid BFS from root.
+func (c *Cluster) Run(root int64) (*Result, error) {
+	if root < 0 || root >= c.n {
+		return nil, fmt.Errorf("cluster: root %d outside [0,%d)", root, c.n)
+	}
+	for i := range c.tree {
+		c.tree[i] = -1
+	}
+	c.visited.Reset()
+	c.frontier.Reset()
+	c.next.Reset()
+	c.commBytes = 0
+	for _, m := range c.machines {
+		m.clock.AdvanceTo(0)
+		if m.dev != nil {
+			m.dev.Reset()
+		}
+	}
+	for k := range c.frontQ {
+		c.frontQ[k] = c.frontQ[k][:0]
+	}
+
+	c.tree[root] = root
+	c.visited.Set(int(root))
+	c.frontier.Set(int(root))
+	owner := c.Owner(root)
+	c.frontQ[owner] = append(c.frontQ[owner], root)
+
+	res := &Result{Root: root, Visited: 1}
+	dir := bfs.TopDown
+	prevCount, curCount := int64(0), int64(1)
+
+	for level := 0; ; level++ {
+		if level > int(c.n) {
+			return nil, fmt.Errorf("cluster: runaway level %d", level)
+		}
+		if level > 0 {
+			newDir := c.decide(dir, prevCount, curCount)
+			if newDir != dir {
+				if err := c.convertFrontier(dir, newDir); err != nil {
+					return nil, err
+				}
+				res.Switches++
+				dir = newDir
+			}
+		}
+		start := vtime.MaxOf(c.clocks())
+		comm0 := c.commBytes
+		var claimed, examined int64
+		var err error
+		if dir == bfs.TopDown {
+			claimed, examined, err = c.topDownLevel()
+		} else {
+			claimed, examined, err = c.bottomUpLevel()
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Global claim count: an allreduce over P machines.
+		c.allreduce(8)
+		end := c.barrier()
+
+		res.Levels = append(res.Levels, LevelStats{
+			Level:     level,
+			Direction: dir,
+			Frontier:  curCount,
+			Claimed:   claimed,
+			Examined:  examined,
+			CommBytes: c.commBytes - comm0,
+			Time:      end - start,
+		})
+		res.Visited += claimed
+		if claimed == 0 {
+			break
+		}
+		c.promoteNext(dir)
+		prevCount, curCount = curCount, claimed
+	}
+	res.Time = vtime.MaxOf(c.clocks())
+	res.Tree = c.tree
+	res.CommBytes = c.commBytes
+	return res, nil
+}
+
+func (c *Cluster) clocks() []*vtime.Clock {
+	out := make([]*vtime.Clock, len(c.machines))
+	for i, m := range c.machines {
+		out[i] = m.clock
+	}
+	return out
+}
+
+// barrier aligns all machine clocks (one latency for the sync message).
+func (c *Cluster) barrier() vtime.Duration {
+	max := vtime.MaxOf(c.clocks())
+	max += c.cfg.Net.Latency
+	for _, m := range c.machines {
+		m.clock.AdvanceTo(max)
+	}
+	return max
+}
+
+// allreduce charges a log2(P) reduction tree of small messages.
+func (c *Cluster) allreduce(bytes int64) {
+	p := len(c.machines)
+	steps := bits.Len(uint(p - 1))
+	cost := vtime.Duration(steps) * c.cfg.Net.transfer(bytes)
+	for _, m := range c.machines {
+		m.clock.Advance(cost)
+	}
+	c.commBytes += int64(steps) * bytes * int64(p)
+}
+
+// decide applies the alpha/beta rule to the global frontier count.
+func (c *Cluster) decide(dir bfs.Direction, prev, cur int64) bfs.Direction {
+	switch dir {
+	case bfs.TopDown:
+		if cur > prev && float64(cur) > float64(c.n)/c.cfg.Alpha {
+			return bfs.BottomUp
+		}
+	case bfs.BottomUp:
+		if cur < prev && float64(cur) < float64(c.n)/c.cfg.Beta {
+			return bfs.TopDown
+		}
+	}
+	return dir
+}
+
+// charge adds compute time t to machine m, scaled by its core count
+// (machine-level aggregate throughput model).
+func (m *machine) charge(c *Cluster, t vtime.Duration) {
+	m.clock.Advance(t / vtime.Duration(c.cfg.CoresPerMachine))
+}
+
+// neighbors returns vertex v's adjacency on machine m, reading it from the
+// machine's NVM store when the cluster offloads forward data. The returned
+// slice is valid until the next call.
+func (m *machine) neighbors(c *Cluster, v int64) ([]int64, bool, error) {
+	if m.dev == nil {
+		return m.adj.Neighbors(v), false, nil
+	}
+	i := v - m.lo
+	if err := m.indexStore.ReadAt(m.clock, m.readBuf[:16], i*8); err != nil {
+		return nil, false, err
+	}
+	lo := int64(binary.LittleEndian.Uint64(m.readBuf[0:8]))
+	hi := int64(binary.LittleEndian.Uint64(m.readBuf[8:16]))
+	deg := hi - lo
+	if deg == 0 {
+		return nil, true, nil
+	}
+	if int64(cap(m.valBuf)) < deg {
+		m.valBuf = make([]int64, deg)
+	}
+	out := m.valBuf[:deg]
+	pos := int64(0)
+	for off := lo * 8; off < hi*8; {
+		nb := int64(len(m.readBuf))
+		if off+nb > hi*8 {
+			nb = hi*8 - off
+		}
+		if err := m.valueStore.ReadAt(m.clock, m.readBuf[:nb], off); err != nil {
+			return nil, false, err
+		}
+		for b := int64(0); b < nb; b += 8 {
+			out[pos] = int64(binary.LittleEndian.Uint64(m.readBuf[b : b+8]))
+			pos++
+		}
+		off += nb
+	}
+	return out, true, nil
+}
+
+// topDownLevel expands each machine's local frontier queue; remote
+// discoveries are exchanged all-to-all and claimed by their owners.
+func (c *Cluster) topDownLevel() (claimed, examined int64, err error) {
+	cm := &c.cfg.Cost
+	// Local expansion.
+	for _, m := range c.machines {
+		for k := range m.outbox {
+			m.outbox[k] = m.outbox[k][:0]
+		}
+		var t vtime.Duration
+		for _, v := range c.frontQ[m.id] {
+			t += cm.VertexOverhead
+			nbs, fromNVM, nerr := m.neighbors(c, v)
+			if nerr != nil {
+				return 0, 0, nerr
+			}
+			if !fromNVM {
+				t += cm.LocalAccess + cm.Stream(len(nbs)*8)
+			}
+			examined += int64(len(nbs))
+			for _, w := range nbs {
+				t += cm.EdgeCompute + cm.BitmapProbe
+				owner := c.Owner(w)
+				if owner == m.id {
+					if !c.visited.Test(int(w)) {
+						c.visited.Set(int(w))
+						c.tree[w] = v
+						c.next.Set(int(w))
+						t += cm.AtomicOp + cm.LocalAccess
+						claimed++
+					}
+				} else {
+					m.outbox[owner] = append(m.outbox[owner], pair{w, v})
+					t += cm.QueueAppend
+				}
+			}
+		}
+		m.charge(c, t)
+	}
+	// All-to-all exchange of candidate pairs (16 bytes each), then the
+	// owners claim.
+	recvTime := make([]vtime.Duration, len(c.machines))
+	for _, m := range c.machines {
+		for k, box := range m.outbox {
+			if k == m.id || len(box) == 0 {
+				continue
+			}
+			bytes := int64(len(box)) * 16
+			done := m.clock.Now() + c.cfg.Net.transfer(bytes)
+			if done > recvTime[k] {
+				recvTime[k] = done
+			}
+			c.commBytes += bytes
+		}
+	}
+	for _, dst := range c.machines {
+		dst.clock.AdvanceTo(recvTime[dst.id])
+		var t vtime.Duration
+		for _, src := range c.machines {
+			if src.id == dst.id {
+				continue
+			}
+			for _, pr := range src.outbox[dst.id] {
+				t += cm.EdgeCompute + cm.BitmapProbe
+				if !c.visited.Test(int(pr.child)) {
+					c.visited.Set(int(pr.child))
+					c.tree[pr.child] = pr.parent
+					c.next.Set(int(pr.child))
+					t += cm.AtomicOp + cm.LocalAccess
+					claimed++
+				}
+			}
+		}
+		dst.charge(c, t)
+	}
+	return claimed, examined, nil
+}
+
+// bottomUpLevel scans each machine's unvisited vertices against the full
+// frontier bitmap (replicated by the previous allgather).
+func (c *Cluster) bottomUpLevel() (claimed, examined int64, err error) {
+	cm := &c.cfg.Cost
+	words := c.visited.Words()
+	for _, m := range c.machines {
+		var t vtime.Duration
+		wordLo := int(m.lo+63) / 64
+		if m.id == 0 {
+			wordLo = 0
+		}
+		wordHi := (int(m.hi) + 63) / 64
+		for wi := wordLo; wi < wordHi; wi++ {
+			t += cm.Stream(8)
+			unvisited := ^words[wi]
+			base := int64(wi * 64)
+			if base+64 > c.n {
+				unvisited &= (1 << uint(c.n-base)) - 1
+			}
+			for unvisited != 0 {
+				b := bits.TrailingZeros64(unvisited)
+				unvisited &= unvisited - 1
+				v := base + int64(b)
+				t += cm.VertexOverhead
+				// Straddling words: delegate to the true owner's
+				// adjacency (same machine loop handles it since the
+				// adjacency is globally indexed per owner).
+				mv := m
+				if v < m.lo || v >= m.hi {
+					mv = c.machines[c.Owner(v)]
+				}
+				nbs := mv.adj.Neighbors(v)
+				var parent int64 = -1
+				scanned := 0
+				for _, nb := range nbs {
+					scanned++
+					if c.frontier.Test(int(nb)) {
+						parent = nb
+						break
+					}
+				}
+				examined += int64(scanned)
+				t += (cm.EdgeCompute + cm.BitmapProbe) * vtime.Duration(scanned)
+				t += cm.Stream(scanned * 8)
+				if parent >= 0 {
+					c.tree[v] = parent
+					c.visited.Set(int(v))
+					c.next.Set(int(v))
+					t += cm.LocalAccess + 2*cm.BitmapProbe
+					claimed++
+				}
+			}
+		}
+		m.charge(c, t)
+	}
+	return claimed, examined, nil
+}
+
+// promoteNext installs the next frontier in dir's representation.
+func (c *Cluster) promoteNext(dir bfs.Direction) {
+	if dir == bfs.TopDown {
+		// Each machine extracts its owned range of the next bitmap
+		// into its frontier queue.
+		for _, m := range c.machines {
+			q := c.frontQ[m.id][:0]
+			c.next.ForEachSet(int(m.lo), int(m.hi), func(i int) {
+				q = append(q, int64(i))
+			})
+			c.frontQ[m.id] = q
+			m.charge(c, c.cfg.Cost.Stream(int(m.hi-m.lo)/8+len(q)*8))
+		}
+		c.frontier.Reset()
+	} else {
+		// Allgather: every machine broadcasts its fragment of the
+		// next bitmap (n/P bits) to all others.
+		fragBytes := (c.n/int64(len(c.machines)) + 7) / 8
+		cost := c.cfg.Net.transfer(fragBytes * int64(len(c.machines)-1))
+		for _, m := range c.machines {
+			m.clock.Advance(cost)
+		}
+		c.commBytes += fragBytes * int64(len(c.machines)) * int64(len(c.machines)-1)
+		c.frontier.CopyFrom(c.next)
+	}
+	c.next.Reset()
+	c.barrier()
+}
+
+// convertFrontier switches the frontier representation at a direction
+// change.
+func (c *Cluster) convertFrontier(from, to bfs.Direction) error {
+	switch {
+	case from == bfs.TopDown && to == bfs.BottomUp:
+		// Queues -> global bitmap: each machine publishes its queue as
+		// bitmap fragments (an allgather of the set vertices).
+		var total int64
+		for k, q := range c.frontQ {
+			for _, v := range q {
+				c.frontier.Set(int(v))
+			}
+			total += int64(len(q))
+			c.machines[k].charge(c, c.cfg.Cost.Stream(len(q)*8))
+		}
+		fragBytes := (c.n/int64(len(c.machines)) + 7) / 8
+		cost := c.cfg.Net.transfer(fragBytes * int64(len(c.machines)-1))
+		for _, m := range c.machines {
+			m.clock.Advance(cost)
+		}
+		c.commBytes += fragBytes * int64(len(c.machines)) * int64(len(c.machines)-1)
+		c.barrier()
+		return nil
+	case from == bfs.BottomUp && to == bfs.TopDown:
+		// Bitmap -> per-machine queues (local extraction, no comm).
+		for _, m := range c.machines {
+			q := c.frontQ[m.id][:0]
+			c.frontier.ForEachSet(int(m.lo), int(m.hi), func(i int) {
+				q = append(q, int64(i))
+			})
+			c.frontQ[m.id] = q
+			m.charge(c, c.cfg.Cost.Stream(int(m.hi-m.lo)/8+len(q)*8))
+		}
+		c.frontier.Reset()
+		c.barrier()
+		return nil
+	default:
+		return fmt.Errorf("cluster: bad conversion %v -> %v", from, to)
+	}
+}
+
+// writeInt64s stores vals as little-endian bytes from offset 0.
+func writeInt64s(store nvm.Storage, vals []int64) error {
+	buf := make([]byte, 0, nvm.DefaultChunkSize)
+	off := int64(0)
+	for _, v := range vals {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+		if len(buf) >= nvm.DefaultChunkSize {
+			if err := store.WriteAt(nil, buf, off); err != nil {
+				return err
+			}
+			off += int64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return store.WriteAt(nil, buf, off)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Package core assembles the paper's offloading technique into runnable
+// systems: it defines the three evaluation scenarios of Table I
+// (DRAM-only, DRAM+PCIeFlash, DRAM+SSD), builds the forward/backward
+// graphs with the placement each scenario prescribes, and plans placements
+// automatically under a DRAM budget.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/semiext"
+	"semibfs/internal/vtime"
+)
+
+// GiB is 2^30 bytes.
+const GiB = int64(1) << 30
+
+// Scenario describes one DRAM/NVM configuration of Table I plus the
+// placement policy the paper's technique applies to it.
+type Scenario struct {
+	// Name labels the scenario in reports ("DRAM-only", ...).
+	Name string
+	// DRAMCapacity is the machine's DRAM size (informational; the
+	// planner uses it, the builder does not enforce it).
+	DRAMCapacity int64
+	// Device is the NVM device profile; zero Name means no NVM.
+	Device nvm.Profile
+	// ForwardOnNVM offloads the forward graph to the device.
+	ForwardOnNVM bool
+	// BackwardDRAMEdgeLimit keeps only the first k neighbors of each
+	// vertex of the backward graph in DRAM (Section VI-E); 0 keeps the
+	// whole backward graph in DRAM.
+	BackwardDRAMEdgeLimit int
+	// IndexInDRAM keeps the forward graph's index arrays in DRAM while
+	// the value arrays go to NVM — an ablation; the paper stores both
+	// on NVM.
+	IndexInDRAM bool
+	// LatencyScale multiplies the device's fixed request latencies
+	// (see nvm.Profile.WithLatencyScale); 0 or 1 leaves them unscaled.
+	LatencyScale float64
+	// AggregateIO raises forward-graph request sizes from 4 KiB to
+	// 128 KiB (the libaio-style aggregation the paper's Section VI-D
+	// suggests as future work) — an ablation.
+	AggregateIO bool
+}
+
+// WithLatencyScale returns the scenario with its device latencies scaled.
+func (s Scenario) WithLatencyScale(f float64) Scenario {
+	s.LatencyScale = f
+	return s
+}
+
+// HasNVM reports whether the scenario uses an NVM device.
+func (s Scenario) HasNVM() bool { return s.Device.Name != "" }
+
+// The paper's three machine configurations (Table I).
+var (
+	// ScenarioDRAMOnly: 128 GB DRAM, no NVM; every structure in DRAM.
+	ScenarioDRAMOnly = Scenario{
+		Name:         "DRAM-only",
+		DRAMCapacity: 128 * GiB,
+	}
+	// ScenarioPCIeFlash: 64 GB DRAM + FusionIO ioDrive2; the forward
+	// graph lives on the PCIe flash.
+	ScenarioPCIeFlash = Scenario{
+		Name:         "DRAM+PCIeFlash",
+		DRAMCapacity: 64 * GiB,
+		Device:       nvm.ProfileIoDrive2,
+		ForwardOnNVM: true,
+	}
+	// ScenarioSSD: 64 GB DRAM + Intel SSD 320; the forward graph lives
+	// on the SATA SSD.
+	ScenarioSSD = Scenario{
+		Name:         "DRAM+SSD",
+		DRAMCapacity: 64 * GiB,
+		Device:       nvm.ProfileSSD320,
+		ForwardOnNVM: true,
+	}
+)
+
+// Scenarios returns the paper's three configurations in report order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioDRAMOnly, ScenarioPCIeFlash, ScenarioSSD}
+}
+
+// BuildOptions control graph construction and store placement.
+type BuildOptions struct {
+	// Dir is the directory for store files; empty selects in-memory
+	// stores (same timing model, no filesystem traffic).
+	Dir string
+	// SeriesBinWidth, when positive, enables the device's per-bin
+	// request time series (Figures 12/13).
+	SeriesBinWidth vtime.Duration
+	// SortMode orders backward-graph adjacencies; the zero value
+	// selects csr.SortByDegreeDesc via Build.
+	SortMode csr.SortMode
+	// sortModeSet distinguishes an explicit SortNone from the default.
+	SortModeSet bool
+	// ConstructClock, when non-nil, is charged for offload writes.
+	ConstructClock *vtime.Clock
+}
+
+// System is a built instance: the two graphs placed per a scenario, ready
+// to traverse.
+type System struct {
+	Scenario Scenario
+	Part     *numa.Partition
+	Forward  bfs.ForwardAccess
+	Backward bfs.BackwardAccess
+	// Device is the NVM device model (nil for DRAM-only).
+	Device *nvm.Device
+
+	// DRAMForwardBytes etc. record where the bytes ended up.
+	DRAMForwardBytes  int64
+	DRAMBackwardBytes int64
+	NVMForwardBytes   int64
+	NVMBackwardBytes  int64
+
+	semiFwd *semiext.SemiForward
+	hybBwd  *semiext.HybridBackward
+	dramFwd *csr.ForwardGraph
+	dramBwd *csr.BackwardGraph
+	hybrid  bool
+}
+
+// HybridBackward exposes the hybrid backward graph when the scenario
+// offloads backward-graph tails, or nil.
+func (s *System) HybridBackward() *semiext.HybridBackward { return s.hybBwd }
+
+// DRAMBytes returns the total graph bytes resident in DRAM.
+func (s *System) DRAMBytes() int64 { return s.DRAMForwardBytes + s.DRAMBackwardBytes }
+
+// NVMBytes returns the total graph bytes resident on NVM.
+func (s *System) NVMBytes() int64 { return s.NVMForwardBytes + s.NVMBackwardBytes }
+
+// Close releases the system's NVM stores.
+func (s *System) Close() error {
+	var first error
+	if s.semiFwd != nil {
+		if err := s.semiFwd.Close(); err != nil {
+			first = err
+		}
+	}
+	if s.hybBwd != nil {
+		if err := s.hybBwd.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NewRunner returns a BFS runner over the system's graphs.
+func (s *System) NewRunner(cfg bfs.Config) (*bfs.Runner, error) {
+	return bfs.NewRunner(s.Forward, s.Backward, s.Part, cfg)
+}
+
+// Build constructs the forward and backward graphs from src and places
+// them according to sc. Construction itself follows the paper's Step 2:
+// both graphs are built in DRAM from the (possibly NVM-resident) edge
+// list, then the forward graph is offloaded if the scenario says so.
+func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptions) (*System, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	part := numa.NewPartition(topo, int(src.NumVertices()))
+	sort := opts.SortMode
+	if !opts.SortModeSet && sort == csr.SortNone {
+		sort = csr.SortByDegreeDesc
+	}
+
+	sys := &System{Scenario: sc, Part: part}
+	var dev *nvm.Device
+	if sc.HasNVM() {
+		profile := sc.Device
+		if sc.LatencyScale > 0 && sc.LatencyScale != 1 {
+			profile = profile.WithLatencyScale(sc.LatencyScale)
+		}
+		dev = nvm.NewDevice(profile, opts.SeriesBinWidth)
+		sys.Device = dev
+	} else if sc.ForwardOnNVM || sc.BackwardDRAMEdgeLimit > 0 {
+		return nil, fmt.Errorf("core: scenario %q offloads data but has no device", sc.Name)
+	}
+
+	mk := func(name string, chunk int) (nvm.Storage, error) {
+		if opts.Dir == "" {
+			return nvm.NewMemStore(dev, chunk), nil
+		}
+		return nvm.CreateFileStore(filepath.Join(opts.Dir, name+".bin"), dev, chunk)
+	}
+
+	fg, err := csr.BuildForward(src, part)
+	if err != nil {
+		return nil, fmt.Errorf("core: build forward graph: %w", err)
+	}
+	if sc.ForwardOnNVM {
+		fwdOpts := semiext.ForwardOptions{
+			IndexInDRAM: sc.IndexInDRAM,
+			AggregateIO: sc.AggregateIO,
+		}
+		sf, err := semiext.OffloadForward(fg, mk, opts.ConstructClock, fwdOpts)
+		if err != nil {
+			return nil, err
+		}
+		sys.semiFwd = sf
+		sys.Forward = bfs.NVMForward{SF: sf}
+		sys.NVMForwardBytes = sf.NVMBytes()
+		sys.DRAMForwardBytes = sf.DRAMBytes()
+		fg = nil // release the DRAM copy
+	} else {
+		sys.dramFwd = fg
+		sys.Forward = bfs.DRAMForward{G: fg}
+		sys.DRAMForwardBytes = fg.Bytes()
+	}
+
+	bg, err := csr.BuildBackward(src, part, sort)
+	if err != nil {
+		return nil, fmt.Errorf("core: build backward graph: %w", err)
+	}
+	if sc.BackwardDRAMEdgeLimit > 0 {
+		hb, err := semiext.BuildHybridBackward(bg, sc.BackwardDRAMEdgeLimit, mk, opts.ConstructClock)
+		if err != nil {
+			return nil, err
+		}
+		sys.hybBwd = hb
+		sys.Backward = bfs.HybridBackwardAccess{HB: hb}
+		sys.DRAMBackwardBytes = hb.DRAMBytes()
+		sys.NVMBackwardBytes = hb.NVMBytes()
+	} else {
+		// The all-DRAM case still flows through HybridBackward with
+		// limit 0, which shares the CSR arrays (no copy) and gives
+		// uniform scan accounting.
+		hb, err := semiext.BuildHybridBackward(bg, 0, mk, opts.ConstructClock)
+		if err != nil {
+			return nil, err
+		}
+		sys.hybBwd = hb
+		sys.dramBwd = bg
+		sys.Backward = bfs.HybridBackwardAccess{HB: hb}
+		sys.DRAMBackwardBytes = hb.DRAMBytes()
+	}
+	return sys, nil
+}

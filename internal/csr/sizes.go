@@ -1,0 +1,61 @@
+package csr
+
+import (
+	"semibfs/internal/numa"
+)
+
+// SizeBreakdown is the analytic data-structure footprint of one benchmark
+// instance, the quantity plotted in the paper's Figure 3 and tabulated in
+// Table II. All values are bytes and are derived from the *actual* layouts
+// this package and the BFS status data use (8-byte vertex IDs and index
+// entries, 16-byte edge tuples, 1-bit bitmap entries).
+type SizeBreakdown struct {
+	Scale      int
+	EdgeFactor int
+	// EdgeList is the tuple-format edge list (Step 1 output).
+	EdgeList int64
+	// Forward is the destination-partitioned forward graph: the index
+	// array is replicated once per NUMA node.
+	Forward int64
+	// Backward is the source-partitioned backward graph.
+	Backward int64
+	// Status is the BFS status data: tree array, two frontier queues,
+	// and three bitmaps (visited, frontier, next).
+	Status int64
+}
+
+// Total returns the sum of all components.
+func (s SizeBreakdown) Total() int64 {
+	return s.EdgeList + s.Forward + s.Backward + s.Status
+}
+
+// GraphTotal returns the in-memory graph size excluding the edge list
+// (the quantity the offloading technique must fit into DRAM + NVM).
+func (s SizeBreakdown) GraphTotal() int64 {
+	return s.Forward + s.Backward + s.Status
+}
+
+// ModelSizes computes the footprint of a (scale, edgeFactor) instance on
+// the given topology. The formulas mirror the real structures:
+//
+//	edge list  = M * 16
+//	forward    = nodes*(N+1)*8 + 2M*8   (index replicated per node)
+//	backward   = (N+nodes)*8  + 2M*8
+//	status     = N*8 (tree) + 2*N*8 (queues) + 3*N/8 (bitmaps)
+//
+// Self-loop and duplicate-edge reductions are workload-dependent and are
+// deliberately not modeled; measured sizes of real instances come from the
+// Bytes methods on the built graphs.
+func ModelSizes(scale, edgeFactor int, topo numa.Topology) SizeBreakdown {
+	n := int64(1) << uint(scale)
+	m := n * int64(edgeFactor)
+	nodes := int64(topo.Nodes)
+	return SizeBreakdown{
+		Scale:      scale,
+		EdgeFactor: edgeFactor,
+		EdgeList:   m * 16,
+		Forward:    nodes*(n+1)*8 + 2*m*8,
+		Backward:   (n+nodes)*8 + 2*m*8,
+		Status:     n*8 + 2*n*8 + 3*(n+7)/8,
+	}
+}

@@ -1,0 +1,243 @@
+package edgelist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Edge{
+		{0, 0}, {1, 2}, {-1, -2}, {1 << 40, 1<<40 + 1}, {-(1 << 40), 7},
+	}
+	for _, e := range cases {
+		buf := Encode(nil, e)
+		if len(buf) != EdgeBytes {
+			t.Fatalf("encoded %d bytes", len(buf))
+		}
+		if got := Decode(buf); got != e {
+			t.Fatalf("round trip: %v -> %v", e, got)
+		}
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(u, v int64) bool {
+		return Decode(Encode(nil, Edge{u, v})) == Edge{u, v}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListValidate(t *testing.T) {
+	ok := &List{NumVertices: 4, Edges: []Edge{{0, 1}, {3, 3}, {2, 0}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*List{
+		{NumVertices: 4, Edges: []Edge{{0, 4}}},
+		{NumVertices: 4, Edges: []Edge{{-1, 0}}},
+		{NumVertices: 0, Edges: []Edge{{0, 0}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("list %+v validated", bad)
+		}
+	}
+}
+
+func TestMaxVertex(t *testing.T) {
+	if (&List{}).MaxVertex() != -1 {
+		t.Fatal("empty list MaxVertex")
+	}
+	l := &List{NumVertices: 100, Edges: []Edge{{5, 90}, {17, 3}}}
+	if l.MaxVertex() != 90 {
+		t.Fatalf("MaxVertex = %d", l.MaxVertex())
+	}
+}
+
+func makeEdges(n int) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{U: int64(i * 3), V: int64(i*7 + 1)}
+	}
+	return edges
+}
+
+func TestStoreWriterReaderRoundTrip(t *testing.T) {
+	// 1000 edges = 16000 bytes: crosses several 4 KiB chunks.
+	edges := makeEdges(1000)
+	store := nvm.NewMemStore(nil, 0)
+	if err := WriteToStore(store, nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	if store.Size() != int64(len(edges))*EdgeBytes {
+		t.Fatalf("store size %d", store.Size())
+	}
+	r := NewStoreReader(store, nil, int64(len(edges)))
+	var got []Edge
+	err := r.ForEach(func(e Edge) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("read %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestStoreReaderNextExhaustion(t *testing.T) {
+	edges := makeEdges(3)
+	store := nvm.NewMemStore(nil, 0)
+	if err := WriteToStore(store, nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	r := NewStoreReader(store, nil, 3)
+	for i := 0; i < 3; i++ {
+		e, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("edge %d: ok=%v err=%v", i, ok, err)
+		}
+		if e != edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("reader not exhausted: ok=%v err=%v", ok, err)
+	}
+	// Next after exhaustion stays exhausted.
+	if _, ok, _ := r.Next(); ok {
+		t.Fatal("reader revived")
+	}
+}
+
+func TestStoreWriterCount(t *testing.T) {
+	store := nvm.NewMemStore(nil, 0)
+	w := NewStoreWriter(store, nil)
+	for i := 0; i < 10; i++ {
+		if err := w.Append(Edge{int64(i), int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Size() != 160 {
+		t.Fatalf("store size %d", store.Size())
+	}
+}
+
+func TestStoreChargesDevice(t *testing.T) {
+	dev := nvm.NewDevice(nvm.ProfileSSD320, 0)
+	store := nvm.NewMemStore(dev, 0)
+	clock := vtime.NewClock(0)
+	edges := makeEdges(600) // 9600 bytes -> 3 chunk writes
+	if err := WriteToStore(store, clock, edges); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Snapshot().Writes != 3 {
+		t.Fatalf("writes = %d, want 3", dev.Snapshot().Writes)
+	}
+	t0 := clock.Now()
+	if t0 == 0 {
+		t.Fatal("writes not charged")
+	}
+	r := NewStoreReader(store, clock, 600)
+	count := 0
+	if err := r.ForEach(func(Edge) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 600 {
+		t.Fatalf("read %d edges", count)
+	}
+	if dev.Snapshot().Reads != 3 {
+		t.Fatalf("reads = %d, want 3", dev.Snapshot().Reads)
+	}
+	if clock.Now() <= t0 {
+		t.Fatal("reads not charged")
+	}
+}
+
+func TestListSource(t *testing.T) {
+	l := &List{NumVertices: 10, Edges: makeEdges(5)}
+	src := ListSource{List: l}
+	if src.NumVertices() != 10 || src.NumEdges() != 5 {
+		t.Fatal("source dimensions")
+	}
+	// ForEach must be repeatable.
+	for pass := 0; pass < 2; pass++ {
+		count := 0
+		if err := src.ForEach(func(Edge) error { count++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if count != 5 {
+			t.Fatalf("pass %d saw %d edges", pass, count)
+		}
+	}
+}
+
+func TestStoreSource(t *testing.T) {
+	edges := makeEdges(300)
+	store := nvm.NewMemStore(nil, 0)
+	if err := WriteToStore(store, nil, edges); err != nil {
+		t.Fatal(err)
+	}
+	src := StoreSource{Store: store, N: 5000, M: 300}
+	if src.NumVertices() != 5000 || src.NumEdges() != 300 {
+		t.Fatal("source dimensions")
+	}
+	for pass := 0; pass < 2; pass++ {
+		i := 0
+		err := src.ForEach(func(e Edge) error {
+			if e != edges[i] {
+				t.Fatalf("pass %d edge %d mismatch", pass, i)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != 300 {
+			t.Fatalf("pass %d saw %d edges", pass, i)
+		}
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	store := nvm.NewMemStore(nil, 0)
+	if err := WriteToStore(store, nil, makeEdges(10)); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	sentinel := errSentinel{}
+	err := NewStoreReader(store, nil, 10).ForEach(func(Edge) error {
+		count++
+		if count == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 4 {
+		t.Fatalf("visited %d edges after error", count)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }

@@ -1,0 +1,101 @@
+package edgelist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileMagic identifies the semibfs binary edge-list file format: a
+// 24-byte header (magic, vertex count, edge count) followed by 16-byte
+// little-endian tuples.
+const FileMagic = uint64(0x53454D4942465331) // "SEMIBFS1"
+
+// WriteFile writes the list to w in the headered tuple format.
+func WriteFile(w io.Writer, list *List) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], FileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(list.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(list.Edges)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, EdgeBytes)
+	for _, e := range list.Edges {
+		buf = Encode(buf[:0], e)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile reads a list previously written by WriteFile.
+func ReadFile(r io.Reader) (*List, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("edgelist: header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:8]) != FileMagic {
+		return nil, fmt.Errorf("edgelist: not a semibfs edge list (bad magic)")
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	m := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	if n <= 0 || m < 0 {
+		return nil, fmt.Errorf("edgelist: corrupt header (n=%d m=%d)", n, m)
+	}
+	const maxEdges = int64(1) << 36
+	if m > maxEdges {
+		return nil, fmt.Errorf("edgelist: edge count %d exceeds sanity bound", m)
+	}
+	// Grow incrementally rather than trusting the header's count: a
+	// corrupt header must fail on the short read, not allocate the
+	// claimed size up front.
+	const chunkEdges = 1 << 16
+	capHint := m
+	if capHint > chunkEdges {
+		capHint = chunkEdges
+	}
+	list := &List{NumVertices: n, Edges: make([]Edge, 0, capHint)}
+	buf := make([]byte, EdgeBytes)
+	for i := int64(0); i < m; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("edgelist: edge %d: %w", i, err)
+		}
+		list.Edges = append(list.Edges, Decode(buf))
+	}
+	if err := list.Validate(); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// SaveFile writes the list to path.
+func SaveFile(path string, list *List) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteFile(w, list); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads the list at path.
+func LoadFile(path string) (*List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFile(bufio.NewReaderSize(f, 1<<20))
+}

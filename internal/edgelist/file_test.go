@@ -1,0 +1,119 @@
+package edgelist
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func sampleList() *List {
+	l := &List{NumVertices: 100}
+	for i := int64(0); i < 321; i++ {
+		l.Edges = append(l.Edges, Edge{U: i % 100, V: (i * 7) % 100})
+	}
+	return l
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	list := sampleList()
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, list); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24+len(list.Edges)*EdgeBytes {
+		t.Fatalf("encoded %d bytes", buf.Len())
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != list.NumVertices || len(got.Edges) != len(list.Edges) {
+		t.Fatal("dimensions differ")
+	}
+	for i := range list.Edges {
+		if got.Edges[i] != list.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestFileSaveLoad(t *testing.T) {
+	list := sampleList()
+	path := filepath.Join(t.TempDir(), "l.edges")
+	if err := SaveFile(path, list); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != len(list.Edges) {
+		t.Fatal("edge count differs")
+	}
+}
+
+func TestReadFileRejectsBadInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     {1, 2, 3},
+		"bad magic": bytes.Repeat([]byte{0xAB}, 24),
+	}
+	for name, data := range cases {
+		if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Valid header, truncated body.
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, sampleList()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Header claiming out-of-range endpoints.
+	var bad bytes.Buffer
+	l := &List{NumVertices: 2, Edges: []Edge{{0, 1}}}
+	if err := WriteFile(&bad, l); err != nil {
+		t.Fatal(err)
+	}
+	raw := bad.Bytes()
+	raw[24] = 0xFF // corrupt first edge's U to a huge value
+	raw[30] = 0x7F
+	if _, err := ReadFile(bytes.NewReader(raw)); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func FuzzReadFile(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, sampleList()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x53}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never return a list violating its own
+		// bounds.
+		list, err := ReadFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := list.Validate(); err != nil {
+			t.Fatalf("accepted list fails validation: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(-1), int64(1<<40))
+	f.Fuzz(func(t *testing.T, u, v int64) {
+		e := Edge{U: u, V: v}
+		if Decode(Encode(nil, e)) != e {
+			t.Fatal("round trip failed")
+		}
+	})
+}

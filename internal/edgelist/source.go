@@ -1,0 +1,60 @@
+package edgelist
+
+import (
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// Source is a repeatedly-iterable stream of edges. Graph construction
+// makes two passes (degree counting, then placement), so a Source must
+// support ForEach being called any number of times.
+type Source interface {
+	// NumVertices returns the vertex-universe size N.
+	NumVertices() int64
+	// NumEdges returns the number of edges the stream yields.
+	NumEdges() int64
+	// ForEach streams every edge through fn, stopping on error.
+	ForEach(fn func(e Edge) error) error
+}
+
+// ListSource adapts an in-DRAM List to the Source interface.
+type ListSource struct {
+	List *List
+}
+
+// NumVertices implements Source.
+func (s ListSource) NumVertices() int64 { return s.List.NumVertices }
+
+// NumEdges implements Source.
+func (s ListSource) NumEdges() int64 { return int64(len(s.List.Edges)) }
+
+// ForEach implements Source.
+func (s ListSource) ForEach(fn func(e Edge) error) error {
+	for _, e := range s.List.Edges {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoreSource adapts an NVM-resident edge list to the Source interface:
+// every ForEach pass streams the list back out of the store in chunked
+// reads charged to Clock, exactly as the paper's Step 2 and Step 4 do.
+type StoreSource struct {
+	Store nvm.Storage
+	Clock *vtime.Clock
+	N     int64
+	M     int64
+}
+
+// NumVertices implements Source.
+func (s StoreSource) NumVertices() int64 { return s.N }
+
+// NumEdges implements Source.
+func (s StoreSource) NumEdges() int64 { return s.M }
+
+// ForEach implements Source.
+func (s StoreSource) ForEach(fn func(e Edge) error) error {
+	return NewStoreReader(s.Store, s.Clock, s.M).ForEach(fn)
+}

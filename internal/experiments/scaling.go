@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"semibfs/internal/cluster"
+	"semibfs/internal/graph500"
+	"semibfs/internal/stats"
+)
+
+// ScalingRow is one cluster-size measurement of the multi-node extension.
+type ScalingRow struct {
+	Machines  int
+	TEPS      float64 // median over roots, 1D layout
+	CommBytes int64   // mean per BFS, 1D layout
+	// NVMTEPS is the same cluster with per-machine forward offload.
+	NVMTEPS float64
+	// TEPS2D / CommBytes2D measure the 2D (Beamer MTAAP'13) layout,
+	// whose collectives span sqrt(P) machines.
+	TEPS2D      float64
+	CommBytes2D int64
+}
+
+// ScalingMachines is the cluster-size sweep of the multi-node experiment.
+var ScalingMachines = []int{1, 2, 4, 8, 16}
+
+// Scaling measures the multi-node extension (the paper's future work):
+// distributed hybrid BFS TEPS as the machine count grows, with and
+// without per-machine forward-graph offloading.
+func Scaling(opts Options) ([]ScalingRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+
+	degree := make([]int64, lab.List.NumVertices)
+	for _, e := range lab.List.Edges {
+		if e.U != e.V {
+			degree[e.U]++
+			degree[e.V]++
+		}
+	}
+	roots, err := graph500.SampleRoots(lab.List.NumVertices, opts.Roots, opts.Seed,
+		func(v int64) int64 { return degree[v] })
+	if err != nil {
+		return nil, err
+	}
+
+	runRoots := func(run func(int64) (*cluster.Result, error)) (float64, int64, error) {
+		teps := make([]float64, 0, len(roots))
+		var comm int64
+		for _, root := range roots {
+			res, err := run(root)
+			if err != nil {
+				return 0, 0, err
+			}
+			var traversed int64
+			for v, parent := range res.Tree {
+				if parent != -1 {
+					traversed += degree[v]
+				}
+			}
+			traversed /= 2
+			if res.Time > 0 {
+				teps = append(teps, float64(traversed)/res.Time.Seconds())
+			}
+			comm += res.CommBytes
+		}
+		return stats.Median(teps), comm / int64(len(roots)), nil
+	}
+
+	var rows []ScalingRow
+	for _, p := range ScalingMachines {
+		row := ScalingRow{Machines: p}
+		for _, onNVM := range []bool{false, true} {
+			cfg := cluster.Config{
+				Machines:     p,
+				Alpha:        1e4,
+				Beta:         1e5,
+				ForwardOnNVM: onNVM,
+			}
+			if onNVM && opts.ScaleEquivalentLatency {
+				cfg.LatencyScale = scaleEquivalence(opts.Scale)
+			}
+			c, err := cluster.Build(lab.Src, cfg)
+			if err != nil {
+				return nil, err
+			}
+			median, comm, err := runRoots(c.Run)
+			if err != nil {
+				return nil, err
+			}
+			if onNVM {
+				row.NVMTEPS = median
+			} else {
+				row.TEPS = median
+				row.CommBytes = comm
+			}
+		}
+		grid, err := cluster.BuildGrid(lab.Src, cluster.Config{
+			Machines: p, Alpha: 1e4, Beta: 1e5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		median, comm, err := runRoots(grid.Run)
+		if err != nil {
+			return nil, err
+		}
+		row.TEPS2D = median
+		row.CommBytes2D = comm
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the multi-node table.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Multi-node extension: distributed hybrid BFS (paper future work)")
+	fmt.Fprintf(&b, "%-10s %12s %16s %12s %12s %12s\n",
+		"machines", "1D TEPS", "1D+node NVM", "1D comm", "2D TEPS", "2D comm")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %12s %16s %12s %12s %12s\n",
+			r.Machines, shortTEPS(r.TEPS), shortTEPS(r.NVMTEPS),
+			stats.FormatBytes(r.CommBytes),
+			shortTEPS(r.TEPS2D), stats.FormatBytes(r.CommBytes2D))
+	}
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+	"semibfs/internal/graph500"
+	"semibfs/internal/stats"
+)
+
+// defaultBFSConfig is the paper's default switching configuration.
+func defaultBFSConfig(opts Options) bfs.Config {
+	return bfs.Config{Alpha: 1e4, Beta: 1e5, RealWorkers: opts.Workers}
+}
+
+// SweepAlphas is the alpha grid of the Figure 7 heatmap. The paper sweeps
+// 1e4..1e6 at SCALE 27; the grid here extends two decades down so the
+// structure (including the scale-shifted optimum) is visible at
+// reproduction scale.
+var SweepAlphas = []float64{1e2, 1e3, 1e4, 1e5, 1e6}
+
+// SweepBetaMults is the beta grid, expressed as multiples of alpha
+// (beta = mult * alpha), exactly as the paper reports its settings.
+var SweepBetaMults = []float64{0.1, 1, 10}
+
+// Fig8Alphas / Fig8BetaMults are the nine (alpha, beta) points of the
+// Figure 8/9 bar charts.
+var (
+	Fig8Alphas    = []float64{1e3, 1e4, 1e5}
+	Fig8BetaMults = []float64{10, 1, 0.1}
+)
+
+// HeatCell is one (alpha, beta) measurement.
+type HeatCell struct {
+	Alpha, Beta float64
+	TEPS        float64
+	// Run keeps the full result for downstream analyses.
+	Run *graph500.Result
+}
+
+// Label renders the cell's parameters the way the paper's axes do.
+func (c HeatCell) Label() string {
+	return fmt.Sprintf("a=%.0e b=%gα", c.Alpha, c.Beta/c.Alpha)
+}
+
+// ScenarioSweep is one scenario's grid of measurements.
+type ScenarioSweep struct {
+	Scenario string
+	Cells    []HeatCell
+	Best     HeatCell
+}
+
+// Fig7 sweeps the (alpha, beta) grid for all three scenarios at the large
+// scale — the parameter-space heatmaps of Figure 7.
+func Fig7(opts Options) ([]ScenarioSweep, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	return sweepScenarios(lab, SweepAlphas, SweepBetaMults)
+}
+
+func sweepScenarios(lab *Lab, alphas, betaMults []float64) ([]ScenarioSweep, error) {
+	var out []ScenarioSweep
+	for _, base := range core.Scenarios() {
+		sc := lab.scenario(base, false)
+		sw := ScenarioSweep{Scenario: base.Name}
+		for _, a := range alphas {
+			for _, bm := range betaMults {
+				res, err := lab.Run(sc, bfs.Config{Alpha: a, Beta: bm * a}, false, false)
+				if err != nil {
+					return nil, fmt.Errorf("%s a=%g bm=%g: %w", base.Name, a, bm, err)
+				}
+				cell := HeatCell{Alpha: a, Beta: bm * a, TEPS: res.MedianTEPS(), Run: res}
+				sw.Cells = append(sw.Cells, cell)
+				if cell.TEPS > sw.Best.TEPS {
+					sw.Best = cell
+				}
+			}
+		}
+		out = append(out, sw)
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the sweeps as one text heatmap per scenario.
+func FormatFig7(sweeps []ScenarioSweep, alphas, betaMults []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: median TEPS over the (alpha, beta) grid\n")
+	for _, sw := range sweeps {
+		fmt.Fprintf(&b, "\n[%s]  best: %s at %s\n", sw.Scenario,
+			stats.FormatTEPS(sw.Best.TEPS), sw.Best.Label())
+		fmt.Fprintf(&b, "%-10s", "alpha\\beta")
+		for _, bm := range betaMults {
+			fmt.Fprintf(&b, " %10s", fmt.Sprintf("%gα", bm))
+		}
+		fmt.Fprintln(&b)
+		i := 0
+		for range alphas {
+			fmt.Fprintf(&b, "%-10.0e", sw.Cells[i].Alpha)
+			for range betaMults {
+				fmt.Fprintf(&b, " %10s", shortTEPS(sw.Cells[i].TEPS))
+				i++
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+func shortTEPS(teps float64) string {
+	switch {
+	case teps >= 1e9:
+		return fmt.Sprintf("%.2fG", teps/1e9)
+	case teps >= 1e6:
+		return fmt.Sprintf("%.0fM", teps/1e6)
+	default:
+		return fmt.Sprintf("%.0fk", teps/1e3)
+	}
+}
+
+// Fig8Series is one bar series of Figure 8/9: a scenario or baseline.
+type Fig8Series struct {
+	Name   string
+	Points []HeatCell // empty Alpha/Beta for the single-bar baselines
+}
+
+// Fig8 measures the large-scale BFS performance comparison: the three
+// scenarios over the nine (alpha, beta) settings plus the top-down-only,
+// bottom-up-only and Graph500-reference baselines on DRAM.
+func Fig8(opts Options) ([]Fig8Series, error) {
+	opts = opts.WithDefaults()
+	return figPerformance(opts, opts.Scale, true)
+}
+
+// Fig9 is the same comparison at the small scale (the paper's SCALE 26),
+// where the whole problem fits in DRAM and the PCIe scenario becomes
+// competitive with DRAM-only. Baselines are omitted, as in the paper.
+func Fig9(opts Options) ([]Fig8Series, error) {
+	opts = opts.WithDefaults()
+	return figPerformance(opts, opts.SmallScale, false)
+}
+
+func figPerformance(opts Options, scale int, baselines bool) ([]Fig8Series, error) {
+	lab, err := NewLab(opts, scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	sweeps, err := sweepScenarios(lab, Fig8Alphas, Fig8BetaMults)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8Series
+	for _, sw := range sweeps {
+		out = append(out, Fig8Series{Name: sw.Scenario, Points: sw.Cells})
+	}
+	if !baselines {
+		return out, nil
+	}
+	for _, mode := range []bfs.Mode{bfs.ModeTopDownOnly, bfs.ModeBottomUpOnly} {
+		res, err := lab.Run(core.ScenarioDRAMOnly,
+			bfs.Config{Alpha: 1e4, Beta: 1e5, Mode: mode}, false, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Series{
+			Name:   mode.String() + " (DRAM)",
+			Points: []HeatCell{{TEPS: res.MedianTEPS(), Run: res}},
+		})
+	}
+	ref, err := graph500.RunReference(graph500.Params{
+		Scale: scale, EdgeFactor: opts.EdgeFactor, Seed: opts.Seed,
+		Roots: opts.Roots, ValidateRoots: 1,
+		BFS: bfs.Config{RealWorkers: opts.Workers},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Fig8Series{
+		Name:   "Graph500 reference (DRAM)",
+		Points: []HeatCell{{TEPS: ref.MedianTEPS(), Run: ref}},
+	})
+	return out, nil
+}
+
+// FormatFig8 renders a Figure 8/9 series set.
+func FormatFig8(title string, series []Fig8Series) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	for _, s := range series {
+		if len(s.Points) == 1 && s.Points[0].Alpha == 0 {
+			fmt.Fprintf(&b, "%-28s %10s\n", s.Name, shortTEPS(s.Points[0].TEPS))
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "  %-18s %10s\n", p.Label(), shortTEPS(p.TEPS))
+		}
+	}
+	return b.String()
+}
+
+// Fig10Row is one (alpha, beta) point of the traversed-edges comparison.
+type Fig10Row struct {
+	Alpha, Beta float64
+	// TD/BU/Total are the average edges examined per BFS by each
+	// direction. They are independent of device placement (the same
+	// vertices are traversed), so one scenario's numbers represent all.
+	TD, BU, Total float64
+}
+
+// Fig10 measures the average traversed (examined) edges per direction for
+// the nine (alpha, beta) settings, on the proposed technique's
+// configuration (forward graph offloaded).
+func Fig10(opts Options) ([]Fig10Row, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	sc := lab.scenario(core.ScenarioPCIeFlash, false)
+	var rows []Fig10Row
+	for _, a := range Fig8Alphas {
+		for _, bm := range Fig8BetaMults {
+			res, err := lab.Run(sc, bfs.Config{Alpha: a, Beta: bm * a}, false, false)
+			if err != nil {
+				return nil, err
+			}
+			var td, bu int64
+			for _, rr := range res.PerRoot {
+				td += rr.ExaminedTD
+				bu += rr.ExaminedBU
+			}
+			n := float64(len(res.PerRoot))
+			rows = append(rows, Fig10Row{
+				Alpha: a, Beta: bm * a,
+				TD:    float64(td) / n,
+				BU:    float64(bu) / n,
+				Total: float64(td+bu) / n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig10 renders the traversed-edge table.
+func FormatFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 10: average traversed edges per BFS (top-down / bottom-up / total)")
+	fmt.Fprintf(&b, "%-20s %14s %14s %14s\n", "alpha,beta", "top-down", "bottom-up", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %14.0f %14.0f %14.0f\n",
+			fmt.Sprintf("a=%.0e b=%gα", r.Alpha, r.Beta/r.Alpha), r.TD, r.BU, r.Total)
+	}
+	return b.String()
+}
+
+// HeadlineRow is one scenario's best result (the abstract's comparison).
+type HeadlineRow struct {
+	Scenario       string
+	Alpha, Beta    float64
+	TEPS           float64
+	DegradationPct float64 // vs DRAM-only best
+	DRAMBytes      int64
+	NVMBytes       int64
+}
+
+// Headline finds each scenario's best (alpha, beta) over the Figure 8 grid
+// and reports the degradation against DRAM-only — the paper's
+// "4.22 GTEPS, half the DRAM, 19.18% degradation" result.
+func Headline(opts Options) ([]HeadlineRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	sweeps, err := sweepScenarios(lab, Fig8Alphas, Fig8BetaMults)
+	if err != nil {
+		return nil, err
+	}
+	var rows []HeadlineRow
+	var dramBest float64
+	for _, sw := range sweeps {
+		if sw.Scenario == core.ScenarioDRAMOnly.Name {
+			dramBest = sw.Best.TEPS
+		}
+	}
+	for _, sw := range sweeps {
+		row := HeadlineRow{
+			Scenario: sw.Scenario,
+			Alpha:    sw.Best.Alpha,
+			Beta:     sw.Best.Beta,
+			TEPS:     sw.Best.TEPS,
+		}
+		if sw.Best.Run != nil {
+			row.DRAMBytes = sw.Best.Run.DRAMBytes
+			row.NVMBytes = sw.Best.Run.NVMBytes
+		}
+		if dramBest > 0 {
+			row.DegradationPct = 100 * (1 - sw.Best.TEPS/dramBest)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHeadline renders the headline comparison.
+func FormatHeadline(rows []HeadlineRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Headline: best configuration per scenario (paper: 5.12 G / 4.22 G -19.18% / 2.76 G -47.1%)")
+	fmt.Fprintf(&b, "%-16s %-20s %10s %12s %12s %12s\n",
+		"scenario", "best (alpha,beta)", "TEPS", "degradation", "graph DRAM", "graph NVM")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-20s %10s %11.2f%% %12s %12s\n",
+			r.Scenario, fmt.Sprintf("a=%.0e b=%gα", r.Alpha, r.Beta/r.Alpha),
+			shortTEPS(r.TEPS), r.DegradationPct,
+			stats.FormatBytes(r.DRAMBytes), stats.FormatBytes(r.NVMBytes))
+	}
+	return b.String()
+}

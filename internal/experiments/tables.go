@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"semibfs/internal/core"
+	"semibfs/internal/csr"
+	"semibfs/internal/stats"
+)
+
+// TableIRow describes one machine configuration (Table I).
+type TableIRow struct {
+	Scenario     string
+	CPU          string
+	DRAM         string
+	NVM          string
+	ReadLatency  string
+	ReadBW       string
+	PeakReadIOPS string
+}
+
+// TableI renders the three machine configurations together with the
+// modeled device characteristics behind them.
+func TableI() []TableIRow {
+	rows := make([]TableIRow, 0, 3)
+	for _, sc := range core.Scenarios() {
+		r := TableIRow{
+			Scenario: sc.Name,
+			CPU:      "AMD Opteron 6172 (12 cores) x 4 sockets [simulated]",
+			DRAM:     stats.FormatBytes(sc.DRAMCapacity),
+			NVM:      "N/A",
+		}
+		if sc.HasNVM() {
+			p := sc.Device
+			r.NVM = p.Name
+			r.ReadLatency = p.ReadLatency.String()
+			r.ReadBW = fmt.Sprintf("%.0f MB/s", p.ReadBandwidth/1e6)
+			r.PeakReadIOPS = fmt.Sprintf("%.0fk", p.PeakReadIOPS()/1e3)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatTableI renders Table I as text.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: machine configurations\n")
+	fmt.Fprintf(&b, "%-16s %-10s %-10s %-12s %-12s %-10s\n",
+		"scenario", "DRAM", "NVM", "read lat", "read BW", "4K IOPS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-10s %-10s %-12s %-12s %-10s\n",
+			r.Scenario, r.DRAM, r.NVM, r.ReadLatency, r.ReadBW, r.PeakReadIOPS)
+	}
+	return b.String()
+}
+
+// TableIIRow is one dataset-size row (Table II).
+type TableIIRow struct {
+	Name  string
+	Bytes int64
+}
+
+// TableII measures the real data-structure sizes of the built instance at
+// opts.Scale and also returns the analytic SCALE 27 row for comparison
+// with the paper's 40.1 / 33.1 / 15.1 GB.
+func TableII(opts Options) (measured, paper27 []TableIIRow, err error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer lab.Close()
+	sys, err := lab.System(core.ScenarioDRAMOnly, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	runner, err := sys.NewRunner(defaultBFSConfig(opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	fwd := sys.DRAMForwardBytes + sys.NVMForwardBytes
+	bwd := sys.DRAMBackwardBytes + sys.NVMBackwardBytes
+	status := runner.StatusBytes()
+	measured = []TableIIRow{
+		{Name: "Forward Graph", Bytes: fwd},
+		{Name: "Backward Graph", Bytes: bwd},
+		{Name: "BFS Status Data", Bytes: status},
+		{Name: "Total", Bytes: fwd + bwd + status},
+	}
+	m := csr.ModelSizes(PaperScale, opts.EdgeFactor, topology())
+	paper27 = []TableIIRow{
+		{Name: "Forward Graph", Bytes: m.Forward},
+		{Name: "Backward Graph", Bytes: m.Backward},
+		{Name: "BFS Status Data", Bytes: m.Status},
+		{Name: "Total", Bytes: m.GraphTotal()},
+	}
+	return measured, paper27, nil
+}
+
+// FormatTableII renders both columns of Table II.
+func FormatTableII(scale int, measured, paper27 []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: graph size (SCALE %d measured | SCALE 27 analytic; paper: 40.1/33.1/15.1/88.3 GB)\n", scale)
+	for i, r := range measured {
+		fmt.Fprintf(&b, "%-16s %12s | %12s\n",
+			r.Name, stats.FormatBytes(r.Bytes), stats.FormatBytes(paper27[i].Bytes))
+	}
+	return b.String()
+}
+
+// Fig3 computes the analytic size breakdown per SCALE (the paper plots
+// SCALEs up to 31, where the total reaches 1.5 TB).
+func Fig3(scales []int, edgeFactor int) []csr.SizeBreakdown {
+	if len(scales) == 0 {
+		for s := 20; s <= 31; s++ {
+			scales = append(scales, s)
+		}
+	}
+	if edgeFactor == 0 {
+		edgeFactor = 16
+	}
+	out := make([]csr.SizeBreakdown, 0, len(scales))
+	for _, s := range scales {
+		out = append(out, csr.ModelSizes(s, edgeFactor, topology()))
+	}
+	return out
+}
+
+// FormatFig3 renders the Figure 3 series as a table.
+func FormatFig3(rows []csr.SizeBreakdown) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: breakdown of graph size at each SCALE\n")
+	fmt.Fprintf(&b, "%-6s %12s %14s %14s %12s %12s\n",
+		"SCALE", "edge list", "forward graph", "backward graph", "status", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %12s %14s %14s %12s %12s\n",
+			r.Scale,
+			stats.FormatBytes(r.EdgeList),
+			stats.FormatBytes(r.Forward),
+			stats.FormatBytes(r.Backward),
+			stats.FormatBytes(r.Status),
+			stats.FormatBytes(r.Total()))
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+)
+
+// TraceRow is one BFS level of the execution trace.
+type TraceRow struct {
+	Scenario  string
+	Level     int
+	Direction string
+	Frontier  int64
+	AvgDegree float64
+	Examined  int64
+	NVMEdges  int64
+	Seconds   float64
+}
+
+// Trace records the per-level anatomy of one BFS on each scenario — the
+// narrative of Section VI-C: "first several levels are conducted by
+// top-down approaches. Then ... next several steps are conducted by
+// bottom-up approaches. Finally ... last several steps are conducted by
+// top-down approaches", with the tail levels' low average degree being
+// where NVM hurts.
+func Trace(opts Options) ([]TraceRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	var rows []TraceRow
+	// Scale-relative thresholds chosen to exhibit the paper's narrative
+	// shape (top-down head, bottom-up middle, top-down tail): switch to
+	// bottom-up once the frontier exceeds n/300 vertices, and back once
+	// it shrinks below n/50.
+	cfg := bfs.Config{Alpha: 300, Beta: 50}
+	for _, base := range core.Scenarios() {
+		sc := lab.scenario(base, false)
+		res, err := lab.Run(sc, cfg, true, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range res.PerRoot[0].Levels {
+			rows = append(rows, TraceRow{
+				Scenario:  base.Name,
+				Level:     l.Level,
+				Direction: l.Direction.String(),
+				Frontier:  l.Frontier,
+				AvgDegree: l.AvgDegree(),
+				Examined:  l.Examined(),
+				NVMEdges:  l.ExaminedNVM,
+				Seconds:   l.Time.Seconds(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTrace renders the traces grouped by scenario.
+func FormatTrace(rows []TraceRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Execution trace: per-level anatomy of one BFS (Section VI-C narrative)")
+	last := ""
+	for _, r := range rows {
+		if r.Scenario != last {
+			fmt.Fprintf(&b, "\n[%s]\n", r.Scenario)
+			fmt.Fprintf(&b, "%-6s %-10s %10s %10s %12s %10s %12s\n",
+				"level", "direction", "frontier", "avgdeg", "examined", "NVM", "vtime")
+			last = r.Scenario
+		}
+		fmt.Fprintf(&b, "%-6d %-10s %10d %10.1f %12d %10d %11.3gs\n",
+			r.Level, r.Direction, r.Frontier, r.AvgDegree, r.Examined, r.NVMEdges, r.Seconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+// Package generator implements Step 1 of the Graph500 benchmark: the
+// Kronecker (R-MAT) edge-list generator.
+//
+// Each edge is produced by SCALE recursive quadrant choices over the
+// adjacency matrix with the Graph500 initiator probabilities
+// (A, B, C, D) = (0.57, 0.19, 0.19, 0.05), followed by a random vertex
+// relabeling (a bijective permutation of the vertex ID space) and random
+// endpoint swapping, both required by the specification so that the heavy
+// rows of the Kronecker matrix are not trivially identifiable from vertex
+// IDs.
+//
+// Generation is embarrassingly parallel and fully deterministic: edge i of
+// a (scale, edgefactor, seed) instance is a pure function of (seed, i), so
+// any number of workers produce the identical list.
+package generator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semibfs/internal/edgelist"
+	"semibfs/internal/rng"
+)
+
+// Graph500 initiator probabilities.
+const (
+	InitiatorA = 0.57
+	InitiatorB = 0.19
+	InitiatorC = 0.19
+	// InitiatorD = 1 - A - B - C = 0.05
+)
+
+// DefaultEdgeFactor is the Graph500 edge factor: M = EdgeFactor * N.
+const DefaultEdgeFactor = 16
+
+// Config parameterizes one benchmark graph instance.
+type Config struct {
+	// Scale is the base-2 logarithm of the number of vertices.
+	Scale int
+	// EdgeFactor is the ratio of edges to vertices (16 in Graph500).
+	EdgeFactor int
+	// Seed makes the instance reproducible.
+	Seed uint64
+	// A, B, C are the Kronecker initiator probabilities; D is implied.
+	// Zero values select the Graph500 defaults.
+	A, B, C float64
+	// Workers bounds generation parallelism; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// WithDefaults returns c with zero fields replaced by Graph500 defaults.
+func (c Config) WithDefaults() Config {
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = DefaultEdgeFactor
+	}
+	if c.A == 0 && c.B == 0 && c.C == 0 {
+		c.A, c.B, c.C = InitiatorA, InitiatorB, InitiatorC
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Validate reports an error for out-of-range parameters.
+func (c Config) Validate() error {
+	if c.Scale < 1 || c.Scale > 40 {
+		return fmt.Errorf("generator: scale %d out of range [1,40]", c.Scale)
+	}
+	cc := c.WithDefaults()
+	if cc.EdgeFactor < 1 {
+		return fmt.Errorf("generator: edge factor %d < 1", c.EdgeFactor)
+	}
+	d := 1 - cc.A - cc.B - cc.C
+	if cc.A < 0 || cc.B < 0 || cc.C < 0 || d < 0 {
+		return fmt.Errorf("generator: invalid initiator (%v,%v,%v)", cc.A, cc.B, cc.C)
+	}
+	return nil
+}
+
+// NumVertices returns N = 2^Scale.
+func (c Config) NumVertices() int64 { return int64(1) << uint(c.Scale) }
+
+// NumEdges returns M = EdgeFactor * N.
+func (c Config) NumEdges() int64 {
+	return c.NumVertices() * int64(c.WithDefaults().EdgeFactor)
+}
+
+// Edge returns edge number i of the instance. It is a pure function of
+// (config, i) and therefore safe to call from any number of goroutines.
+func (c Config) Edge(i int64) edgelist.Edge {
+	cc := c.WithDefaults()
+	// A private SplitMix64 stream per edge keeps generation order-free.
+	g := rng.NewSplitMix64(rng.Mix64(cc.Seed) ^ rng.Mix64(uint64(i)+0x8000000000000000))
+	ab := cc.A + cc.B
+	aNorm := cc.A / ab
+	cNorm := cc.C / (1 - ab)
+	var u, v int64
+	for bit := 0; bit < cc.Scale; bit++ {
+		r := g.Next()
+		// Two independent uniforms from one 64-bit draw.
+		r1 := float64(r>>40) / (1 << 24)
+		r2 := float64(r&0xFFFFFF) / (1 << 24)
+		uBit := r1 > ab
+		var thresh float64
+		if uBit {
+			thresh = cNorm
+		} else {
+			thresh = aNorm
+		}
+		vBit := r2 > thresh
+		u = u<<1 | boolToInt64(uBit)
+		v = v<<1 | boolToInt64(vBit)
+	}
+	// Permute the vertex labels and randomly orient the tuple, as the
+	// Graph500 spec requires.
+	n := cc.NumVertices()
+	u = permute(u, n, cc.Seed)
+	v = permute(v, n, cc.Seed)
+	if g.Next()&1 == 1 {
+		u, v = v, u
+	}
+	return edgelist.Edge{U: u, V: v}
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// permute applies a seed-keyed bijection of [0, n) to x. n must be a power
+// of two (it always is: n = 2^Scale). The bijection composes three rounds
+// of add-key, multiply-by-odd, and xorshift-right steps, each of which is
+// individually invertible modulo 2^bits, so the composition is a
+// pseudorandom permutation of the whole domain.
+func permute(x, n int64, seed uint64) int64 {
+	bits := uint(0)
+	for int64(1)<<bits < n {
+		bits++
+	}
+	if bits == 0 {
+		return x
+	}
+	mask := uint64(1)<<bits - 1
+	shift := bits/2 + 1
+	if shift >= bits {
+		shift = 1
+	}
+	v := uint64(x)
+	for round := uint64(0); round < 3; round++ {
+		key := rng.Mix64(seed + 0x1000*round + 7)
+		v = (v + key) & mask
+		v = (v * (key | 1)) & mask
+		v ^= v >> shift
+	}
+	return int64(v & mask)
+}
+
+// Generate materializes the whole edge list in DRAM using cfg.Workers
+// goroutines.
+func Generate(cfg Config) (*edgelist.List, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cc := cfg.WithDefaults()
+	m := cc.NumEdges()
+	edges := make([]edgelist.Edge, m)
+	var wg sync.WaitGroup
+	workers := cc.Workers
+	block := (m + int64(workers) - 1) / int64(workers)
+	for w := 0; w < workers; w++ {
+		lo := int64(w) * block
+		hi := lo + block
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				edges[i] = cc.Edge(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return &edgelist.List{NumVertices: cc.NumVertices(), Edges: edges}, nil
+}
+
+// GenerateRange fills out with edges [lo, lo+len(out)) of the instance.
+// It is the streaming building block used when the edge list is generated
+// directly into an NVM store without ever residing fully in DRAM.
+func GenerateRange(cfg Config, lo int64, out []edgelist.Edge) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cc := cfg.WithDefaults()
+	m := cc.NumEdges()
+	if lo < 0 || lo+int64(len(out)) > m {
+		return fmt.Errorf("generator: range [%d,%d) outside [0,%d)",
+			lo, lo+int64(len(out)), m)
+	}
+	for i := range out {
+		out[i] = cc.Edge(lo + int64(i))
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package graph500
+
+import (
+	"testing"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+)
+
+func TestEdgeListOnNVM(t *testing.T) {
+	p := smallParams(core.ScenarioPCIeFlash)
+	p.EdgeListOnNVM = true
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConstructionTime <= 0 {
+		t.Fatal("construction time not tracked")
+	}
+	d := res.EdgeListDevice
+	if d.Writes == 0 {
+		t.Fatal("edge list never written to its device")
+	}
+	if d.Reads == 0 {
+		t.Fatal("construction never read the edge list from its device")
+	}
+	// Multiple passes: degrees + forward (2) + backward (1 placement;
+	// degrees recounted) + validation streams. At least 4 full passes.
+	if d.Reads < 4*d.Writes {
+		t.Fatalf("only %d reads for %d writes — construction did not stream from NVM",
+			d.Reads, d.Writes)
+	}
+
+	// The result itself must match the in-DRAM data path exactly.
+	p2 := smallParams(core.ScenarioPCIeFlash)
+	base, err := Run(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianTEPS() != base.MedianTEPS() {
+		t.Fatalf("TEPS differ across edge-list placements: %v vs %v",
+			res.MedianTEPS(), base.MedianTEPS())
+	}
+	for i := range res.PerRoot {
+		if res.PerRoot[i].Visited != base.PerRoot[i].Visited {
+			t.Fatalf("root %d visited differs", i)
+		}
+	}
+}
+
+func TestEdgeListOnNVMDRAMScenario(t *testing.T) {
+	// Even the DRAM-only scenario can stream its edge list from NVM
+	// (the CSR graphs stay in DRAM) — the device defaults to the PCIe
+	// profile.
+	p := smallParams(core.ScenarioDRAMOnly)
+	p.EdgeListOnNVM = true
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConstructionTime <= 0 || res.EdgeListDevice.Reads == 0 {
+		t.Fatal("edge-list offload inactive")
+	}
+	if res.DeviceStats.Reads != 0 {
+		t.Fatal("CSR device saw traffic in DRAM-only scenario")
+	}
+}
+
+func TestEdgeListOnNVMWithFiles(t *testing.T) {
+	p := smallParams(core.ScenarioSSD)
+	p.EdgeListOnNVM = true
+	p.Dir = t.TempDir()
+	p.BFS = bfs.Config{Alpha: 100, Beta: 1000}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianTEPS() <= 0 {
+		t.Fatal("no TEPS")
+	}
+}

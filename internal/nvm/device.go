@@ -1,0 +1,274 @@
+package nvm
+
+import (
+	"sort"
+	"sync"
+
+	"semibfs/internal/vtime"
+)
+
+// Device is the queueing model for one NVM device. Simulated workers
+// submit requests stamped with their current virtual time; the device
+// assigns each request to the earliest-free internal channel, queueing it
+// if all channels are busy at the request's arrival time, and returns the
+// completion time. The caller advances its clock to that completion time,
+// which is how device stalls propagate into BFS virtual time.
+//
+// The model intentionally mirrors what iostat observes at the block layer:
+// avgqu-sz is the time-weighted number of in-flight requests (computed via
+// Little's law as total response time over the observation span) and
+// avgrq-sz is the mean request size in 512-byte sectors.
+//
+// Device is safe for concurrent use by many workers. Because workers'
+// clocks advance independently, arrivals are not globally ordered in
+// virtual time; the channel-assignment rule is insensitive to small
+// reorderings and keeps the model deterministic for a fixed schedule of
+// arrivals.
+type Device struct {
+	mu      sync.Mutex
+	profile Profile
+	// channelFree[i] is the virtual time at which channel i next idles.
+	channelFree []vtime.Duration
+	stats       deviceStats
+	series      *seriesRecorder
+}
+
+type deviceStats struct {
+	reads         int64
+	writes        int64
+	readBytes     int64
+	writeBytes    int64
+	totalWait     vtime.Duration // queueing delay before service
+	totalService  vtime.Duration
+	totalResponse vtime.Duration // wait + service
+	firstArrival  vtime.Duration
+	lastComplete  vtime.Duration
+	sawRequest    bool
+}
+
+// NewDevice returns a Device with the given profile. The optional
+// binWidth, when positive, enables per-bin time-series recording used by
+// the Figure 12/13 reproductions.
+func NewDevice(p Profile, binWidth vtime.Duration) *Device {
+	d := &Device{
+		profile:     p,
+		channelFree: make([]vtime.Duration, p.Channels),
+	}
+	if binWidth > 0 {
+		d.series = newSeriesRecorder(binWidth)
+	}
+	return d
+}
+
+// Profile returns the device's profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// Read submits a read of n bytes arriving at virtual time at and returns
+// the request's completion time.
+func (d *Device) Read(at vtime.Duration, n int) vtime.Duration {
+	return d.submit(at, n, false)
+}
+
+// Write submits a write of n bytes arriving at virtual time at and
+// returns the request's completion time.
+func (d *Device) Write(at vtime.Duration, n int) vtime.Duration {
+	return d.submit(at, n, true)
+}
+
+func (d *Device) submit(at vtime.Duration, n int, write bool) vtime.Duration {
+	// A block device transfers whole sectors: round the request up.
+	n = (n + SectorSize - 1) / SectorSize * SectorSize
+	if n == 0 {
+		n = SectorSize
+	}
+	var service vtime.Duration
+	if write {
+		service = d.profile.WriteServiceTime(n)
+	} else {
+		service = d.profile.ReadServiceTime(n)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Earliest-free channel wins; ties broken by index for determinism.
+	best := 0
+	for i := 1; i < len(d.channelFree); i++ {
+		if d.channelFree[i] < d.channelFree[best] {
+			best = i
+		}
+	}
+	start := at
+	if d.channelFree[best] > start {
+		start = d.channelFree[best]
+	}
+	complete := start + service
+	d.channelFree[best] = complete
+
+	s := &d.stats
+	if !s.sawRequest || at < s.firstArrival {
+		if !s.sawRequest {
+			s.firstArrival = at
+		} else if at < s.firstArrival {
+			s.firstArrival = at
+		}
+		s.sawRequest = true
+	}
+	if complete > s.lastComplete {
+		s.lastComplete = complete
+	}
+	wait := start - at
+	s.totalWait += wait
+	s.totalService += service
+	s.totalResponse += complete - at
+	if write {
+		s.writes++
+		s.writeBytes += int64(n)
+	} else {
+		s.reads++
+		s.readBytes += int64(n)
+	}
+	if d.series != nil {
+		d.series.record(at, complete, n)
+	}
+	return complete
+}
+
+// Stats is a snapshot of the device's accumulated request statistics.
+type Stats struct {
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+	// AvgQueueSize is iostat's avgqu-sz: the time-averaged number of
+	// in-flight (queued + in-service) requests over the observation
+	// span, computed by Little's law.
+	AvgQueueSize float64
+	// AvgRequestSectors is iostat's avgrq-sz: mean request size in
+	// 512-byte sectors.
+	AvgRequestSectors float64
+	// AvgWait is the mean queueing delay per request.
+	AvgWait vtime.Duration
+	// AvgService is the mean service time per request.
+	AvgService vtime.Duration
+	// Span is the observation interval (first arrival to last
+	// completion).
+	Span vtime.Duration
+	// Utilization is the fraction of channel-seconds spent serving.
+	Utilization float64
+}
+
+// Snapshot returns the device's statistics so far.
+func (d *Device) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	n := s.reads + s.writes
+	out := Stats{
+		Reads:      s.reads,
+		Writes:     s.writes,
+		ReadBytes:  s.readBytes,
+		WriteBytes: s.writeBytes,
+	}
+	if n == 0 {
+		return out
+	}
+	span := s.lastComplete - s.firstArrival
+	out.Span = span
+	if span > 0 {
+		out.AvgQueueSize = float64(s.totalResponse) / float64(span)
+		out.Utilization = float64(s.totalService) /
+			(float64(span) * float64(len(d.channelFree)))
+	}
+	out.AvgRequestSectors = float64(s.readBytes+s.writeBytes) /
+		float64(n) / SectorSize
+	out.AvgWait = s.totalWait / vtime.Duration(n)
+	out.AvgService = s.totalService / vtime.Duration(n)
+	return out
+}
+
+// Reset clears accumulated statistics and queue state. It is used between
+// benchmark iterations so each BFS run is observed in isolation.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.channelFree {
+		d.channelFree[i] = 0
+	}
+	d.stats = deviceStats{}
+	if d.series != nil {
+		d.series.reset()
+	}
+}
+
+// SeriesPoint is one time bin of the device's request activity, mirroring
+// a line of `iostat -x` output.
+type SeriesPoint struct {
+	Start             vtime.Duration
+	Requests          int64
+	AvgQueueSize      float64
+	AvgRequestSectors float64
+}
+
+// Series returns the per-bin activity recorded so far, in time order, or
+// nil if series recording was not enabled.
+func (d *Device) Series() []SeriesPoint {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.series == nil {
+		return nil
+	}
+	return d.series.points()
+}
+
+// seriesRecorder accumulates per-bin request statistics. Response time is
+// attributed to the bin of the request's arrival, which matches how
+// iostat's sampling attributes short requests at our bin widths.
+type seriesRecorder struct {
+	binWidth vtime.Duration
+	bins     map[int64]*seriesBin
+}
+
+type seriesBin struct {
+	requests      int64
+	bytes         int64
+	totalResponse vtime.Duration
+}
+
+func newSeriesRecorder(binWidth vtime.Duration) *seriesRecorder {
+	return &seriesRecorder{binWidth: binWidth, bins: make(map[int64]*seriesBin)}
+}
+
+func (r *seriesRecorder) record(at, complete vtime.Duration, n int) {
+	idx := int64(at / r.binWidth)
+	b := r.bins[idx]
+	if b == nil {
+		b = &seriesBin{}
+		r.bins[idx] = b
+	}
+	b.requests++
+	b.bytes += int64(n)
+	b.totalResponse += complete - at
+}
+
+func (r *seriesRecorder) reset() { r.bins = make(map[int64]*seriesBin) }
+
+func (r *seriesRecorder) points() []SeriesPoint {
+	idxs := make([]int64, 0, len(r.bins))
+	for i := range r.bins {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	pts := make([]SeriesPoint, 0, len(idxs))
+	for _, i := range idxs {
+		b := r.bins[i]
+		p := SeriesPoint{
+			Start:    vtime.Duration(i) * r.binWidth,
+			Requests: b.requests,
+		}
+		if b.requests > 0 {
+			p.AvgQueueSize = float64(b.totalResponse) / float64(r.binWidth)
+			p.AvgRequestSectors = float64(b.bytes) / float64(b.requests) / SectorSize
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

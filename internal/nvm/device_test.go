@@ -1,0 +1,284 @@
+package nvm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"semibfs/internal/vtime"
+)
+
+// testProfile is a device with easy arithmetic: 10 us latency,
+// 1 GB/s (= 1 byte/ns), 2 channels.
+var testProfile = Profile{
+	Name:           "test",
+	ReadLatency:    10 * vtime.Microsecond,
+	WriteLatency:   20 * vtime.Microsecond,
+	ReadBandwidth:  1e9,
+	WriteBandwidth: 1e9,
+	Channels:       2,
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := testProfile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Profile{ProfileIoDrive2, ProfileSSD320} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := testProfile
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Error("zero channels validated")
+	}
+	bad = testProfile
+	bad.ReadLatency = 0
+	if bad.Validate() == nil {
+		t.Error("zero latency validated")
+	}
+	bad = testProfile
+	bad.ReadBandwidth = -1
+	if bad.Validate() == nil {
+		t.Error("negative bandwidth validated")
+	}
+}
+
+func TestServiceTimes(t *testing.T) {
+	// 4096 bytes at 1 byte/ns = 4096 ns transfer + 10 us latency.
+	want := 10*vtime.Microsecond + 4096
+	if got := testProfile.ReadServiceTime(4096); got != want {
+		t.Fatalf("ReadServiceTime(4096) = %v, want %v", got, want)
+	}
+	wantW := 20*vtime.Microsecond + 4096
+	if got := testProfile.WriteServiceTime(4096); got != wantW {
+		t.Fatalf("WriteServiceTime(4096) = %v, want %v", got, wantW)
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// The PCIe card must beat the SATA drive on every axis the paper
+	// cares about.
+	if ProfileIoDrive2.PeakReadIOPS() <= ProfileSSD320.PeakReadIOPS() {
+		t.Error("ioDrive2 IOPS should exceed SSD320")
+	}
+	if ProfileIoDrive2.ReadBandwidth <= ProfileSSD320.ReadBandwidth {
+		t.Error("ioDrive2 bandwidth should exceed SSD320")
+	}
+}
+
+func TestWithLatencyScale(t *testing.T) {
+	p := testProfile.WithLatencyScale(0.5)
+	if p.ReadLatency != 5*vtime.Microsecond || p.WriteLatency != 10*vtime.Microsecond {
+		t.Fatalf("scaled latencies: %v / %v", p.ReadLatency, p.WriteLatency)
+	}
+	if p.ReadBandwidth != testProfile.ReadBandwidth {
+		t.Fatal("bandwidth must not scale")
+	}
+	// Identity and degenerate scales.
+	if q := testProfile.WithLatencyScale(1); q != testProfile {
+		t.Fatal("scale 1 changed the profile")
+	}
+	if q := testProfile.WithLatencyScale(0); q != testProfile {
+		t.Fatal("scale 0 changed the profile")
+	}
+	if q := testProfile.WithLatencyScale(1e-12); q.ReadLatency < 1 {
+		t.Fatal("latency scaled below 1 ns")
+	}
+}
+
+func TestScaleEquivalenceFactor(t *testing.T) {
+	cases := []struct {
+		scale, paper int
+		want         float64
+	}{
+		{27, 27, 1}, {26, 27, 0.5}, {20, 27, 1.0 / 128}, {28, 27, 2},
+	}
+	for _, c := range cases {
+		if got := ScaleEquivalenceFactor(c.scale, c.paper); got != c.want {
+			t.Errorf("ScaleEquivalenceFactor(%d,%d) = %v, want %v",
+				c.scale, c.paper, got, c.want)
+		}
+	}
+}
+
+func TestDeviceSingleRequest(t *testing.T) {
+	d := NewDevice(testProfile, 0)
+	done := d.Read(0, 512)
+	want := 10*vtime.Microsecond + 512
+	if done != want {
+		t.Fatalf("completion %v, want %v", done, want)
+	}
+	s := d.Snapshot()
+	if s.Reads != 1 || s.ReadBytes != 512 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.AvgWait != 0 {
+		t.Fatalf("lone request waited %v", s.AvgWait)
+	}
+	if s.AvgRequestSectors != 1 {
+		t.Fatalf("avgrq-sz = %v sectors", s.AvgRequestSectors)
+	}
+}
+
+func TestDeviceSectorRounding(t *testing.T) {
+	d := NewDevice(testProfile, 0)
+	d.Read(0, 16) // 16 bytes -> one 512-byte sector
+	s := d.Snapshot()
+	if s.ReadBytes != 512 {
+		t.Fatalf("ReadBytes = %d, want 512", s.ReadBytes)
+	}
+	d.Reset()
+	d.Read(0, 513) // -> two sectors
+	if s := d.Snapshot(); s.ReadBytes != 1024 {
+		t.Fatalf("ReadBytes = %d, want 1024", s.ReadBytes)
+	}
+}
+
+func TestDeviceQueueing(t *testing.T) {
+	// Three simultaneous requests on a 2-channel device: the third must
+	// wait for a channel.
+	d := NewDevice(testProfile, 0)
+	service := testProfile.ReadServiceTime(512)
+	c1 := d.Read(0, 512)
+	c2 := d.Read(0, 512)
+	c3 := d.Read(0, 512)
+	if c1 != service || c2 != service {
+		t.Fatalf("first two requests: %v, %v, want %v", c1, c2, service)
+	}
+	if c3 != 2*service {
+		t.Fatalf("queued request completed at %v, want %v", c3, 2*service)
+	}
+	s := d.Snapshot()
+	if s.AvgWait != service/3 {
+		t.Fatalf("AvgWait = %v, want %v", s.AvgWait, service/3)
+	}
+}
+
+func TestDeviceParallelChannels(t *testing.T) {
+	// Requests arriving at distinct times on free channels never wait.
+	d := NewDevice(testProfile, 0)
+	service := testProfile.ReadServiceTime(512)
+	for i := 0; i < 10; i++ {
+		at := vtime.Duration(i) * 2 * service
+		if done := d.Read(at, 512); done != at+service {
+			t.Fatalf("request %d: completion %v, want %v", i, done, at+service)
+		}
+	}
+}
+
+func TestDeviceLittlesLaw(t *testing.T) {
+	// Saturate a 2-channel device with back-to-back requests from time
+	// 0; the time-averaged in-flight count must approach the channel
+	// count (Little's law: L = lambda * W).
+	d := NewDevice(testProfile, 0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Read(0, 512)
+	}
+	s := d.Snapshot()
+	// All requests arrive at 0, so in-flight decays linearly from n;
+	// avgqu-sz = sum of response times / span ~= n/2.
+	if math.Abs(s.AvgQueueSize-float64(n)/2) > float64(n)/20 {
+		t.Fatalf("AvgQueueSize = %v, want ~%v", s.AvgQueueSize, n/2)
+	}
+	if s.Utilization < 0.99 || s.Utilization > 1.01 {
+		t.Fatalf("Utilization = %v, want ~1", s.Utilization)
+	}
+}
+
+func TestDeviceReset(t *testing.T) {
+	d := NewDevice(testProfile, 0)
+	d.Read(0, 512)
+	d.Write(0, 512)
+	d.Reset()
+	s := d.Snapshot()
+	if s.Reads != 0 || s.Writes != 0 || s.ReadBytes != 0 {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+	// Channels must be free again.
+	if done := d.Read(0, 512); done != testProfile.ReadServiceTime(512) {
+		t.Fatalf("channel not freed by reset: %v", done)
+	}
+}
+
+func TestDeviceWriteStats(t *testing.T) {
+	d := NewDevice(testProfile, 0)
+	d.Write(0, 1024)
+	s := d.Snapshot()
+	if s.Writes != 1 || s.WriteBytes != 1024 || s.Reads != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestDeviceSeries(t *testing.T) {
+	d := NewDevice(testProfile, vtime.Millisecond)
+	d.Read(0, 4096)
+	d.Read(500*vtime.Microsecond, 4096)
+	d.Read(2500*vtime.Microsecond, 4096)
+	pts := d.Series()
+	if len(pts) != 2 {
+		t.Fatalf("series has %d bins, want 2: %+v", len(pts), pts)
+	}
+	if pts[0].Start != 0 || pts[0].Requests != 2 {
+		t.Fatalf("bin 0: %+v", pts[0])
+	}
+	if pts[1].Start != 2*vtime.Millisecond || pts[1].Requests != 1 {
+		t.Fatalf("bin 1: %+v", pts[1])
+	}
+	if pts[0].AvgRequestSectors != 8 {
+		t.Fatalf("bin 0 avgrq-sz = %v, want 8", pts[0].AvgRequestSectors)
+	}
+	d.Reset()
+	if len(d.Series()) != 0 {
+		t.Fatal("series not cleared by reset")
+	}
+}
+
+func TestDeviceSeriesDisabled(t *testing.T) {
+	d := NewDevice(testProfile, 0)
+	d.Read(0, 512)
+	if d.Series() != nil {
+		t.Fatal("series recorded with binWidth 0")
+	}
+}
+
+func TestDeviceConcurrentSubmission(t *testing.T) {
+	d := NewDevice(ProfileIoDrive2, 0)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Read(vtime.Duration(i)*vtime.Microsecond, 4096)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := d.Snapshot()
+	if s.Reads != workers*per {
+		t.Fatalf("Reads = %d, want %d", s.Reads, workers*per)
+	}
+	if s.ReadBytes != int64(workers*per*4096) {
+		t.Fatalf("ReadBytes = %d", s.ReadBytes)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	d := NewDevice(testProfile, 0)
+	s := d.Snapshot()
+	if s.Reads != 0 || s.AvgQueueSize != 0 || s.AvgRequestSectors != 0 {
+		t.Fatalf("fresh device stats: %+v", s)
+	}
+}
+
+func BenchmarkDeviceRead(b *testing.B) {
+	d := NewDevice(ProfileIoDrive2, 0)
+	at := vtime.Duration(0)
+	for i := 0; i < b.N; i++ {
+		at = d.Read(at, 4096)
+	}
+}

@@ -1,0 +1,159 @@
+// Package nvm models the semi-external memory devices of the paper — a
+// FusionIO ioDrive2 PCIe flash card and an Intel SSD 320 SATA drive — and
+// provides the file-backed Store through which offloaded graph data is
+// written and read back on demand.
+//
+// The data path is real: offloaded arrays are written to ordinary files
+// and read back with positioned reads in chunks of at most 4 KiB, exactly
+// as the paper's implementation does with read(2). The *timing* of each
+// request, however, flows through a queueing model (Device) parameterized
+// by a Profile, so that a host without the paper's hardware still observes
+// the latency, bandwidth, and internal-parallelism differences between
+// PCIe flash and SATA SSD. The model also produces the iostat-style
+// avgqu-sz and avgrq-sz statistics that the paper reports in Figures 12
+// and 13.
+package nvm
+
+import (
+	"fmt"
+
+	"semibfs/internal/vtime"
+)
+
+// SectorSize is the 512-byte sector iostat reports request sizes in.
+const SectorSize = 512
+
+// DefaultChunkSize is the maximum request size the semi-external graph
+// reader issues, following the paper ("reads a continuous region for a
+// vertex at 4KB chunks by using POSIX read(2)").
+const DefaultChunkSize = 4096
+
+// Profile describes a device's performance characteristics.
+//
+// A request of size s bytes has service time
+//
+//	Latency + s * 1e9 / Bandwidth
+//
+// and the device serves at most Channels requests concurrently; further
+// requests queue. Channels models a flash device's internal parallelism
+// (many independent NAND channels on the ioDrive2, few on a SATA SSD) and,
+// together with Latency, bounds the device's 4 KiB IOPS at roughly
+// Channels / Latency.
+type Profile struct {
+	Name string
+	// ReadLatency is the fixed per-request service latency for reads.
+	ReadLatency vtime.Duration
+	// WriteLatency is the fixed per-request service latency for writes.
+	WriteLatency vtime.Duration
+	// ReadBandwidth is the sustained read bandwidth in bytes/second.
+	ReadBandwidth float64
+	// WriteBandwidth is the sustained write bandwidth in bytes/second.
+	WriteBandwidth float64
+	// Channels is the number of requests the device services in
+	// parallel.
+	Channels int
+}
+
+// Validate reports an error for a degenerate profile.
+func (p Profile) Validate() error {
+	if p.ReadLatency <= 0 || p.WriteLatency <= 0 {
+		return fmt.Errorf("nvm: profile %q has non-positive latency", p.Name)
+	}
+	if p.ReadBandwidth <= 0 || p.WriteBandwidth <= 0 {
+		return fmt.Errorf("nvm: profile %q has non-positive bandwidth", p.Name)
+	}
+	if p.Channels <= 0 {
+		return fmt.Errorf("nvm: profile %q has no channels", p.Name)
+	}
+	return nil
+}
+
+// ReadServiceTime returns the modeled service time for a read of n bytes.
+func (p Profile) ReadServiceTime(n int) vtime.Duration {
+	return p.ReadLatency + vtime.Duration(float64(n)*1e9/p.ReadBandwidth)
+}
+
+// WriteServiceTime returns the modeled service time for a write of n bytes.
+func (p Profile) WriteServiceTime(n int) vtime.Duration {
+	return p.WriteLatency + vtime.Duration(float64(n)*1e9/p.WriteBandwidth)
+}
+
+// WithLatencyScale returns a copy of the profile with both fixed request
+// latencies multiplied by f (bandwidth and channels unchanged).
+//
+// The reproduction uses it to build *scale-equivalent* devices: the
+// paper's SCALE 27 instance is 2^(27-s) times larger than a SCALE s one,
+// so a BFS over it spends proportionally longer in every level, and a
+// fixed 68 us request latency is proportionally less visible. Scaling the
+// latency by 2^(s-27) restores the paper's latency-to-traversal-time
+// ratio at small scale; the device-analysis experiments (Figures 11-13)
+// use the unscaled profiles, where queueing behaviour is scale-invariant.
+func (p Profile) WithLatencyScale(f float64) Profile {
+	if f <= 0 || f == 1 {
+		return p
+	}
+	p.ReadLatency = vtime.Duration(float64(p.ReadLatency) * f)
+	if p.ReadLatency < 1 {
+		p.ReadLatency = 1
+	}
+	p.WriteLatency = vtime.Duration(float64(p.WriteLatency) * f)
+	if p.WriteLatency < 1 {
+		p.WriteLatency = 1
+	}
+	return p
+}
+
+// ScaleEquivalenceFactor returns the latency scale that makes a SCALE
+// `scale` instance exhibit the paper's SCALE `paperScale` latency-to-
+// traversal-time ratio: 2^(scale-paperScale).
+func ScaleEquivalenceFactor(scale, paperScale int) float64 {
+	f := 1.0
+	for s := scale; s < paperScale; s++ {
+		f /= 2
+	}
+	for s := scale; s > paperScale; s-- {
+		f *= 2
+	}
+	return f
+}
+
+// PeakReadIOPS returns the device's approximate 4 KiB random-read IOPS
+// ceiling implied by the profile, for reporting.
+func (p Profile) PeakReadIOPS() float64 {
+	per := p.ReadServiceTime(DefaultChunkSize)
+	if per <= 0 {
+		return 0
+	}
+	return float64(p.Channels) / per.Seconds()
+}
+
+// The device profiles used by the paper's three scenarios. The numbers are
+// taken from the vendors' published specifications for the exact parts in
+// Table I (FusionIO ioDrive2 320 GB, Intel SSD 320 600 GB) and reproduce
+// the devices' relative standing: the PCIe card has ~6x the bandwidth and
+// ~15x the sustained 4 KiB IOPS of the SATA drive.
+var (
+	// ProfileIoDrive2 models the FusionIO ioDrive2 320 GB PCIe flash
+	// card: ~68 us read latency, ~1.5 GB/s read bandwidth, deep internal
+	// parallelism (hundreds of thousands of 4 KiB IOPS).
+	ProfileIoDrive2 = Profile{
+		Name:           "ioDrive2",
+		ReadLatency:    68 * vtime.Microsecond,
+		WriteLatency:   15 * vtime.Microsecond,
+		ReadBandwidth:  1.5e9,
+		WriteBandwidth: 1.1e9,
+		Channels:       20,
+	}
+
+	// ProfileSSD320 models the Intel SSD 320 600 GB SATA drive:
+	// ~75 us read latency, ~270 MB/s sequential read, ~39.5k random
+	// 4 KiB read IOPS (hence very limited internal parallelism).
+	ProfileSSD320 = Profile{
+		Name:           "SSD320",
+		ReadLatency:    75 * vtime.Microsecond,
+		WriteLatency:   40 * vtime.Microsecond,
+		ReadBandwidth:  270e6,
+		WriteBandwidth: 205e6,
+		Channels:       3,
+	}
+)

@@ -1,0 +1,99 @@
+// Package power models the energy side of the paper's result: its
+// implementation ranked 4th in the Big Data category of the November 2013
+// Green Graph500 list with 4.35 MTEPS/W on a single 4-socket server with
+// 500 GB of DRAM and 4 TB of NVM.
+//
+// The model is a simple component sum — per-socket CPU power, per-GiB
+// DRAM power, and per-device NVM power, each with idle and active levels —
+// which is how single-node Green Graph500 submissions are typically
+// estimated when no full-system power meter is available.
+package power
+
+import (
+	"fmt"
+)
+
+// Model holds the per-component power figures in watts.
+type Model struct {
+	// CPUSocketActive / CPUSocketIdle are per-socket figures.
+	CPUSocketActive float64
+	CPUSocketIdle   float64
+	// DRAMPerGiB is per-GiB DRAM power under load.
+	DRAMPerGiB float64
+	// NVMDeviceActive / NVMDeviceIdle are per-device figures.
+	NVMDeviceActive float64
+	NVMDeviceIdle   float64
+	// BasePlatform covers fans, board, PSU losses.
+	BasePlatform float64
+}
+
+// DefaultModel reflects the paper's testbed class: AMD Opteron 6172
+// sockets (115 W TDP, ~65 W average under graph workloads), DDR3 RDIMMs
+// (~0.4 W/GiB active), and PCIe flash cards (~25 W active).
+var DefaultModel = Model{
+	CPUSocketActive: 65,
+	CPUSocketIdle:   20,
+	DRAMPerGiB:      0.4,
+	NVMDeviceActive: 25,
+	NVMDeviceIdle:   8,
+	BasePlatform:    60,
+}
+
+// Config describes the machine whose power is being estimated.
+type Config struct {
+	Sockets    int
+	DRAMGiB    float64
+	NVMDevices int
+	// NVMDutyCycle is the fraction of the run the NVM devices are
+	// active (device utilization); CPU is assumed fully active during
+	// BFS.
+	NVMDutyCycle float64
+}
+
+// Watts returns the modeled average system power for cfg.
+func (m Model) Watts(cfg Config) float64 {
+	w := m.BasePlatform
+	w += float64(cfg.Sockets) * m.CPUSocketActive
+	w += cfg.DRAMGiB * m.DRAMPerGiB
+	duty := cfg.NVMDutyCycle
+	if duty < 0 {
+		duty = 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	w += float64(cfg.NVMDevices) * (m.NVMDeviceIdle + duty*(m.NVMDeviceActive-m.NVMDeviceIdle))
+	return w
+}
+
+// Report is a Green Graph500-style efficiency figure.
+type Report struct {
+	TEPS      float64
+	Watts     float64
+	MTEPSPerW float64
+	Config    Config
+}
+
+// Evaluate computes the efficiency of a run achieving teps on cfg.
+func (m Model) Evaluate(teps float64, cfg Config) (Report, error) {
+	w := m.Watts(cfg)
+	if w <= 0 {
+		return Report{}, fmt.Errorf("power: non-positive system power %f", w)
+	}
+	return Report{
+		TEPS:      teps,
+		Watts:     w,
+		MTEPSPerW: teps / 1e6 / w,
+		Config:    cfg,
+	}, nil
+}
+
+// GreenGraph500Config is the machine of the paper's Green Graph500 entry:
+// a Huawei 4-socket system with 500 GB DRAM and 4 TB of NVM (modeled as
+// four PCIe flash devices).
+var GreenGraph500Config = Config{
+	Sockets:      4,
+	DRAMGiB:      500,
+	NVMDevices:   4,
+	NVMDutyCycle: 0.3,
+}

@@ -1,0 +1,87 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWattsComponents(t *testing.T) {
+	m := Model{
+		CPUSocketActive: 100,
+		CPUSocketIdle:   10,
+		DRAMPerGiB:      1,
+		NVMDeviceActive: 30,
+		NVMDeviceIdle:   10,
+		BasePlatform:    50,
+	}
+	cfg := Config{Sockets: 2, DRAMGiB: 64, NVMDevices: 1, NVMDutyCycle: 0.5}
+	// 50 + 200 + 64 + (10 + 0.5*20) = 334.
+	if got := m.Watts(cfg); got != 334 {
+		t.Fatalf("Watts = %v", got)
+	}
+}
+
+func TestWattsDutyCycleClamped(t *testing.T) {
+	m := DefaultModel
+	lo := m.Watts(Config{Sockets: 1, NVMDevices: 1, NVMDutyCycle: -5})
+	hi := m.Watts(Config{Sockets: 1, NVMDevices: 1, NVMDutyCycle: 5})
+	want0 := m.Watts(Config{Sockets: 1, NVMDevices: 1, NVMDutyCycle: 0})
+	want1 := m.Watts(Config{Sockets: 1, NVMDevices: 1, NVMDutyCycle: 1})
+	if lo != want0 || hi != want1 {
+		t.Fatalf("duty cycle not clamped: %v/%v vs %v/%v", lo, hi, want0, want1)
+	}
+}
+
+func TestWattsMonotoneInDRAM(t *testing.T) {
+	m := DefaultModel
+	prev := 0.0
+	for gib := 0.0; gib <= 512; gib += 64 {
+		w := m.Watts(Config{Sockets: 4, DRAMGiB: gib})
+		if w < prev {
+			t.Fatalf("power decreased with more DRAM: %v < %v", w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	rep, err := DefaultModel.Evaluate(4.22e9, GreenGraph500Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Watts <= 0 {
+		t.Fatalf("Watts = %v", rep.Watts)
+	}
+	if math.Abs(rep.MTEPSPerW-4.22e3/rep.Watts) > 1e-9 {
+		t.Fatalf("MTEPSPerW = %v", rep.MTEPSPerW)
+	}
+	// The paper's entry achieved 4.35 MTEPS/W at 4.22 GTEPS; the model
+	// must land in the same order of magnitude (hundreds of watts for
+	// a 4-socket 500 GB machine).
+	if rep.MTEPSPerW < 1 || rep.MTEPSPerW > 20 {
+		t.Fatalf("MTEPS/W = %v, want single digits", rep.MTEPSPerW)
+	}
+}
+
+func TestEvaluateRejectsZeroPower(t *testing.T) {
+	m := Model{}
+	if _, err := m.Evaluate(1e9, Config{}); err == nil {
+		t.Fatal("zero-power model accepted")
+	}
+}
+
+func TestHalvingDRAMSavesPower(t *testing.T) {
+	m := DefaultModel
+	full := m.Watts(Config{Sockets: 4, DRAMGiB: 128})
+	half := m.Watts(Config{Sockets: 4, DRAMGiB: 64, NVMDevices: 1, NVMDutyCycle: 0.3})
+	// The paper's trade: 64 GiB less DRAM vs one flash device. With
+	// the default constants the device costs more than the saved DRAM
+	// at 0.4 W/GiB; assert both figures are sane and within 15% of
+	// each other, i.e. the trade is power-neutral-ish.
+	if full <= 0 || half <= 0 {
+		t.Fatal("non-positive power")
+	}
+	if math.Abs(full-half)/full > 0.15 {
+		t.Fatalf("power trade not roughly neutral: %v vs %v", full, half)
+	}
+}

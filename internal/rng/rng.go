@@ -1,0 +1,133 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout semibfs.
+//
+// The Graph500 benchmark requires reproducible graph generation: the same
+// (SCALE, edge factor, seed) triple must always yield the same edge list,
+// regardless of how many workers generate it. We therefore avoid math/rand's
+// global state and instead use explicitly-seeded generators that can be
+// split into independent streams, one per worker block.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny 64-bit generator mainly used for seeding and for
+//     stateless "hash of an index" style randomness.
+//   - Xoroshiro128: xoroshiro128++, the workhorse generator, seeded via
+//     SplitMix64 as its authors recommend.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is Steele, Lea & Flood's 64-bit SplitMix generator.
+// It is primarily used to derive seeds for Xoroshiro128 streams.
+// The zero value is a valid generator (seeded with 0).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns the SplitMix64 finalizer applied to x. It is a high-quality
+// stateless mixing function: distinct inputs map to well-distributed
+// outputs, which makes it suitable for index-keyed randomness such as the
+// Graph500 vertex permutation.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoroshiro128 is the xoroshiro128++ generator of Blackman and Vigna.
+// It has a period of 2^128-1 and passes BigCrush. It must be created with
+// NewXoroshiro128 (an all-zero state is invalid and is corrected there).
+type Xoroshiro128 struct {
+	s0, s1 uint64
+}
+
+// NewXoroshiro128 returns a generator seeded from seed via SplitMix64,
+// following the seeding procedure recommended by the xoroshiro authors.
+func NewXoroshiro128(seed uint64) *Xoroshiro128 {
+	sm := NewSplitMix64(seed)
+	g := &Xoroshiro128{s0: sm.Next(), s1: sm.Next()}
+	if g.s0 == 0 && g.s1 == 0 {
+		// The all-zero state is the one invalid state; nudge it.
+		g.s0 = 0x9e3779b97f4a7c15
+	}
+	return g
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (g *Xoroshiro128) Next() uint64 {
+	s0, s1 := g.s0, g.s1
+	result := bits.RotateLeft64(s0+s1, 17) + s0
+	s1 ^= s0
+	g.s0 = bits.RotateLeft64(s0, 49) ^ s1 ^ (s1 << 21)
+	g.s1 = bits.RotateLeft64(s1, 28)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) using the top 53 bits.
+func (g *Xoroshiro128) Float64() float64 {
+	return float64(g.Next()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (g *Xoroshiro128) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return g.Next() & (n - 1)
+	}
+	hi, lo := bits.Mul64(g.Next(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(g.Next(), n)
+		}
+	}
+	return hi
+}
+
+// Jump advances the generator by 2^64 steps, equivalent to calling Next
+// 2^64 times. It is used to derive non-overlapping parallel streams from a
+// single seed: stream i is obtained by calling Jump i times.
+func (g *Xoroshiro128) Jump() {
+	const j0, j1 = 0x2bd7a6a6e99c2ddc, 0x0992ccaf6a6fca05
+	var s0, s1 uint64
+	for _, jump := range [2]uint64{j0, j1} {
+		for b := 0; b < 64; b++ {
+			if jump&(1<<uint(b)) != 0 {
+				s0 ^= g.s0
+				s1 ^= g.s1
+			}
+			g.Next()
+		}
+	}
+	g.s0, g.s1 = s0, s1
+}
+
+// Stream returns a new generator representing the i-th parallel stream
+// derived from seed. Streams with distinct indices are guaranteed disjoint
+// for at least 2^64 draws each.
+func Stream(seed uint64, i int) *Xoroshiro128 {
+	g := NewXoroshiro128(seed)
+	for k := 0; k < i; k++ {
+		g.Jump()
+	}
+	return g
+}

@@ -1,0 +1,116 @@
+package semiext
+
+import (
+	"testing"
+
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// hubGraph builds a star: vertex 0 connected to all others, so its
+// adjacency spans many 4 KiB chunks.
+func hubGraph(t *testing.T, n int64) (*csr.ForwardGraph, *numa.Partition) {
+	t.Helper()
+	l := &edgelist.List{NumVertices: n}
+	for v := int64(1); v < n; v++ {
+		l.Edges = append(l.Edges, edgelist.Edge{U: 0, V: v})
+	}
+	part := numa.NewPartition(numa.Topology{Nodes: 2, CoresPerNode: 1}, int(n))
+	fg, err := csr.BuildForward(edgelist.ListSource{List: l}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fg, part
+}
+
+func TestAggregateIOFewerLargerRequests(t *testing.T) {
+	const n = 4096 // hub degree ~4095 -> ~16 KiB adjacency per node replica
+	fg, _ := hubGraph(t, n)
+
+	run := func(opts ForwardOptions) (reads int64, sectors float64) {
+		dev := nvm.NewDevice(nvm.ProfileIoDrive2, 0)
+		sf, err := OffloadForward(fg, memFactory(dev), nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sf.Close()
+		dev.Reset()
+		r := NewForwardReader(sf, vtime.NewClock(0))
+		for k := 0; k < 2; k++ {
+			nbs, err := r.Neighbors(k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(nbs) == 0 {
+				t.Fatal("hub has no neighbors")
+			}
+		}
+		s := dev.Snapshot()
+		return s.Reads, s.AvgRequestSectors
+	}
+
+	chunkReads, chunkSectors := run(ForwardOptions{})
+	aggReads, aggSectors := run(ForwardOptions{AggregateIO: true})
+
+	if aggReads >= chunkReads {
+		t.Fatalf("aggregation did not reduce requests: %d vs %d", aggReads, chunkReads)
+	}
+	if aggSectors <= chunkSectors {
+		t.Fatalf("aggregation did not grow request size: %.1f vs %.1f sectors",
+			aggSectors, chunkSectors)
+	}
+	// 4 KiB chunking caps requests at 8 sectors.
+	if chunkSectors > 8 {
+		t.Fatalf("chunked avgrq-sz %.1f exceeds 8 sectors", chunkSectors)
+	}
+}
+
+func TestAggregateIOSameData(t *testing.T) {
+	const n = 2048
+	fg, _ := hubGraph(t, n)
+	a, err := OffloadForward(fg, memFactory(nil), nil, ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OffloadForward(fg, memFactory(nil), nil, ForwardOptions{AggregateIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ra := NewForwardReader(a, vtime.NewClock(0))
+	rb := NewForwardReader(b, vtime.NewClock(0))
+	for k := 0; k < 2; k++ {
+		for _, v := range []int64{0, 1, n / 2, n - 1} {
+			na, err := ra.Neighbors(k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naCopy := append([]int64(nil), na...)
+			nb, err := rb.Neighbors(k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(naCopy) != len(nb) {
+				t.Fatalf("k=%d v=%d: %d vs %d neighbors", k, v, len(naCopy), len(nb))
+			}
+			for i := range nb {
+				if naCopy[i] != nb[i] {
+					t.Fatalf("k=%d v=%d neighbor %d differs", k, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardOptionsChunkBytes(t *testing.T) {
+	if (ForwardOptions{}).chunkBytes() != nvm.DefaultChunkSize {
+		t.Fatal("default chunk")
+	}
+	if (ForwardOptions{AggregateIO: true}).chunkBytes() != AggregatedChunk {
+		t.Fatal("aggregated chunk")
+	}
+}

@@ -1,0 +1,129 @@
+// Package stats provides the summary statistics the Graph500 benchmark
+// reports — min, quartiles, median, max, mean, standard deviation, and the
+// harmonic mean used for aggregate TEPS — plus small helpers shared by the
+// experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the Graph500-style description of a sample.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	FirstQuartile  float64
+	Median         float64
+	ThirdQuartile  float64
+	Mean           float64
+	StdDev         float64
+	HarmonicMean   float64
+	HarmonicStdDev float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample, which
+// is always a programming error in the harness.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	out := Summary{
+		N:             n,
+		Min:           s[0],
+		Max:           s[n-1],
+		FirstQuartile: Quantile(s, 0.25),
+		Median:        Quantile(s, 0.5),
+		ThirdQuartile: Quantile(s, 0.75),
+	}
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	out.Mean = sum / float64(n)
+	var sq float64
+	for _, x := range s {
+		d := x - out.Mean
+		sq += d * d
+	}
+	if n > 1 {
+		out.StdDev = math.Sqrt(sq / float64(n-1))
+	}
+	// Harmonic statistics as specified by the Graph500 output format:
+	// computed on the reciprocals.
+	var rsum float64
+	for _, x := range s {
+		rsum += 1 / x
+	}
+	rmean := rsum / float64(n)
+	out.HarmonicMean = 1 / rmean
+	var rsq float64
+	for _, x := range s {
+		d := 1/x - rmean
+		rsq += d * d
+	}
+	if n > 1 {
+		rstd := math.Sqrt(rsq / float64(n-1) / float64(n))
+		out.HarmonicStdDev = rstd / (rmean * rmean)
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the *sorted* sample s
+// using linear interpolation between closest ranks.
+func Quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		panic("stats: empty sample")
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the median of xs without requiring pre-sorting.
+func Median(xs []float64) float64 {
+	return Summarize(xs).Median
+}
+
+// FormatTEPS renders a TEPS value with the conventional G/M/k prefix.
+func FormatTEPS(teps float64) string {
+	switch {
+	case teps >= 1e9:
+		return fmt.Sprintf("%.2f GTEPS", teps/1e9)
+	case teps >= 1e6:
+		return fmt.Sprintf("%.2f MTEPS", teps/1e6)
+	case teps >= 1e3:
+		return fmt.Sprintf("%.2f kTEPS", teps/1e3)
+	default:
+		return fmt.Sprintf("%.2f TEPS", teps)
+	}
+}
+
+// FormatBytes renders a byte count with a binary prefix.
+func FormatBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

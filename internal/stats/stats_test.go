@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	if s.FirstQuartile != 2 || s.ThirdQuartile != 4 {
+		t.Fatalf("quartiles: %v, %v", s.FirstQuartile, s.ThirdQuartile)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Mean != 7 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.StdDev != 0 || s.HarmonicStdDev != 0 {
+		t.Fatalf("spread of a single sample: %+v", s)
+	}
+	if s.HarmonicMean != 7 {
+		t.Fatalf("HarmonicMean = %v", s.HarmonicMean)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestHarmonicMean(t *testing.T) {
+	s := Summarize([]float64{1, 2, 4})
+	// HM = 3 / (1 + 0.5 + 0.25) = 12/7.
+	if math.Abs(s.HarmonicMean-12.0/7.0) > 1e-12 {
+		t.Fatalf("HarmonicMean = %v", s.HarmonicMean)
+	}
+	if s.HarmonicMean > s.Mean {
+		t.Fatal("harmonic mean exceeds arithmetic mean")
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Median = %v", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.75, 40}, {0.1, 14},
+		{-1, 10}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Positive, and bounded so sums cannot overflow.
+			if x := math.Abs(x); x > 1e-9 && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.FirstQuartile > s.Median || s.Median > s.ThirdQuartile {
+			return false
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		// AM-HM inequality for positive samples.
+		return s.HarmonicMean <= s.Mean*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if !sort.Float64sAreSorted(xs) {
+		// Input order must be preserved (we expect 3,1,2 — unsorted).
+		if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+func TestFormatTEPS(t *testing.T) {
+	cases := []struct {
+		teps float64
+		want string
+	}{
+		{5.12e9, "5.12 GTEPS"},
+		{4.22e6, "4.22 MTEPS"},
+		{1.5e3, "1.50 kTEPS"},
+		{42, "42.00 TEPS"},
+	}
+	for _, c := range cases {
+		if got := FormatTEPS(c.teps); got != c.want {
+			t.Errorf("FormatTEPS(%v) = %q, want %q", c.teps, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		b    int64
+		want string
+	}{
+		{512, "512 B"},
+		{1024, "1.0 KiB"},
+		{88<<30 + 300<<20, "88.3 GiB"},
+		{1 << 40, "1.0 TiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.b); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}

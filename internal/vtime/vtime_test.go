@@ -1,0 +1,137 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDurationConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.ToTime() != 1500*time.Microsecond {
+		t.Errorf("ToTime: %v", d.ToTime())
+	}
+	if d.Seconds() != 0.0015 {
+		t.Errorf("Seconds: %v", d.Seconds())
+	}
+	if d.String() != "1.5ms" {
+		t.Errorf("String: %q", d.String())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(10)
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Fatalf("Now = %d, want 15", c.Now())
+	}
+	c.Advance(-100) // ignored
+	if c.Now() != 15 {
+		t.Fatalf("negative advance moved the clock to %d", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 15 {
+		t.Fatalf("zero advance moved the clock to %d", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(100)
+	c.AdvanceTo(50) // in the past: no-op
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo(past) moved the clock to %d", c.Now())
+	}
+	c.AdvanceTo(200)
+	if c.Now() != 200 {
+		t.Fatalf("AdvanceTo(200): clock at %d", c.Now())
+	}
+}
+
+func TestBarrierSync(t *testing.T) {
+	clocks := []*Clock{NewClock(10), NewClock(50), NewClock(30)}
+	b := NewBarrier(5)
+	end := b.Sync(clocks)
+	if end != 55 {
+		t.Fatalf("Sync = %d, want 55", end)
+	}
+	for i, c := range clocks {
+		if c.Now() != 55 {
+			t.Fatalf("clock %d at %d after sync", i, c.Now())
+		}
+	}
+}
+
+func TestBarrierZeroOverhead(t *testing.T) {
+	clocks := []*Clock{NewClock(7), NewClock(3)}
+	if end := NewBarrier(0).Sync(clocks); end != 7 {
+		t.Fatalf("Sync = %d, want 7", end)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	clocks := []*Clock{NewClock(1), NewClock(9), NewClock(4)}
+	if m := MaxOf(clocks); m != 9 {
+		t.Fatalf("MaxOf = %d", m)
+	}
+	// MaxOf must not modify the clocks.
+	if clocks[0].Now() != 1 || clocks[2].Now() != 4 {
+		t.Fatal("MaxOf modified a clock")
+	}
+}
+
+func TestMaxOfEmpty(t *testing.T) {
+	if m := MaxOf(nil); m != 0 {
+		t.Fatalf("MaxOf(nil) = %d", m)
+	}
+}
+
+func TestQuickBarrierIsMaxPlusOverhead(t *testing.T) {
+	f := func(starts []int64, overhead uint16) bool {
+		if len(starts) == 0 {
+			return true
+		}
+		clocks := make([]*Clock, len(starts))
+		var max Duration
+		for i, s := range starts {
+			d := Duration(s)
+			if d < 0 {
+				d = -d
+			}
+			clocks[i] = NewClock(d)
+			if d > max {
+				max = d
+			}
+		}
+		end := NewBarrier(Duration(overhead)).Sync(clocks)
+		if end != max+Duration(overhead) {
+			return false
+		}
+		for _, c := range clocks {
+			if c.Now() != end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAdvanceMonotonic(t *testing.T) {
+	f := func(deltas []int32) bool {
+		c := NewClock(0)
+		prev := c.Now()
+		for _, d := range deltas {
+			c.Advance(Duration(d))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

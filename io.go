@@ -1,0 +1,58 @@
+package semibfs
+
+import (
+	"semibfs/internal/edgelist"
+)
+
+// Save writes the edge list to path in the semibfs binary tuple format (a
+// 24-byte self-describing header followed by 16-byte little-endian
+// tuples). Large instances are expensive to regenerate; saving the Step 1
+// output lets a workflow reuse it across runs, mirroring the paper's
+// persisted edge list on NVM. cmd/gen writes and cmd/graph500 reads the
+// same format.
+func (e *EdgeList) Save(path string) error {
+	return edgelist.SaveFile(path, e.list)
+}
+
+// LoadEdgeList reads an edge list previously written by Save (or by
+// cmd/gen).
+func LoadEdgeList(path string) (*EdgeList, error) {
+	list, err := edgelist.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeList{list: list}, nil
+}
+
+// PathTo extracts the BFS path from the result's root to v by walking the
+// parent array; it returns nil if v was not reached. The path runs
+// root-first.
+func (r *Result) PathTo(v int64) []int64 {
+	if v < 0 || v >= int64(len(r.Parents)) || r.Parents[v] == -1 {
+		return nil
+	}
+	var rev []int64
+	for u := v; ; u = r.Parents[u] {
+		rev = append(rev, u)
+		if u == r.Root {
+			break
+		}
+		if int64(len(rev)) > int64(len(r.Parents)) {
+			return nil // corrupt tree; do not loop forever
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// HopDistance returns the BFS level of v (hops from the root), or -1 if
+// unreached.
+func (r *Result) HopDistance(v int64) int64 {
+	p := r.PathTo(v)
+	if p == nil {
+		return -1
+	}
+	return int64(len(p) - 1)
+}

@@ -1,0 +1,180 @@
+package semibfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEdgeListSaveLoad(t *testing.T) {
+	edges := testEdges(t)
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := edges.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVertices() != edges.NumVertices() || loaded.NumEdges() != edges.NumEdges() {
+		t.Fatalf("dimensions: %d/%d vs %d/%d",
+			loaded.NumVertices(), loaded.NumEdges(),
+			edges.NumVertices(), edges.NumEdges())
+	}
+	for i := range edges.list.Edges {
+		if edges.list.Edges[i] != loaded.list.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	// A loaded list must build and traverse identically.
+	a, err := NewSystem(edges, Options{Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewSystem(loaded, Options{Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	root := a.FirstConnectedVertex()
+	ra, err := a.BFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.BFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Visited != rb.Visited || ra.Seconds != rb.Seconds {
+		t.Fatal("loaded graph traverses differently")
+	}
+}
+
+func TestLoadEdgeListRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.edges")
+	if err := os.WriteFile(bad, []byte("this is not an edge list at all......"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeList(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	short := filepath.Join(dir, "short.edges")
+	if err := os.WriteFile(short, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeList(short); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := LoadEdgeList(filepath.Join(dir, "missing.edges")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadEdgeListRejectsTruncatedBody(t *testing.T) {
+	edges := testEdges(t)
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := edges.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeList(path); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	// A simple path graph: 0-1-2-3-4.
+	el, err := NewEdgeList(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(el, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.PathTo(4)
+	want := []int64{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path %v, want %v", p, want)
+		}
+	}
+	if res.HopDistance(4) != 4 || res.HopDistance(0) != 0 {
+		t.Fatal("hop distances")
+	}
+	if res.PathTo(-1) != nil || res.PathTo(99) != nil {
+		t.Fatal("out-of-range paths not nil")
+	}
+}
+
+func TestPathToUnreached(t *testing.T) {
+	el, err := NewEdgeList(4, []Edge{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(el, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PathTo(3) != nil {
+		t.Fatal("path to another component")
+	}
+	if res.HopDistance(3) != -1 {
+		t.Fatal("distance to another component")
+	}
+}
+
+func TestPathToOnGeneratedGraph(t *testing.T) {
+	edges := testEdges(t)
+	sys, err := NewSystem(edges, Options{Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	root := sys.FirstConnectedVertex()
+	res, err := sys.BFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for v := int64(0); v < edges.NumVertices() && checked < 50; v++ {
+		if res.Parents[v] == -1 {
+			continue
+		}
+		checked++
+		p := res.PathTo(v)
+		if p[0] != root || p[len(p)-1] != v {
+			t.Fatalf("path endpoints: %v", p)
+		}
+		// Every hop must be a parent link.
+		for i := 1; i < len(p); i++ {
+			if res.Parents[p[i]] != p[i-1] && p[i] != root {
+				t.Fatalf("path %v not along parent links", p)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing reached")
+	}
+}

@@ -1,0 +1,98 @@
+package semibfs
+
+import (
+	"semibfs/internal/core"
+	"semibfs/internal/csr"
+	"semibfs/internal/numa"
+	"semibfs/internal/power"
+)
+
+// SizeEstimate is the analytic footprint of a Kronecker instance with the
+// library's data layouts (Figure 3 / Table II of the paper).
+type SizeEstimate struct {
+	Scale         int
+	EdgeListBytes int64
+	ForwardBytes  int64
+	BackwardBytes int64
+	StatusBytes   int64
+}
+
+// TotalGraphBytes returns the in-memory footprint excluding the edge list.
+func (s SizeEstimate) TotalGraphBytes() int64 {
+	return s.ForwardBytes + s.BackwardBytes + s.StatusBytes
+}
+
+// EstimateSizes computes the analytic footprint of a (scale, edgeFactor)
+// instance on the default 4-node topology.
+func EstimateSizes(scale, edgeFactor int) SizeEstimate {
+	m := csr.ModelSizes(scale, edgeFactor, numa.DefaultTopology)
+	return SizeEstimate{
+		Scale:         scale,
+		EdgeListBytes: m.EdgeList,
+		ForwardBytes:  m.Forward,
+		BackwardBytes: m.Backward,
+		StatusBytes:   m.Status,
+	}
+}
+
+// PlacementPlan is a DRAM-budget-driven offloading decision.
+type PlacementPlan struct {
+	// ForwardOnNVM reports whether the forward graph must move to NVM.
+	ForwardOnNVM bool
+	// BackwardDRAMEdgeLimit is the per-vertex cap for the backward
+	// graph's DRAM prefix (0 = whole graph in DRAM).
+	BackwardDRAMEdgeLimit int
+	// DRAMBytes / NVMBytes are the planned footprints.
+	DRAMBytes int64
+	NVMBytes  int64
+	// Fits reports whether the plan meets the budget.
+	Fits bool
+}
+
+// PlanForBudget chooses the least aggressive placement of a (scale,
+// edgeFactor) instance that fits in budget bytes of DRAM, following the
+// paper's offloading order (forward graph first, then backward tails).
+func PlanForBudget(scale, edgeFactor int, budget int64) PlacementPlan {
+	p := core.PlanPlacement(csr.ModelSizes(scale, edgeFactor, numa.DefaultTopology), budget)
+	return PlacementPlan{
+		ForwardOnNVM:          p.ForwardOnNVM,
+		BackwardDRAMEdgeLimit: p.BackwardDRAMEdgeLimit,
+		DRAMBytes:             p.DRAMBytes,
+		NVMBytes:              p.NVMBytes,
+		Fits:                  p.Fits,
+	}
+}
+
+// ApplyPlan converts a plan into system options on the given placement's
+// device (PlacePCIeFlash or PlaceSSD).
+func (p PlacementPlan) ApplyPlan(device Placement, opts Options) Options {
+	if p.ForwardOnNVM || p.BackwardDRAMEdgeLimit > 0 {
+		opts.Placement = device
+	} else {
+		opts.Placement = PlaceDRAM
+	}
+	opts.BackwardDRAMEdgeLimit = p.BackwardDRAMEdgeLimit
+	return opts
+}
+
+// PowerEstimate is a Green Graph500-style efficiency figure.
+type PowerEstimate struct {
+	Watts     float64
+	MTEPSPerW float64
+}
+
+// EstimatePower models the average system power of a run achieving teps
+// on a machine with the given DRAM size and NVM device count, and returns
+// the MTEPS/W efficiency (the paper's implementation achieved 4.35).
+func EstimatePower(teps float64, dramGiB float64, nvmDevices int) (PowerEstimate, error) {
+	rep, err := power.DefaultModel.Evaluate(teps, power.Config{
+		Sockets:      numa.DefaultTopology.Nodes,
+		DRAMGiB:      dramGiB,
+		NVMDevices:   nvmDevices,
+		NVMDutyCycle: 0.3,
+	})
+	if err != nil {
+		return PowerEstimate{}, err
+	}
+	return PowerEstimate{Watts: rep.Watts, MTEPSPerW: rep.MTEPSPerW}, nil
+}

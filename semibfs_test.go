@@ -1,0 +1,281 @@
+package semibfs
+
+import (
+	"strings"
+	"testing"
+)
+
+func testEdges(t *testing.T) *EdgeList {
+	t.Helper()
+	edges, err := GenerateKronecker(10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestGenerateKronecker(t *testing.T) {
+	edges := testEdges(t)
+	if edges.NumVertices() != 1024 {
+		t.Fatalf("NumVertices = %d", edges.NumVertices())
+	}
+	if edges.NumEdges() != 1024*8 {
+		t.Fatalf("NumEdges = %d", edges.NumEdges())
+	}
+	if _, err := GenerateKronecker(0, 16, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}
+
+func TestNewEdgeList(t *testing.T) {
+	el, err := NewEdgeList(4, []Edge{{0, 1}, {2, 3}, {3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.NumVertices() != 4 || el.NumEdges() != 3 {
+		t.Fatal("dimensions")
+	}
+	if _, err := NewEdgeList(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestSystemBFSAndValidate(t *testing.T) {
+	edges := testEdges(t)
+	for _, placement := range []Placement{PlaceDRAM, PlacePCIeFlash, PlaceSSD} {
+		sys, err := NewSystem(edges, Options{Placement: placement, Alpha: 64, Beta: 640})
+		if err != nil {
+			t.Fatalf("%v: %v", placement, err)
+		}
+		root := sys.FirstConnectedVertex()
+		if root < 0 {
+			t.Fatal("no connected vertex")
+		}
+		res, err := sys.BFS(root)
+		if err != nil {
+			t.Fatalf("%v: %v", placement, err)
+		}
+		if err := sys.Validate(res); err != nil {
+			t.Fatalf("%v: validation: %v", placement, err)
+		}
+		if res.Visited < 2 || res.TEPS() <= 0 || len(res.Levels) == 0 {
+			t.Fatalf("%v: degenerate result %+v", placement, res)
+		}
+		if placement != PlaceDRAM && sys.NVMBytes() == 0 {
+			t.Errorf("%v: nothing on NVM", placement)
+		}
+		if placement == PlaceDRAM && sys.DeviceStats().Reads != 0 {
+			t.Error("DRAM placement has device reads")
+		}
+		if placement != PlaceDRAM && sys.DeviceStats().Reads == 0 {
+			t.Errorf("%v: no device reads recorded", placement)
+		}
+		if sys.DRAMBytes() <= 0 {
+			t.Errorf("%v: DRAMBytes = %d", placement, sys.DRAMBytes())
+		}
+		if sys.Degree(root) <= 0 {
+			t.Errorf("%v: Degree(root) = %d", placement, sys.Degree(root))
+		}
+		// TEPS is zero only for zero-duration results.
+		if (&Result{}).TEPS() != 0 {
+			t.Error("zero result has TEPS")
+		}
+		sys.Close()
+	}
+}
+
+func TestPlacementRelativeSpeed(t *testing.T) {
+	edges := testEdges(t)
+	teps := map[Placement]float64{}
+	for _, p := range []Placement{PlaceDRAM, PlacePCIeFlash, PlaceSSD} {
+		sys, err := NewSystem(edges, Options{Placement: p, Alpha: 64, Beta: 640})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := sys.Benchmark(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		teps[p] = sum.MedianTEPS
+		sys.Close()
+	}
+	if !(teps[PlaceDRAM] > teps[PlacePCIeFlash] && teps[PlacePCIeFlash] > teps[PlaceSSD]) {
+		t.Fatalf("ordering: %v", teps)
+	}
+}
+
+func TestBenchmarkSummary(t *testing.T) {
+	edges := testEdges(t)
+	sys, err := NewSystem(edges, Options{Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sum, err := sys.Benchmark(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PerRoot) != 5 {
+		t.Fatalf("%d roots", len(sum.PerRoot))
+	}
+	if sum.MinTEPS > sum.MedianTEPS || sum.MedianTEPS > sum.MaxTEPS {
+		t.Fatalf("summary inconsistent: %+v", sum)
+	}
+	if sum.HarmonicTEPS <= 0 {
+		t.Fatal("harmonic TEPS")
+	}
+}
+
+func TestBackwardLimitOption(t *testing.T) {
+	edges := testEdges(t)
+	sys, err := NewSystem(edges, Options{
+		Placement:             PlacePCIeFlash,
+		BackwardDRAMEdgeLimit: 2,
+		Alpha:                 64, Beta: 640,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.BFS(sys.FirstConnectedVertex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(edges, Options{BackwardDRAMEdgeLimit: 2}); err == nil {
+		t.Fatal("backward limit without NVM accepted")
+	}
+}
+
+func TestModeOptions(t *testing.T) {
+	edges := testEdges(t)
+	for _, mode := range []TraversalMode{Hybrid, TopDownOnly, BottomUpOnly} {
+		sys, err := NewSystem(edges, Options{Mode: mode, Alpha: 64, Beta: 640})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.BFS(sys.FirstConnectedVertex())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if err := sys.Validate(res); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		switch mode {
+		case TopDownOnly:
+			if res.ExaminedBU != 0 {
+				t.Error("top-down-only examined BU edges")
+			}
+		case BottomUpOnly:
+			if res.ExaminedTD != 0 {
+				t.Error("bottom-up-only examined TD edges")
+			}
+		}
+		sys.Close()
+	}
+}
+
+func TestCustomTopology(t *testing.T) {
+	edges := testEdges(t)
+	sys, err := NewSystem(edges, Options{NUMANodes: 2, CoresPerNode: 4, Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := sys.BFS(sys.FirstConnectedVertex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSRejectsBadRoot(t *testing.T) {
+	edges := testEdges(t)
+	sys, err := NewSystem(edges, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.BFS(-1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if _, err := sys.BFS(1 << 30); err == nil {
+		t.Fatal("huge root accepted")
+	}
+}
+
+func TestEstimateSizes(t *testing.T) {
+	e := EstimateSizes(27, 16)
+	if e.BackwardBytes < 30<<30 || e.BackwardBytes > 36<<30 {
+		t.Fatalf("backward at 27: %d", e.BackwardBytes)
+	}
+	if e.TotalGraphBytes() != e.ForwardBytes+e.BackwardBytes+e.StatusBytes {
+		t.Fatal("TotalGraphBytes inconsistent")
+	}
+}
+
+func TestPlanForBudget(t *testing.T) {
+	rich := PlanForBudget(18, 16, 1<<40)
+	if rich.ForwardOnNVM || !rich.Fits {
+		t.Fatalf("rich plan: %+v", rich)
+	}
+	est := EstimateSizes(18, 16)
+	tight := PlanForBudget(18, 16, est.BackwardBytes+est.StatusBytes+1<<20)
+	if !tight.ForwardOnNVM || !tight.Fits {
+		t.Fatalf("tight plan: %+v", tight)
+	}
+	opts := tight.ApplyPlan(PlaceSSD, Options{})
+	if opts.Placement != PlaceSSD {
+		t.Fatalf("ApplyPlan placement: %v", opts.Placement)
+	}
+	flat := rich.ApplyPlan(PlaceSSD, Options{})
+	if flat.Placement != PlaceDRAM {
+		t.Fatalf("no-offload plan placement: %v", flat.Placement)
+	}
+}
+
+func TestEstimatePower(t *testing.T) {
+	est, err := EstimatePower(4.22e9, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Watts <= 0 || est.MTEPSPerW <= 0 {
+		t.Fatalf("estimate: %+v", est)
+	}
+	// Same magnitude as the paper's 4.35 MTEPS/W.
+	if est.MTEPSPerW < 1 || est.MTEPSPerW > 20 {
+		t.Fatalf("MTEPS/W = %v", est.MTEPSPerW)
+	}
+}
+
+func TestScaleEquivalentLatency(t *testing.T) {
+	if ScaleEquivalentLatency(27) != 1 {
+		t.Fatal("scale 27 should be 1")
+	}
+	if ScaleEquivalentLatency(26) != 0.5 {
+		t.Fatal("scale 26 should be 0.5")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if !strings.Contains(FormatTEPS(5.12e9), "GTEPS") {
+		t.Fatal("FormatTEPS")
+	}
+	if !strings.Contains(FormatBytes(88<<30), "GiB") {
+		t.Fatal("FormatBytes")
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	if PlaceDRAM.String() != "DRAM" || PlacePCIeFlash.String() != "PCIeFlash" ||
+		PlaceSSD.String() != "SSD" {
+		t.Fatal("placement strings")
+	}
+	if Placement(42).String() == "" {
+		t.Fatal("unknown placement string")
+	}
+}

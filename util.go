@@ -1,0 +1,23 @@
+package semibfs
+
+import (
+	"semibfs/internal/stats"
+	"semibfs/internal/vtime"
+)
+
+// secondsToDuration converts float seconds to virtual nanoseconds.
+func secondsToDuration(s float64) vtime.Duration {
+	return vtime.Duration(s * 1e9)
+}
+
+// summarize returns [median, min, max, harmonic mean] of xs.
+func summarize(xs []float64) [4]float64 {
+	s := stats.Summarize(xs)
+	return [4]float64{s.Median, s.Min, s.Max, s.HarmonicMean}
+}
+
+// FormatTEPS renders a TEPS value with the conventional G/M/k prefix.
+func FormatTEPS(teps float64) string { return stats.FormatTEPS(teps) }
+
+// FormatBytes renders a byte count with a binary prefix.
+func FormatBytes(b int64) string { return stats.FormatBytes(b) }
