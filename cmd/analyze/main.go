@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|all")
+		exp   = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|all")
 		scale = flag.Int("scale", 18, "large instance scale")
 		ef    = flag.Int("edgefactor", 16, "edges per vertex")
 		seed  = flag.Uint64("seed", 12345, "generator seed")
@@ -123,6 +123,13 @@ func run(name string, opts experiments.Options) error {
 			return err
 		}
 		fmt.Println(experiments.FormatTrace(rows))
+	case "faults":
+		rows, err := experiments.FaultSweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFaultSweep(rows))
+		fmt.Println(experiments.FaultSweepCSV(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -20,6 +20,7 @@ import (
 	"semibfs/internal/bfs"
 	"semibfs/internal/core"
 	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
 	"semibfs/internal/graph500"
 	"semibfs/internal/nvm"
 	"semibfs/internal/stats"
@@ -46,6 +47,10 @@ func main() {
 		elNVM      = flag.Bool("edgelist-nvm", false, "offload the edge list to its own NVM store and stream construction/validation from it (the paper's Step 1/2 data path)")
 		edgesFile  = flag.String("edges", "", "load the edge list from a file written by cmd/gen instead of generating")
 		official   = flag.Bool("official", false, "print the official Graph500 output format instead of the extended report")
+		faultRate  = flag.Float64("fault-rate", 0, "inject transient read errors at this rate on every NVM store")
+		faultAfter = flag.Int64("fault-after", 0, "kill each NVM store permanently after this many reads (0 = never)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		corrupt    = flag.Float64("fault-corrupt", 0, "bit-flip corruption rate on NVM reads (enables CRC32 checksums)")
 	)
 	flag.Parse()
 
@@ -76,6 +81,25 @@ func main() {
 		}
 		sc.AggregateIO = *aggIO
 		sc.IndexInDRAM = *idxDRAM
+	}
+	if *faultRate < 0 || *faultRate > 1 || *corrupt < 0 || *corrupt > 1 {
+		fatal(fmt.Errorf("-fault-rate / -fault-corrupt must be in [0, 1]"))
+	}
+	if *faultAfter < 0 {
+		fatal(fmt.Errorf("-fault-after must be >= 0"))
+	}
+	if *faultRate > 0 || *faultAfter > 0 || *corrupt > 0 {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-fault-rate / -fault-after / -fault-corrupt require an NVM scenario"))
+		}
+		sc.Faults = faults.Config{
+			Seed:          *faultSeed,
+			TransientRate: *faultRate,
+			DieAfterReads: *faultAfter,
+			CorruptRate:   *corrupt,
+		}
+		// Corruption without checksums is silent; always pair them.
+		sc.Checksums = *corrupt > 0
 	}
 	bfsMode, isRef, err := modeByName(*mode)
 	if err != nil {
@@ -177,6 +201,17 @@ func printReport(res *graph500.Result, wall time.Duration) {
 		fmt.Printf("NVM avgqu-sz:         %.1f\n", d.AvgQueueSize)
 		fmt.Printf("NVM avgrq-sz:         %.1f sectors\n", d.AvgRequestSectors)
 		fmt.Printf("NVM await:            %v\n", (d.AvgWait + d.AvgService).ToTime())
+	}
+	if r := res.Resilience; r.Retries > 0 || r.ReadErrors > 0 || r.DegradedRuns > 0 {
+		fmt.Printf("NVM read errors:      %d (%d retried, backoff %v)\n",
+			r.ReadErrors, r.Retries, r.BackoffTime.ToTime())
+		if r.DegradedRuns > 0 {
+			fmt.Printf("degraded runs:        %d (%d levels rescued)\n",
+				r.DegradedRuns, r.DegradedLevels)
+		}
+		f := res.Faults
+		fmt.Printf("injected faults:      %d transient, %d corrupt, %d spikes over %d reads\n",
+			f.Transient, f.Corrupted, f.Spikes, f.Reads)
 	}
 	if res.ConstructionTime > 0 {
 		fmt.Printf("construction vtime:   %v (edge list on NVM: %d reads, %d writes)\n",

@@ -55,6 +55,21 @@ type ScanCounters interface {
 	Counters() (dram, nvmEdges int64)
 }
 
+// BackwardNVM is optionally implemented by BackwardAccess values to report
+// whether any of the backward graph lives on NVM. The engine degrades into
+// the bottom-up direction only when this reports false (the graph is fully
+// DRAM-resident, per the paper's Section V-C placement); an access that
+// does not implement it is conservatively assumed to touch NVM.
+type BackwardNVM interface {
+	OnNVM() bool
+}
+
+// HealthCounters is optionally implemented by cursors and scanners that
+// track cumulative retry/backoff health (the NVM-backed ones do).
+type HealthCounters interface {
+	Health() semiext.Health
+}
+
 // DRAMForward adapts a DRAM-resident csr.ForwardGraph.
 type DRAMForward struct {
 	G *csr.ForwardGraph
@@ -102,6 +117,9 @@ func (c *nvmForwardCursor) Neighbors(k int, v int64) ([]int64, bool, error) {
 
 func (c *nvmForwardCursor) NVMEdges() int64 { return c.r.EdgesRead }
 
+// Health implements HealthCounters.
+func (c *nvmForwardCursor) Health() semiext.Health { return c.r.Health }
+
 // DRAMBackward adapts a DRAM-resident csr.BackwardGraph.
 type DRAMBackward struct {
 	G *csr.BackwardGraph
@@ -114,6 +132,9 @@ func (d DRAMBackward) NewScanner(*vtime.Clock) BackwardScan {
 
 // Degree implements BackwardAccess.
 func (d DRAMBackward) Degree(v int64) int64 { return d.G.Degree(v) }
+
+// OnNVM implements BackwardNVM: the CSR graph is fully DRAM-resident.
+func (DRAMBackward) OnNVM() bool { return false }
 
 type dramBackwardScan struct {
 	g *csr.BackwardGraph
@@ -145,6 +166,16 @@ func (h HybridBackwardAccess) NewScanner(clock *vtime.Clock) BackwardScan {
 // Degree implements BackwardAccess.
 func (h HybridBackwardAccess) Degree(v int64) int64 { return h.HB.Degree(v) }
 
+// OnNVM implements BackwardNVM: true when any node offloaded a tail.
+func (h HybridBackwardAccess) OnNVM() bool {
+	for _, n := range h.HB.PerNode {
+		if n.TailStore != nil {
+			return true
+		}
+	}
+	return false
+}
+
 type hybridBackwardScan struct {
 	s *semiext.BackwardScanner
 }
@@ -161,3 +192,6 @@ func (s *hybridBackwardScan) Scan(k int, v int64, fn func(nb int64) bool) (int64
 func (s *hybridBackwardScan) Counters() (int64, int64) {
 	return s.s.DRAMEdgesScanned, s.s.NVMEdgesScanned
 }
+
+// Health implements HealthCounters.
+func (s *hybridBackwardScan) Health() semiext.Health { return s.s.Health }

@@ -137,6 +137,9 @@ type Result struct {
 	ExaminedBU  int64
 	ExaminedNVM int64
 	Switches    int
+	// Resilience summarizes the run's fault handling (zero for a healthy
+	// run over healthy devices).
+	Resilience Resilience
 }
 
 // CloneTree returns a copy of the parent array.
@@ -180,6 +183,11 @@ type Runner struct {
 	cursors  []ForwardCursor
 	scanners []BackwardScan
 	barrier  *vtime.Barrier
+
+	// Degraded-mode state: after a device failure is rescued mid-run the
+	// controller pins to the surviving direction for the rest of the run.
+	pinned    bool
+	pinnedDir Direction
 
 	// per-level, per-worker accumulators
 	acc []workerAcc
@@ -311,8 +319,12 @@ func (r *Runner) parallel(fn func(w int) error) error {
 func (r *Runner) nodeOfWorker(w int) int { return w / r.cpn }
 
 // decide applies the Section III-C switching rule given the frontier sizes
-// of the previous two levels.
+// of the previous two levels. A degraded run is pinned: the alpha/beta rule
+// must never steer the traversal back onto a dead device.
 func (r *Runner) decide(cur Direction, prevCount, curCount int64) Direction {
+	if r.pinned {
+		return r.pinnedDir
+	}
 	switch r.cfg.Mode {
 	case ModeTopDownOnly:
 		return TopDown
@@ -355,6 +367,10 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	for _, c := range r.clocks {
 		c.AdvanceTo(0)
 	}
+	r.pinned = false
+	// Cursor health accumulates across runs; per-run resilience is the
+	// delta against this snapshot.
+	health0 := r.healthTotals()
 	start := r.clocks[0].Now()
 
 	r.tree[root] = root
@@ -393,18 +409,42 @@ func (r *Runner) Run(root int64) (*Result, error) {
 			res.Switches++
 			dir = newDir
 		}
-		for w := range r.acc {
-			r.acc[w] = workerAcc{}
+		runLevel := func() error {
+			for w := range r.acc {
+				r.acc[w] = workerAcc{}
+			}
+			if dir == TopDown {
+				return r.runTopDownLevel()
+			}
+			return r.runBottomUpLevel()
 		}
 		levelStart := vtime.MaxOf(r.clocks)
-		var err error
-		if dir == TopDown {
-			err = r.runTopDownLevel()
-		} else {
-			err = r.runBottomUpLevel()
-		}
-		if err != nil {
-			return nil, err
+		var seeded int64
+		if err := runLevel(); err != nil {
+			// A level kernel failed — usually a device declared dead
+			// after exhausting retries. If the other direction's graph is
+			// DRAM-resident, rescue the level: keep the claims already
+			// made, convert the frontier, and re-run the remainder of
+			// the level in the surviving direction, pinned for the rest
+			// of the run.
+			to, ok := r.degradeTarget(dir)
+			if !ok {
+				return nil, fmt.Errorf("bfs: level %d (%s): %w", level, dir, err)
+			}
+			cause := err
+			seeded, err = r.enterDegraded(dir, to)
+			if err != nil {
+				return nil, fmt.Errorf("bfs: level %d: degrading %s -> %s: %w", level, dir, to, err)
+			}
+			res.Resilience.Degraded = append(res.Resilience.Degraded, DegradedEvent{
+				Level: level, From: dir, To: to, Cause: cause.Error(),
+			})
+			r.pinned, r.pinnedDir = true, to
+			dir = to
+			res.Switches++
+			if err := runLevel(); err != nil {
+				return nil, fmt.Errorf("bfs: level %d (%s, degraded): %w", level, dir, err)
+			}
 		}
 		levelEnd := r.barrier.Sync(r.clocks)
 
@@ -422,7 +462,10 @@ func (r *Runner) Run(root int64) (*Result, error) {
 		} else {
 			ls.FrontierDegree = -1
 		}
-		var claimed int64
+		// seeded counts claims made by a failed kernel before this level
+		// degraded; their tree entries are set but the re-run's
+		// accumulators never saw them.
+		claimed := seeded
 		for w := range r.acc {
 			ls.ExaminedDRAM += r.acc[w].examinedDRAM
 			ls.ExaminedNVM += r.acc[w].examinedNVM
@@ -448,5 +491,9 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	}
 	res.Time = vtime.MaxOf(r.clocks) - start
 	res.Tree = r.tree
+	h := r.healthTotals().Sub(health0)
+	res.Resilience.Retries = h.Retries
+	res.Resilience.ReadErrors = h.Errors
+	res.Resilience.BackoffTime = h.Backoff
 	return res, nil
 }

@@ -1,0 +1,129 @@
+package bfs
+
+import (
+	"math/bits"
+
+	"semibfs/internal/semiext"
+	"semibfs/internal/vtime"
+)
+
+// DegradedEvent records one mid-run degradation: a level whose kernel
+// failed on NVM and was re-run on the DRAM-resident direction, which the
+// run then stays pinned to.
+type DegradedEvent struct {
+	// Level is the BFS level whose kernel failed.
+	Level int
+	// From is the direction that failed; To is the DRAM-resident
+	// direction the controller pinned to.
+	From, To Direction
+	// Cause is the failing error's message.
+	Cause string
+}
+
+// Resilience summarizes one run's fault handling: the retries and
+// virtual-time backoff absorbed by the semi-external read path, and any
+// degradations the controller performed.
+type Resilience struct {
+	// Retries / ReadErrors count reissued reads and failed attempts.
+	Retries    int64
+	ReadErrors int64
+	// BackoffTime is the virtual time spent backing off before retries.
+	BackoffTime vtime.Duration
+	// Degraded lists the levels that had to switch direction after a
+	// device failure (empty for a healthy run).
+	Degraded []DegradedEvent
+}
+
+// DegradedLevels returns the number of degradation events.
+func (r *Resilience) DegradedLevels() int { return len(r.Degraded) }
+
+// healthTotals sums the cumulative retry/backoff health of every worker's
+// cursor and scanner (zero when the graphs are fully DRAM-resident).
+func (r *Runner) healthTotals() semiext.Health {
+	var t semiext.Health
+	for _, c := range r.cursors {
+		if h, ok := c.(HealthCounters); ok {
+			t.Add(h.Health())
+		}
+	}
+	for _, s := range r.scanners {
+		if h, ok := s.(HealthCounters); ok {
+			t.Add(h.Health())
+		}
+	}
+	return t
+}
+
+// backwardOnNVM reports whether the backward graph has NVM-resident data.
+// Unknown placements count as NVM so the engine never degrades into a
+// direction it cannot prove is DRAM-resident.
+func (r *Runner) backwardOnNVM() bool {
+	if b, ok := r.bwd.(BackwardNVM); ok {
+		return b.OnNVM()
+	}
+	return true
+}
+
+// degradeTarget decides whether a failed level can be rescued by switching
+// to the other direction: only in hybrid mode (a forced single-direction
+// mode is a contract, not a preference), only once per run, and only when
+// the target direction's graph is fully DRAM-resident — the paper's §V-C
+// placement keeps the backward graph in DRAM precisely so the bottom-up
+// direction survives a forward-device failure.
+func (r *Runner) degradeTarget(from Direction) (Direction, bool) {
+	if r.cfg.Mode != ModeHybrid || r.pinned {
+		return 0, false
+	}
+	if from == TopDown && !r.backwardOnNVM() {
+		return BottomUp, true
+	}
+	if from == BottomUp && !r.fwd.OnNVM() {
+		return TopDown, true
+	}
+	return 0, false
+}
+
+// enterDegraded rescues a partially-executed level so it can be re-run in
+// direction to. Claims the failed kernel already made are valid (each
+// claimed parent is in the current frontier), and their visited bits and
+// tree entries are already set — so they are preserved by seeding them
+// into the level's output representation, and the re-run kernel skips them
+// via the visited bitmap and claims the remainder. The current frontier is
+// converted to the representation the new direction expects. Returns the
+// number of seeded (pre-degradation) claims.
+func (r *Runner) enterDegraded(from, to Direction) (int64, error) {
+	var seeded int64
+	if from == TopDown {
+		// Partial claims live in the per-worker next queues; the
+		// bottom-up re-run outputs into the next bitmap.
+		for w := range r.nextQ {
+			for _, v := range r.nextQ[w] {
+				r.nextBM.Set(int(v))
+				seeded++
+			}
+			r.nextQ[w] = r.nextQ[w][:0]
+		}
+		if err := r.convertFrontier(TopDown, BottomUp); err != nil {
+			return 0, err
+		}
+		return seeded, nil
+	}
+	// Bottom-up failed: convert the frontier first (replicasToQueue uses
+	// the next queues as scratch), then move the partial claims from the
+	// next bitmap into a worker queue for the top-down promote path.
+	if err := r.convertFrontier(BottomUp, TopDown); err != nil {
+		return 0, err
+	}
+	words := r.nextBM.Words()
+	for i, word := range words {
+		base := i * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			r.nextQ[0] = append(r.nextQ[0], int64(base+b))
+			seeded++
+		}
+		words[i] = 0
+	}
+	return seeded, nil
+}

@@ -42,6 +42,11 @@ func (r *Runner) runTopDownLevel() error {
 				t = 0
 				nbs, fromNVM, err := cursor.Neighbors(k, v)
 				if err != nil {
+					// Publish the claims made so far: their visited
+					// bits and tree entries are already set, so the
+					// degraded-mode rescue must see them as next-
+					// frontier members or the tree loses subtrees.
+					r.nextQ[w] = nq
 					return err
 				}
 				if fromNVM {

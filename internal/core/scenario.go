@@ -12,6 +12,7 @@ import (
 	"semibfs/internal/bfs"
 	"semibfs/internal/csr"
 	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
 	"semibfs/internal/numa"
 	"semibfs/internal/nvm"
 	"semibfs/internal/semiext"
@@ -48,6 +49,19 @@ type Scenario struct {
 	// 128 KiB (the libaio-style aggregation the paper's Section VI-D
 	// suggests as future work) — an ablation.
 	AggregateIO bool
+	// Faults injects deterministic seeded faults into every NVM store
+	// (see internal/faults); the zero value injects nothing.
+	Faults faults.Config
+	// Checksums adds per-chunk CRC32-C verification to every NVM store,
+	// so injected bit-flip corruption is detected (and retried) instead
+	// of silently traversed.
+	Checksums bool
+}
+
+// WithFaults returns the scenario with fault injection configured.
+func (s Scenario) WithFaults(cfg faults.Config) Scenario {
+	s.Faults = cfg
+	return s
 }
 
 // WithLatencyScale returns the scenario with its device latencies scaled.
@@ -127,6 +141,25 @@ type System struct {
 	dramFwd *csr.ForwardGraph
 	dramBwd *csr.BackwardGraph
 	hybrid  bool
+
+	faultFactory *faults.Factory
+}
+
+// FaultStores returns the fault-injecting store wrappers (nil when the
+// scenario injects no faults).
+func (s *System) FaultStores() []*faults.Store {
+	if s.faultFactory == nil {
+		return nil
+	}
+	return s.faultFactory.Stores()
+}
+
+// FaultCounters sums the injected-fault totals across all NVM stores.
+func (s *System) FaultCounters() faults.Counters {
+	if s.faultFactory == nil {
+		return faults.Counters{}
+	}
+	return s.faultFactory.TotalCounters()
 }
 
 // HybridBackward exposes the hybrid backward graph when the scenario
@@ -187,11 +220,34 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 		return nil, fmt.Errorf("core: scenario %q offloads data but has no device", sc.Name)
 	}
 
-	mk := func(name string, chunk int) (nvm.Storage, error) {
+	base := func(name string, chunk int) (nvm.Storage, error) {
 		if opts.Dir == "" {
 			return nvm.NewMemStore(dev, chunk), nil
 		}
 		return nvm.CreateFileStore(filepath.Join(opts.Dir, name+".bin"), dev, chunk)
+	}
+	// Layering, bottom-up: base media, then fault injection, then checksum
+	// verification — so injected bit flips are below the checksums and get
+	// detected on read, exactly like real media corruption under DIF/DIX.
+	mkRaw := base
+	if sc.Faults.Enabled() {
+		sys.faultFactory = faults.NewFactory(base, sc.Faults)
+		mkRaw = sys.faultFactory.Make
+	}
+	mk := mkRaw
+	if sc.Checksums {
+		mk = func(name string, chunk int) (nvm.Storage, error) {
+			st, err := mkRaw(name, chunk)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := nvm.WrapChecksum(st, chunk)
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			return cs, nil
+		}
 	}
 
 	fg, err := csr.BuildForward(src, part)

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"semibfs/internal/core"
+	"semibfs/internal/faults"
+	"semibfs/internal/vtime"
+)
+
+// FaultRates is the transient-error-rate grid of the fault sweep: from a
+// healthy device through rates far beyond anything a non-failing drive
+// exhibits, so the retry overhead curve's whole shape is visible.
+var FaultRates = []float64{0, 0.001, 0.01, 0.05}
+
+// FaultRow is one (scenario, error-rate) measurement of the fault sweep.
+type FaultRow struct {
+	Scenario string
+	Rate     float64
+	TEPS     float64
+	// Retries / ReadErrors / BackoffTime are the per-benchmark totals the
+	// retry layer reports; Injected is the fault layer's own count of
+	// transient errors it produced (the two error counts agree when no
+	// other error source is active).
+	Retries     int64
+	ReadErrors  int64
+	BackoffTime vtime.Duration
+	Injected    int64
+	// DegradedRuns counts roots that finished in degraded mode (expected
+	// zero in this sweep: transient faults recover by retry).
+	DegradedRuns int
+}
+
+// FaultSweep measures TEPS versus injected transient-error rate for both
+// NVM scenarios — the robustness analogue of the Figure 8 comparison. The
+// expected shape: flat through realistic error rates (retries are rare and
+// their backoff is microseconds against millisecond-scale levels), bending
+// down once the rate is high enough that multi-attempt reads become common.
+func FaultSweep(opts Options) ([]FaultRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	var rows []FaultRow
+	for _, base := range []core.Scenario{core.ScenarioPCIeFlash, core.ScenarioSSD} {
+		sc := lab.scenario(base, false)
+		for _, rate := range FaultRates {
+			sc.Faults = faults.Config{Seed: opts.Seed, TransientRate: rate}
+			res, err := lab.Run(sc, defaultBFSConfig(opts), false, false)
+			if err != nil {
+				return nil, fmt.Errorf("fault sweep %s rate=%g: %w", base.Name, rate, err)
+			}
+			rows = append(rows, FaultRow{
+				Scenario:     base.Name,
+				Rate:         rate,
+				TEPS:         res.MedianTEPS(),
+				Retries:      res.Resilience.Retries,
+				ReadErrors:   res.Resilience.ReadErrors,
+				BackoffTime:  res.Resilience.BackoffTime,
+				Injected:     res.Faults.Transient,
+				DegradedRuns: res.Resilience.DegradedRuns,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFaultSweep renders the fault sweep as a text table.
+func FormatFaultSweep(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fault sweep: median TEPS vs injected transient-error rate")
+	fmt.Fprintf(&b, "%-16s %8s %10s %10s %10s %12s %9s\n",
+		"scenario", "rate", "TEPS", "retries", "errors", "backoff", "degraded")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8g %10s %10d %10d %12v %9d\n",
+			r.Scenario, r.Rate, shortTEPS(r.TEPS),
+			r.Retries, r.ReadErrors, r.BackoffTime.ToTime(), r.DegradedRuns)
+	}
+	return b.String()
+}
+
+// FaultSweepCSV renders the sweep as CSV for plotting.
+func FaultSweepCSV(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "scenario,rate,teps,retries,read_errors,backoff_us,injected,degraded_runs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%g,%.6g,%d,%d,%.3f,%d,%d\n",
+			r.Scenario, r.Rate, r.TEPS, r.Retries, r.ReadErrors,
+			float64(r.BackoffTime)/float64(vtime.Microsecond), r.Injected, r.DegradedRuns)
+	}
+	return b.String()
+}

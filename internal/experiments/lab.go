@@ -111,8 +111,9 @@ func (l *Lab) scenario(sc core.Scenario, unscaled bool) core.Scenario {
 // System builds (or returns the cached) system for sc. The series flag
 // enables per-bin device statistics.
 func (l *Lab) System(sc core.Scenario, series bool) (*core.System, error) {
-	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v",
-		sc.Name, sc.BackwardDRAMEdgeLimit, sc.LatencyScale, series)
+	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v",
+		sc.Name, sc.BackwardDRAMEdgeLimit, sc.LatencyScale, series,
+		sc.Faults, sc.Checksums)
 	if sys, ok := l.systems[key]; ok {
 		return sys, nil
 	}

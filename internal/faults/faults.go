@@ -1,0 +1,294 @@
+// Package faults injects deterministic, seeded device faults into the NVM
+// storage layer so the resilience of the semi-external BFS can be tested
+// and measured without real failing hardware.
+//
+// A faults.Store wraps any nvm.Storage and perturbs its reads:
+//
+//   - transient errors at a configurable rate (wrapping nvm.ErrTransient,
+//     so the retry layer knows a reissue may succeed);
+//   - permanent device death after a fixed number of reads or at a fixed
+//     virtual time (wrapping nvm.ErrDeviceDead — not retryable);
+//   - latency spikes that multiply the request's modeled service time;
+//   - bit-flip corruption of returned chunks (detected only when the
+//     store is also wrapped with nvm.WrapChecksum — otherwise the BFS
+//     silently traverses garbage, which is exactly the failure mode the
+//     checksums exist to prevent).
+//
+// Every decision is a pure function of (seed, store name, offset, attempt
+// number at that offset), drawn through the rng package's SplitMix64
+// finalizer. Two consequences: a given read fails identically no matter how
+// concurrent workers interleave, and a *retry* of the same offset draws
+// fresh randomness (its attempt number advanced), so transient faults are
+// recoverable. This is what makes whole fault scenarios reproducible from
+// a single seed.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"semibfs/internal/nvm"
+	"semibfs/internal/rng"
+	"semibfs/internal/vtime"
+)
+
+// Config parameterizes one store's fault injection. The zero value injects
+// nothing.
+type Config struct {
+	// Seed drives every fault decision; the same seed reproduces the
+	// same fault schedule bit-for-bit.
+	Seed uint64
+	// TransientRate is the probability that a read fails with a
+	// retryable transient error.
+	TransientRate float64
+	// DieAfterReads kills the device permanently after this many reads
+	// across all workers (0 = never).
+	DieAfterReads int64
+	// DieAtTime kills the device permanently at this virtual time:
+	// any read submitted at or after it fails (0 = never).
+	DieAtTime vtime.Duration
+	// SpikeRate is the probability that a read's modeled service time is
+	// multiplied by SpikeMultiplier (a latency spike, not an error).
+	SpikeRate float64
+	// SpikeMultiplier scales a spiking read's service time (values <= 1
+	// disable spikes).
+	SpikeMultiplier float64
+	// CorruptRate is the probability that a read succeeds but returns a
+	// buffer with one flipped bit.
+	CorruptRate float64
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.TransientRate > 0 || c.DieAfterReads > 0 || c.DieAtTime > 0 ||
+		(c.SpikeRate > 0 && c.SpikeMultiplier > 1) || c.CorruptRate > 0
+}
+
+// String renders the active fault parameters (used in cache keys and
+// reports).
+func (c Config) String() string {
+	return fmt.Sprintf("seed=%d rate=%g after=%d at=%v spike=%gx@%g corrupt=%g",
+		c.Seed, c.TransientRate, c.DieAfterReads, c.DieAtTime,
+		c.SpikeMultiplier, c.SpikeRate, c.CorruptRate)
+}
+
+// Counters is a snapshot of one store's injected-fault totals.
+type Counters struct {
+	Reads     int64
+	Transient int64
+	Spikes    int64
+	Corrupted int64
+	Dead      bool
+}
+
+// Store is a fault-injecting nvm.Storage wrapper.
+type Store struct {
+	inner nvm.Storage
+	name  string
+	cfg   Config
+	salt  uint64
+
+	reads     atomic.Int64
+	transient atomic.Int64
+	spikes    atomic.Int64
+	corrupted atomic.Int64
+	dead      atomic.Bool
+
+	mu       sync.Mutex
+	attempts map[int64]uint64 // per-offset read attempt counts
+}
+
+// Wrap returns inner with cfg's faults injected. name identifies the store
+// in errors and salts its fault stream, so distinct stores built from the
+// same seed fail independently but reproducibly.
+func Wrap(inner nvm.Storage, name string, cfg Config) *Store {
+	return &Store{
+		inner:    inner,
+		name:     name,
+		cfg:      cfg,
+		salt:     rng.Mix64(hashName(name)),
+		attempts: make(map[int64]uint64),
+	}
+}
+
+// hashName folds a store name into a 64-bit salt (FNV-1a).
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Name returns the wrapped store's name.
+func (s *Store) Name() string { return s.name }
+
+// Device returns the inner store's device model.
+func (s *Store) Device() *nvm.Device { return s.inner.Device() }
+
+// Size returns the inner store's size.
+func (s *Store) Size() int64 { return s.inner.Size() }
+
+// Close closes the inner store.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// Counters returns the store's injected-fault totals so far.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Reads:     s.reads.Load(),
+		Transient: s.transient.Load(),
+		Spikes:    s.spikes.Load(),
+		Corrupted: s.corrupted.Load(),
+		Dead:      s.dead.Load(),
+	}
+}
+
+// Revive clears the dead flag and read count (tests use it to model a
+// replaced device).
+func (s *Store) Revive() {
+	s.dead.Store(false)
+	s.reads.Store(0)
+}
+
+// TransientError is the structured retryable error an injected fault
+// produces. It wraps nvm.ErrTransient.
+type TransientError struct {
+	Store string
+	Off   int64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faults: store %s read @%d: %v", e.Store, e.Off, nvm.ErrTransient)
+}
+
+func (e *TransientError) Unwrap() error { return nvm.ErrTransient }
+
+// WriteAt passes writes through unperturbed (the fault model covers the
+// read-dominated BFS traversal; offload writes happen once at setup).
+func (s *Store) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
+	return s.inner.WriteAt(clock, p, off)
+}
+
+// ReadAt implements nvm.Storage with fault injection. Failed reads still
+// charge the device model for the transfer (a failed request occupies the
+// device just like a successful one) and are counted in its health stats.
+func (s *Store) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	reads := s.reads.Add(1)
+
+	// Permanent death: sticky, and decided before any service.
+	if s.cfg.DieAfterReads > 0 && reads > s.cfg.DieAfterReads {
+		s.dead.Store(true)
+	}
+	if s.cfg.DieAtTime > 0 && clock != nil && clock.Now() >= s.cfg.DieAtTime {
+		s.dead.Store(true)
+	}
+	if s.dead.Load() {
+		var at vtime.Duration
+		if clock != nil {
+			at = clock.Now()
+		}
+		if dev := s.inner.Device(); dev != nil {
+			dev.NoteError()
+			dev.MarkDead()
+		}
+		return &nvm.DeadError{Store: s.name, Reads: reads - 1, At: at}
+	}
+
+	// Draw this attempt's fault decisions: a pure function of
+	// (seed, store, offset, attempt), independent of worker interleaving.
+	s.mu.Lock()
+	s.attempts[off]++
+	attempt := s.attempts[off]
+	s.mu.Unlock()
+	g := rng.NewSplitMix64(s.cfg.Seed ^ s.salt ^ rng.Mix64(uint64(off)) ^ rng.Mix64(attempt))
+
+	if s.cfg.TransientRate > 0 && unit(g.Next()) < s.cfg.TransientRate {
+		s.transient.Add(1)
+		if dev := s.inner.Device(); dev != nil {
+			dev.NoteError()
+			// The failed transfer still occupies the device.
+			if clock != nil {
+				clock.AdvanceTo(dev.Read(clock.Now(), len(p)))
+			}
+		}
+		return &TransientError{Store: s.name, Off: off}
+	}
+
+	spike := s.cfg.SpikeRate > 0 && s.cfg.SpikeMultiplier > 1 &&
+		unit(g.Next()) < s.cfg.SpikeRate
+	corrupt := s.cfg.CorruptRate > 0 && unit(g.Next()) < s.cfg.CorruptRate
+	bitPos := g.Next()
+
+	if err := s.inner.ReadAt(clock, p, off); err != nil {
+		return err
+	}
+	if spike {
+		s.spikes.Add(1)
+		if dev := s.inner.Device(); dev != nil && clock != nil {
+			extra := vtime.Duration(float64(dev.Profile().ReadServiceTime(len(p))) *
+				(s.cfg.SpikeMultiplier - 1))
+			clock.Advance(extra)
+		}
+	}
+	if corrupt && len(p) > 0 {
+		s.corrupted.Add(1)
+		bit := bitPos % uint64(len(p)*8)
+		p[bit/8] ^= 1 << (bit % 8)
+	}
+	return nil
+}
+
+// unit maps a 64-bit draw to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Factory wraps an nvm store factory (the semiext.StoreFactory shape) so
+// every store it creates carries cfg's faults, each salted by its name.
+// It records the created stores for later inspection.
+type Factory struct {
+	mk  func(name string, chunk int) (nvm.Storage, error)
+	cfg Config
+
+	mu     sync.Mutex
+	stores []*Store
+}
+
+// NewFactory returns a factory injecting cfg into every store mk creates.
+func NewFactory(mk func(name string, chunk int) (nvm.Storage, error), cfg Config) *Factory {
+	return &Factory{mk: mk, cfg: cfg}
+}
+
+// Make creates a store named name and wraps it with fault injection.
+func (f *Factory) Make(name string, chunk int) (nvm.Storage, error) {
+	inner, err := f.mk(name, chunk)
+	if err != nil {
+		return nil, err
+	}
+	st := Wrap(inner, name, f.cfg)
+	f.mu.Lock()
+	f.stores = append(f.stores, st)
+	f.mu.Unlock()
+	return st, nil
+}
+
+// Stores returns every store the factory has created.
+func (f *Factory) Stores() []*Store {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Store(nil), f.stores...)
+}
+
+// TotalCounters sums the counters of every created store.
+func (f *Factory) TotalCounters() Counters {
+	var t Counters
+	for _, st := range f.Stores() {
+		c := st.Counters()
+		t.Reads += c.Reads
+		t.Transient += c.Transient
+		t.Spikes += c.Spikes
+		t.Corrupted += c.Corrupted
+		t.Dead = t.Dead || c.Dead
+	}
+	return t
+}

@@ -1,0 +1,229 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// fillStore writes n bytes of a repeating pattern into a fresh MemStore.
+func fillStore(t *testing.T, dev *nvm.Device, n int) nvm.Storage {
+	t.Helper()
+	st := nvm.NewMemStore(dev, 0)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	if err := st.WriteAt(nil, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// readPattern reads offsets 0, 64, 128, ... and records which reads failed
+// transiently (attempt 1 at each offset).
+func readPattern(t *testing.T, s *Store, reads int) []bool {
+	t.Helper()
+	out := make([]bool, reads)
+	buf := make([]byte, 64)
+	for i := 0; i < reads; i++ {
+		err := s.ReadAt(nil, buf, int64(i*64))
+		switch {
+		case err == nil:
+		case errors.Is(err, nvm.ErrTransient):
+			out[i] = true
+		default:
+			t.Fatalf("read %d: unexpected error %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestTransientScheduleIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, TransientRate: 0.2}
+	const reads = 256
+	a := readPattern(t, Wrap(fillStore(t, nil, reads*64), "s", cfg), reads)
+	b := readPattern(t, Wrap(fillStore(t, nil, reads*64), "s", cfg), reads)
+	var failures int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d: schedules diverge (%v vs %v)", i, a[i], b[i])
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("rate 0.2 over 256 reads injected nothing")
+	}
+	// A different store name salts a different schedule.
+	c := readPattern(t, Wrap(fillStore(t, nil, reads*64), "other", cfg), reads)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct store names produced identical fault schedules")
+	}
+}
+
+func TestRetryRedrawsRandomness(t *testing.T) {
+	// At rate 0.5, some offset fails on attempt 1; retrying the same
+	// offset draws fresh randomness, so within a few attempts it succeeds.
+	s := Wrap(fillStore(t, nil, 1024), "s", Config{Seed: 7, TransientRate: 0.5})
+	buf := make([]byte, 64)
+	var firstFail int64 = -1
+	for off := int64(0); off < 1024; off += 64 {
+		if err := s.ReadAt(nil, buf, off); err != nil {
+			firstFail = off
+			break
+		}
+	}
+	if firstFail < 0 {
+		t.Fatal("rate 0.5 never failed over 16 reads")
+	}
+	for attempt := 0; attempt < 62; attempt++ {
+		if err := s.ReadAt(nil, buf, firstFail); err == nil {
+			return
+		}
+	}
+	t.Fatal("retries never redraw: offset failed 63 consecutive attempts at rate 0.5")
+}
+
+func TestDieAfterReads(t *testing.T) {
+	s := Wrap(fillStore(t, nil, 1024), "s", Config{Seed: 1, DieAfterReads: 3})
+	buf := make([]byte, 64)
+	for i := 0; i < 3; i++ {
+		if err := s.ReadAt(nil, buf, int64(i*64)); err != nil {
+			t.Fatalf("read %d before death: %v", i, err)
+		}
+	}
+	err := s.ReadAt(nil, buf, 0)
+	if !errors.Is(err, nvm.ErrDeviceDead) {
+		t.Fatalf("want ErrDeviceDead after 3 reads, got %v", err)
+	}
+	var dead *nvm.DeadError
+	if !errors.As(err, &dead) {
+		t.Fatalf("want *nvm.DeadError, got %T", err)
+	}
+	if nvm.IsRetryable(err) {
+		t.Fatal("device death must not be retryable")
+	}
+	// Death is sticky.
+	if err := s.ReadAt(nil, buf, 64); !errors.Is(err, nvm.ErrDeviceDead) {
+		t.Fatalf("death not sticky: %v", err)
+	}
+	s.Revive()
+	if err := s.ReadAt(nil, buf, 0); err != nil {
+		t.Fatalf("read after revive: %v", err)
+	}
+}
+
+func TestDieAtTime(t *testing.T) {
+	s := Wrap(fillStore(t, nil, 1024), "s", Config{Seed: 1, DieAtTime: vtime.Millisecond})
+	buf := make([]byte, 64)
+	clock := vtime.NewClock(0)
+	if err := s.ReadAt(clock, buf, 0); err != nil {
+		t.Fatalf("read before the deadline: %v", err)
+	}
+	clock.AdvanceTo(2 * vtime.Millisecond)
+	if err := s.ReadAt(clock, buf, 0); !errors.Is(err, nvm.ErrDeviceDead) {
+		t.Fatalf("want ErrDeviceDead past the deadline, got %v", err)
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	inner := fillStore(t, nil, 1024)
+	s := Wrap(inner, "s", Config{Seed: 9, CorruptRate: 1})
+	want := make([]byte, 64)
+	if err := inner.ReadAt(nil, want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := s.ReadAt(nil, got, 0); err != nil {
+		t.Fatalf("corrupting read still succeeds: %v", err)
+	}
+	diffBits := 0
+	for i := range got {
+		x := got[i] ^ want[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", diffBits)
+	}
+	if c := s.Counters(); c.Corrupted != 1 {
+		t.Fatalf("corrupted counter = %d, want 1", c.Corrupted)
+	}
+}
+
+func TestCorruptionDetectedByChecksum(t *testing.T) {
+	// faults below, checksums above: the flip must surface as a
+	// retryable CorruptionError, never as silent bad data.
+	inner := fillStore(t, nil, 8192)
+	cs, err := nvm.WrapChecksum(Wrap(inner, "s", Config{Seed: 9, CorruptRate: 1}), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	rerr := cs.ReadAt(nil, buf, 128)
+	if !errors.Is(rerr, nvm.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", rerr)
+	}
+	if !nvm.IsRetryable(rerr) {
+		t.Fatal("corruption must be retryable (a re-read may succeed)")
+	}
+}
+
+func TestLatencySpikeChargesClock(t *testing.T) {
+	run := func(cfg Config) vtime.Duration {
+		dev := nvm.NewDevice(nvm.ProfileSSD320, 0)
+		st := nvm.NewMemStore(dev, 0)
+		if err := st.WriteAt(nil, make([]byte, 4096), 0); err != nil {
+			t.Fatal(err)
+		}
+		s := Wrap(st, "s", cfg)
+		clock := vtime.NewClock(0)
+		if err := s.ReadAt(clock, make([]byte, 4096), 0); err != nil {
+			t.Fatal(err)
+		}
+		return clock.Now()
+	}
+	plain := run(Config{Seed: 3})
+	spiked := run(Config{Seed: 3, SpikeRate: 1, SpikeMultiplier: 10})
+	if spiked <= plain {
+		t.Fatalf("spiked read (%v) not slower than plain read (%v)", spiked, plain)
+	}
+}
+
+func TestFactoryTracksStores(t *testing.T) {
+	mk := func(name string, chunk int) (nvm.Storage, error) {
+		return nvm.NewMemStore(nil, chunk), nil
+	}
+	f := NewFactory(mk, Config{Seed: 5, TransientRate: 1})
+	a, err := f.Make("a", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Make("b", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteAt(nil, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReadAt(nil, make([]byte, 64), 0); !errors.Is(err, nvm.ErrTransient) {
+		t.Fatalf("rate-1 read did not fail transiently: %v", err)
+	}
+	if n := len(f.Stores()); n != 2 {
+		t.Fatalf("factory tracks %d stores, want 2", n)
+	}
+	if c := f.TotalCounters(); c.Transient != 1 || c.Reads != 1 {
+		t.Fatalf("totals = %+v, want 1 transient over 1 read", c)
+	}
+}

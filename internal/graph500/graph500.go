@@ -13,6 +13,7 @@ import (
 	"semibfs/internal/core"
 	"semibfs/internal/csr"
 	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
 	"semibfs/internal/generator"
 	"semibfs/internal/nvm"
 	"semibfs/internal/rng"
@@ -87,8 +88,24 @@ type RootResult struct {
 	ExaminedBU  int64
 	ExaminedNVM int64
 	Switches    int
+	// Resilience summarizes the run's fault handling (zero over healthy
+	// devices).
+	Resilience bfs.Resilience
 	// Levels is retained only when Params.KeepLevelStats is set.
 	Levels []bfs.LevelStats
+}
+
+// ResilienceTotals aggregates fault handling across all BFS iterations.
+type ResilienceTotals struct {
+	Retries    int64
+	ReadErrors int64
+	// BackoffTime is the total virtual time spent in retry backoff.
+	BackoffTime vtime.Duration
+	// DegradedRuns counts roots whose traversal had to pin to the
+	// surviving direction after a device death; DegradedLevels counts the
+	// rescued levels themselves.
+	DegradedRuns   int
+	DegradedLevels int
 }
 
 // Result is a complete benchmark execution report.
@@ -115,6 +132,11 @@ type Result struct {
 	// EdgeListDevice snapshots the edge list's own device after the
 	// run (zero value unless EdgeListOnNVM).
 	EdgeListDevice nvm.Stats
+	// Resilience aggregates retry/backoff/degradation over all roots.
+	Resilience ResilienceTotals
+	// Faults snapshots the injected-fault totals (zero when the scenario
+	// injects none).
+	Faults faults.Counters
 }
 
 // MedianTEPS returns the benchmark score (the median over roots).
@@ -274,6 +296,14 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 			ExaminedBU:  out.ExaminedBU,
 			ExaminedNVM: out.ExaminedNVM,
 			Switches:    out.Switches,
+			Resilience:  out.Resilience,
+		}
+		res.Resilience.Retries += out.Resilience.Retries
+		res.Resilience.ReadErrors += out.Resilience.ReadErrors
+		res.Resilience.BackoffTime += out.Resilience.BackoffTime
+		if n := out.Resilience.DegradedLevels(); n > 0 {
+			res.Resilience.DegradedRuns++
+			res.Resilience.DegradedLevels += n
 		}
 		if out.Time > 0 {
 			rr.TEPS = float64(traversed) / out.Time.Seconds()
@@ -290,6 +320,7 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 		res.DeviceSeries = sys.Device.Series()
 	}
 	res.BackwardDRAMScans, res.BackwardNVMScans = runner.BackwardScanTotals()
+	res.Faults = sys.FaultCounters()
 	return res, nil
 }
 

@@ -1,0 +1,139 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func filledChecksumStore(t *testing.T, n int, block int) (*ChecksumStore, Storage, []byte) {
+	t.Helper()
+	inner := NewMemStore(nil, 0)
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	if err := inner.WriteAt(nil, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := WrapChecksum(inner, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, inner, data
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	cs, _, data := filledChecksumStore(t, 10000, 4096)
+	// Unaligned reads spanning block boundaries must verify and return
+	// exactly the requested bytes.
+	for _, r := range [][2]int64{{0, 100}, {4000, 200}, {4095, 2}, {9000, 1000}, {0, 10000}} {
+		got := make([]byte, r[1])
+		if err := cs.ReadAt(nil, got, r[0]); err != nil {
+			t.Fatalf("read [%d,%d): %v", r[0], r[0]+r[1], err)
+		}
+		if !bytes.Equal(got, data[r[0]:r[0]+r[1]]) {
+			t.Fatalf("read [%d,%d): wrong bytes", r[0], r[0]+r[1])
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	cs, inner, data := filledChecksumStore(t, 10000, 4096)
+	// Corrupt the media behind the checksum layer's back.
+	evil := append([]byte(nil), data[5000:5004]...)
+	evil[2] ^= 0x10
+	if err := inner.WriteAt(nil, evil, 5000); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	err := cs.ReadAt(nil, buf, 5000)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptionError, got %T", err)
+	}
+	if ce.Block != 1 {
+		t.Fatalf("corruption attributed to block %d, want 1", ce.Block)
+	}
+	if cs.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", cs.Failures())
+	}
+	// Other blocks still verify.
+	if err := cs.ReadAt(nil, buf, 0); err != nil {
+		t.Fatalf("clean block rejected: %v", err)
+	}
+	// Rewriting the corrupted range through the checksum layer heals it.
+	if err := cs.WriteAt(nil, data[4096:8192], 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.ReadAt(nil, buf, 5000); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestChecksumWriteGrowsStore(t *testing.T) {
+	inner := NewMemStore(nil, 0)
+	cs, err := WrapChecksum(inner, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a partial first block, then extend past a zero-filled gap so
+	// the straddling block and the gap blocks all need fresh checksums.
+	a := []byte("hello world")
+	if err := cs.WriteAt(nil, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := bytes.Repeat([]byte{0xAB}, 300)
+	if err := cs.WriteAt(nil, b, 700); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Size() != 1000 {
+		t.Fatalf("size = %d, want 1000", cs.Size())
+	}
+	got := make([]byte, 1000)
+	if err := cs.ReadAt(nil, got, 0); err != nil {
+		t.Fatalf("full read: %v", err)
+	}
+	want := make([]byte, 1000)
+	copy(want, a)
+	copy(want[700:], b)
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-back mismatch after gapped writes")
+	}
+	// Overwrite straddling the old end: block checksums must refresh.
+	c := bytes.Repeat([]byte{0xCD}, 600)
+	if err := cs.WriteAt(nil, c, 900); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 1500)
+	if err := cs.ReadAt(nil, got, 0); err != nil {
+		t.Fatalf("read after extend: %v", err)
+	}
+	copy(want[900:], c[:100])
+	want = append(want, c[100:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-back mismatch after extending write")
+	}
+}
+
+func TestChecksumWrapExistingContents(t *testing.T) {
+	inner := NewMemStore(nil, 0)
+	data := bytes.Repeat([]byte{7, 11, 13}, 2000)
+	if err := inner.WriteAt(nil, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := WrapChecksum(inner, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := cs.ReadAt(nil, got, 0); err != nil {
+		t.Fatalf("pre-existing contents rejected: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pre-existing contents mangled")
+	}
+}

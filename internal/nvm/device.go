@@ -44,6 +44,12 @@ type deviceStats struct {
 	firstArrival  vtime.Duration
 	lastComplete  vtime.Duration
 	sawRequest    bool
+
+	// Health accounting, fed by the fault-injection and retry layers.
+	errors  int64
+	retries int64
+	backoff vtime.Duration
+	dead    bool
 }
 
 // NewDevice returns a Device with the given profile. The optional
@@ -134,10 +140,43 @@ func (d *Device) submit(at vtime.Duration, n int, write bool) vtime.Duration {
 	return complete
 }
 
+// NoteError records one failed request against the device's health
+// accounting (the request itself may or may not have been charged time).
+func (d *Device) NoteError() {
+	d.mu.Lock()
+	d.stats.errors++
+	d.mu.Unlock()
+}
+
+// NoteRetry records one retry attempt and the virtual backoff time the
+// caller charged before reissuing the request.
+func (d *Device) NoteRetry(backoff vtime.Duration) {
+	d.mu.Lock()
+	d.stats.retries++
+	d.stats.backoff += backoff
+	d.mu.Unlock()
+}
+
+// MarkDead records that the device has permanently failed. Deadness is a
+// health annotation only: the queueing model keeps accepting requests (a
+// dead device's store layer is what refuses them).
+func (d *Device) MarkDead() {
+	d.mu.Lock()
+	d.stats.dead = true
+	d.mu.Unlock()
+}
+
 // Stats is a snapshot of the device's accumulated request statistics.
 type Stats struct {
 	Reads, Writes         int64
 	ReadBytes, WriteBytes int64
+	// Errors / Retries count failed requests and retry attempts noted by
+	// the resilience layers; Backoff is the total virtual backoff time
+	// charged before retries; Dead reports a permanent device failure.
+	Errors  int64
+	Retries int64
+	Backoff vtime.Duration
+	Dead    bool
 	// AvgQueueSize is iostat's avgqu-sz: the time-averaged number of
 	// in-flight (queued + in-service) requests over the observation
 	// span, computed by Little's law.
@@ -167,6 +206,10 @@ func (d *Device) Snapshot() Stats {
 		Writes:     s.writes,
 		ReadBytes:  s.readBytes,
 		WriteBytes: s.writeBytes,
+		Errors:     s.errors,
+		Retries:    s.retries,
+		Backoff:    s.backoff,
+		Dead:       s.dead,
 	}
 	if n == 0 {
 		return out

@@ -1,0 +1,66 @@
+package nvm
+
+import (
+	"errors"
+	"fmt"
+
+	"semibfs/internal/vtime"
+)
+
+// The storage error taxonomy the resilient read path dispatches on.
+// Wrappers (fault injectors, checksum verifiers) wrap these sentinels so
+// callers can classify a failure with errors.Is regardless of which layer
+// produced it:
+//
+//   - ErrTransient: the request failed but an identical retry may succeed
+//     (media read error, dropped completion, injected transient fault).
+//   - ErrCorrupt: the request "succeeded" but returned bytes that fail
+//     verification; a retry re-reads the media and may succeed.
+//   - ErrDeviceDead: the device is permanently gone; retries cannot help.
+var (
+	ErrTransient  = errors.New("nvm: transient read error")
+	ErrCorrupt    = errors.New("nvm: chunk checksum mismatch")
+	ErrDeviceDead = errors.New("nvm: device dead")
+)
+
+// IsRetryable reports whether err is worth retrying: any storage error
+// except a permanent device death. A nil error is not retryable.
+func IsRetryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrDeviceDead)
+}
+
+// DeadError is the structured error a store returns once its device has
+// permanently failed. It wraps ErrDeviceDead.
+type DeadError struct {
+	// Store names the failed store.
+	Store string
+	// Reads is the number of reads served before death.
+	Reads int64
+	// At is the virtual time of the failing request (0 if no clock).
+	At vtime.Duration
+}
+
+func (e *DeadError) Error() string {
+	return fmt.Sprintf("nvm: store %s: device dead after %d reads at %v: %v",
+		e.Store, e.Reads, e.At.ToTime(), ErrDeviceDead)
+}
+
+func (e *DeadError) Unwrap() error { return ErrDeviceDead }
+
+// CorruptionError is the structured error a checksum-verifying store
+// returns when a block's CRC does not match. It wraps ErrCorrupt.
+type CorruptionError struct {
+	// Block is the index of the failing checksum block.
+	Block int64
+	// Off is the block's byte offset.
+	Off int64
+	// Want and Got are the stored and recomputed CRC32 values.
+	Want, Got uint32
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("nvm: block %d @%d: crc32 %08x != stored %08x: %v",
+		e.Block, e.Off, e.Got, e.Want, ErrCorrupt)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }

@@ -25,6 +25,10 @@ type HybridBackward struct {
 	Limit int
 	// PerNode[k] holds node k's vertex range.
 	PerNode []*BackwardNode
+	// Retry bounds per-read retries with virtual-time backoff; scanners
+	// snapshot it at creation. BuildHybridBackward sets
+	// DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // BackwardNode is one NUMA node's slice of a HybridBackward graph.
@@ -62,6 +66,16 @@ func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, cloc
 		Part:    bg.Part,
 		Limit:   limit,
 		PerNode: make([]*BackwardNode, len(bg.PerNode)),
+		Retry:   DefaultRetryPolicy,
+	}
+	// Close every store created so far on any error (same close-on-error
+	// discipline as OffloadForward), so a failed build leaks nothing.
+	var created []nvm.Storage
+	fail := func(err error) (*HybridBackward, error) {
+		for _, st := range created {
+			st.Close()
+		}
+		return nil, err
 	}
 	for k, g := range bg.PerNode {
 		node := &BackwardNode{Base: g.Base, Len: g.Len}
@@ -95,10 +109,11 @@ func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, cloc
 		if len(tail) > 0 {
 			store, err := mk(fmt.Sprintf("bwd-node%d-tail", k), nvm.DefaultChunkSize)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
+			created = append(created, store)
 			if err := writeInt64s(store, clock, tail); err != nil {
-				return nil, fmt.Errorf("semiext: offload backward tail node %d: %w", k, err)
+				return fail(fmt.Errorf("semiext: offload backward tail node %d: %w", k, err))
 			}
 			node.TailStore = store
 		} else {
@@ -169,8 +184,11 @@ func (hb *HybridBackward) Close() error {
 type BackwardScanner struct {
 	hb      *HybridBackward
 	clock   *vtime.Clock
+	retry   RetryPolicy
 	byteBuf []byte
 	valBuf  []int64
+	// Health accumulates the scanner's retry/backoff accounting.
+	Health Health
 	// DRAMEdgesScanned / NVMEdgesScanned count neighbor entries
 	// examined from each tier — the quantities behind Figure 14's
 	// access ratio.
@@ -185,6 +203,7 @@ func NewBackwardScanner(hb *HybridBackward, clock *vtime.Clock) *BackwardScanner
 	return &BackwardScanner{
 		hb:      hb,
 		clock:   clock,
+		retry:   hb.Retry,
 		byteBuf: make([]byte, nvm.DefaultChunkSize),
 	}
 }
@@ -224,7 +243,7 @@ func (s *BackwardScanner) Scan(k int, v int64, fn func(nb int64) bool) (examined
 			count = idsPerChunk
 		}
 		chunk := s.valBuf[:count]
-		if err := readInt64s(node.TailStore, s.clock, off, count, chunk, s.byteBuf); err != nil {
+		if err := readInt64s(node.TailStore, s.clock, s.retry, &s.Health, off, count, chunk, s.byteBuf); err != nil {
 			return examined, err
 		}
 		for _, nb := range chunk {

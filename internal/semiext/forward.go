@@ -70,6 +70,9 @@ type SemiForward struct {
 	Part    *numa.Partition
 	PerNode []*ForwardNode
 	Options ForwardOptions
+	// Retry bounds per-read retries with virtual-time backoff; readers
+	// snapshot it at creation. OffloadForward sets DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // ForwardNode is one NUMA node's slice of the offloaded forward graph.
@@ -89,22 +92,34 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		Part:    fg.Part,
 		PerNode: make([]*ForwardNode, len(fg.PerNode)),
 		Options: opts,
+		Retry:   DefaultRetryPolicy,
+	}
+	// On any error, close every store created so far — including the
+	// current and previous nodes' — so a failed offload leaks nothing.
+	var created []nvm.Storage
+	fail := func(err error) (*SemiForward, error) {
+		for _, st := range created {
+			st.Close()
+		}
+		return nil, err
 	}
 	chunk := opts.chunkBytes()
 	for k, g := range fg.PerNode {
 		idxStore, err := mk(fmt.Sprintf("fwd-node%d-index", k), chunk)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
+		created = append(created, idxStore)
 		valStore, err := mk(fmt.Sprintf("fwd-node%d-value", k), chunk)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
+		created = append(created, valStore)
 		if err := writeInt64s(idxStore, clock, g.Index); err != nil {
-			return nil, fmt.Errorf("semiext: offload index node %d: %w", k, err)
+			return fail(fmt.Errorf("semiext: offload index node %d: %w", k, err))
 		}
 		if err := writeInt64s(valStore, clock, g.Value); err != nil {
-			return nil, fmt.Errorf("semiext: offload value node %d: %w", k, err)
+			return fail(fmt.Errorf("semiext: offload value node %d: %w", k, err))
 		}
 		node := &ForwardNode{
 			N:          g.NumVertices,
@@ -157,12 +172,15 @@ func (sf *SemiForward) Close() error {
 type ForwardReader struct {
 	sf      *SemiForward
 	clock   *vtime.Clock
+	retry   RetryPolicy
 	byteBuf []byte
 	valBuf  []int64
 	// EdgesRead counts neighbor IDs delivered from NVM.
 	EdgesRead int64
 	// IndexReads counts index-entry fetches that went to NVM.
 	IndexReads int64
+	// Health accumulates the reader's retry/backoff accounting.
+	Health Health
 }
 
 // NewForwardReader returns a reader charging device time to clock. The
@@ -172,6 +190,7 @@ func NewForwardReader(sf *SemiForward, clock *vtime.Clock) *ForwardReader {
 	return &ForwardReader{
 		sf:      sf,
 		clock:   clock,
+		retry:   sf.Retry,
 		byteBuf: make([]byte, sf.Options.chunkBytes()),
 	}
 }
@@ -185,7 +204,7 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 		lo, hi = node.dramIndex[v], node.dramIndex[v+1]
 	} else {
 		// One request covering both bracketing index entries.
-		if err := node.IndexStore.ReadAt(r.clock, r.byteBuf[:16], v*8); err != nil {
+		if err := r.retry.readAt(node.IndexStore, r.clock, &r.Health, r.byteBuf[:16], v*8); err != nil {
 			return nil, err
 		}
 		lo = int64(binary.LittleEndian.Uint64(r.byteBuf[0:8]))
@@ -208,7 +227,7 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 		if off+n > byteHi {
 			n = byteHi - off
 		}
-		if err := node.ValueStore.ReadAt(r.clock, r.byteBuf[:n], off); err != nil {
+		if err := r.retry.readAt(node.ValueStore, r.clock, &r.Health, r.byteBuf[:n], off); err != nil {
 			return nil, err
 		}
 		for b := int64(0); b < n; b += 8 {
@@ -245,8 +264,9 @@ func writeInt64s(store nvm.Storage, clock *vtime.Clock, vals []int64) error {
 	return nil
 }
 
-// readInt64s reads count int64 values starting at element offset elemOff.
-func readInt64s(store nvm.Storage, clock *vtime.Clock, elemOff, count int64, out []int64, scratch []byte) error {
+// readInt64s reads count int64 values starting at element offset elemOff,
+// retrying each chunk under policy and accounting into h.
+func readInt64s(store nvm.Storage, clock *vtime.Clock, policy RetryPolicy, h *Health, elemOff, count int64, out []int64, scratch []byte) error {
 	byteLo := elemOff * 8
 	byteHi := byteLo + count*8
 	pos := 0
@@ -255,7 +275,7 @@ func readInt64s(store nvm.Storage, clock *vtime.Clock, elemOff, count int64, out
 		if off+n > byteHi {
 			n = byteHi - off
 		}
-		if err := store.ReadAt(clock, scratch[:n], off); err != nil {
+		if err := policy.readAt(store, clock, h, scratch[:n], off); err != nil {
 			return err
 		}
 		for b := int64(0); b < n; b += 8 {

@@ -1,0 +1,101 @@
+package semiext
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/generator"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// closeTrackingStore records Close calls and can be made to fail writes.
+type closeTrackingStore struct {
+	nvm.Storage
+	closed    atomic.Bool
+	failWrite bool
+}
+
+var errWriteRefused = errors.New("write refused")
+
+func (s *closeTrackingStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
+	if s.failWrite {
+		return errWriteRefused
+	}
+	return s.Storage.WriteAt(clock, p, off)
+}
+
+func (s *closeTrackingStore) Close() error {
+	s.closed.Store(true)
+	return s.Storage.Close()
+}
+
+func buildLeakTestGraphs(t *testing.T) (*csr.ForwardGraph, *csr.BackwardGraph) {
+	t.Helper()
+	list, err := generator.Generate(generator.Config{Scale: 8, EdgeFactor: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := edgelist.ListSource{List: list}
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	part := numa.NewPartition(topo, int(list.NumVertices))
+	fg, err := csr.BuildForward(src, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := csr.BuildBackward(src, part, csr.SortByDegreeDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fg, bg
+}
+
+func TestOffloadForwardClosesStoresOnError(t *testing.T) {
+	fg, _ := buildLeakTestGraphs(t)
+	var created []*closeTrackingStore
+	mk := func(_ string, chunk int) (nvm.Storage, error) {
+		st := &closeTrackingStore{Storage: nvm.NewMemStore(nil, chunk)}
+		// Fail once a few stores exist, so earlier ones would leak if
+		// the builder forgot them.
+		st.failWrite = len(created) >= 2
+		created = append(created, st)
+		return st, nil
+	}
+	if _, err := OffloadForward(fg, mk, nil, ForwardOptions{}); !errors.Is(err, errWriteRefused) {
+		t.Fatalf("offload did not surface the write failure: %v", err)
+	}
+	if len(created) < 3 {
+		t.Fatalf("test needs >= 3 stores created, got %d", len(created))
+	}
+	for i, st := range created {
+		if !st.closed.Load() {
+			t.Fatalf("store %d leaked (not closed) after failed offload", i)
+		}
+	}
+}
+
+func TestBuildHybridBackwardClosesStoresOnError(t *testing.T) {
+	_, bg := buildLeakTestGraphs(t)
+	var created []*closeTrackingStore
+	mk := func(_ string, chunk int) (nvm.Storage, error) {
+		st := &closeTrackingStore{Storage: nvm.NewMemStore(nil, chunk)}
+		st.failWrite = len(created) >= 1
+		created = append(created, st)
+		return st, nil
+	}
+	if _, err := BuildHybridBackward(bg, 1, mk, nil); !errors.Is(err, errWriteRefused) {
+		t.Fatalf("build did not surface the write failure: %v", err)
+	}
+	if len(created) < 2 {
+		t.Fatalf("test needs >= 2 stores created, got %d", len(created))
+	}
+	for i, st := range created {
+		if !st.closed.Load() {
+			t.Fatalf("store %d leaked (not closed) after failed build", i)
+		}
+	}
+}

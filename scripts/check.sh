@@ -1,0 +1,18 @@
+#!/bin/sh
+# Fast correctness gate: vet everything, then race-test every package.
+# Test graphs are already small (SCALE 8-10), so the race run finishes in
+# about a minute.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
