@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -14,3 +14,7 @@ check:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Perf trajectory: cache-sweep TEPS (with/without the page cache) as JSON.
+bench-json:
+	sh scripts/bench.sh

@@ -20,13 +20,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|all")
-		scale = flag.Int("scale", 18, "large instance scale")
-		ef    = flag.Int("edgefactor", 16, "edges per vertex")
-		seed  = flag.Uint64("seed", 12345, "generator seed")
-		roots = flag.Int("roots", 8, "BFS iterations per configuration")
-		dir   = flag.String("dir", "", "directory for NVM store files")
-		noEq  = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence in performance experiments")
+		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|cache|all")
+		scale  = flag.Int("scale", 18, "large instance scale")
+		ef     = flag.Int("edgefactor", 16, "edges per vertex")
+		seed   = flag.Uint64("seed", 12345, "generator seed")
+		roots  = flag.Int("roots", 8, "BFS iterations per configuration")
+		dir    = flag.String("dir", "", "directory for NVM store files")
+		noEq   = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence in performance experiments")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (supported: cache)")
 	)
 	flag.Parse()
 
@@ -44,14 +45,14 @@ func main() {
 		names = []string{"table1", "table2", "fig3", "headline", "fig10", "fig11", "fig12-13", "fig14", "green", "ablations", "scaling", "pearce"}
 	}
 	for _, name := range names {
-		if err := run(strings.TrimSpace(name), opts); err != nil {
+		if err := run(strings.TrimSpace(name), opts, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "analyze: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(name string, opts experiments.Options) error {
+func run(name string, opts experiments.Options, asJSON bool) error {
 	switch name {
 	case "table1":
 		fmt.Println(experiments.FormatTableI(experiments.TableI()))
@@ -130,6 +131,21 @@ func run(name string, opts experiments.Options) error {
 		}
 		fmt.Println(experiments.FormatFaultSweep(rows))
 		fmt.Println(experiments.FaultSweepCSV(rows))
+	case "cache":
+		rows, err := experiments.CacheSweep(opts)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out, err := experiments.CacheSweepJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}
+		fmt.Println(experiments.FormatCacheSweep(rows))
+		fmt.Println(experiments.CacheSweepCSV(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

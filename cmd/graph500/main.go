@@ -51,6 +51,8 @@ func main() {
 		faultAfter = flag.Int64("fault-after", 0, "kill each NVM store permanently after this many reads (0 = never)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		corrupt    = flag.Float64("fault-corrupt", 0, "bit-flip corruption rate on NVM reads (enables CRC32 checksums)")
+		cacheSize  = flag.String("cache-bytes", "", "DRAM page-cache budget for the forward graph, e.g. 64M or 1G (empty = no cache)")
+		readahead  = flag.Int("readahead", 0, "value-store readahead depth in cache blocks (requires -cache-bytes)")
 	)
 	flag.Parse()
 
@@ -100,6 +102,25 @@ func main() {
 		}
 		// Corruption without checksums is silent; always pair them.
 		sc.Checksums = *corrupt > 0
+	}
+	if *cacheSize != "" {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-cache-bytes requires an NVM scenario (pcie or ssd)"))
+		}
+		budget, err := parseBytes(*cacheSize)
+		if err != nil {
+			fatal(fmt.Errorf("bad -cache-bytes %q: %v", *cacheSize, err))
+		}
+		sc.CacheBytes = budget
+	}
+	if *readahead < 0 {
+		fatal(fmt.Errorf("-readahead must be >= 0"))
+	}
+	if *readahead > 0 {
+		if sc.CacheBytes <= 0 {
+			fatal(fmt.Errorf("-readahead requires -cache-bytes"))
+		}
+		sc.ReadaheadBlocks = *readahead
 	}
 	bfsMode, isRef, err := modeByName(*mode)
 	if err != nil {
@@ -163,6 +184,35 @@ func scenarioByName(name string) (core.Scenario, error) {
 	}
 }
 
+// parseBytes parses a byte count with an optional K/M/G/T suffix
+// (binary multiples, case-insensitive, optional trailing B or iB).
+func parseBytes(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	mult := int64(1)
+	if n := len(t); n > 0 {
+		switch t[n-1] {
+		case 'K':
+			mult, t = 1<<10, t[:n-1]
+		case 'M':
+			mult, t = 1<<20, t[:n-1]
+		case 'G':
+			mult, t = 1<<30, t[:n-1]
+		case 'T':
+			mult, t = 1<<40, t[:n-1]
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("must be positive")
+	}
+	return int64(v * float64(mult)), nil
+}
+
 func modeByName(name string) (bfs.Mode, bool, error) {
 	switch strings.ToLower(name) {
 	case "hybrid":
@@ -201,6 +251,15 @@ func printReport(res *graph500.Result, wall time.Duration) {
 		fmt.Printf("NVM avgqu-sz:         %.1f\n", d.AvgQueueSize)
 		fmt.Printf("NVM avgrq-sz:         %.1f sectors\n", d.AvgRequestSectors)
 		fmt.Printf("NVM await:            %v\n", (d.AvgWait + d.AvgService).ToTime())
+	}
+	if c := res.CacheStats; c.CapacityBytes > 0 {
+		fmt.Printf("page cache:           %s (%d-byte blocks, readahead %d)\n",
+			stats.FormatBytes(c.CapacityBytes), c.BlockBytes, p.Scenario.ReadaheadBlocks)
+		fmt.Printf("cache hits:           %d of %d lookups (%.1f%%), %d evictions\n",
+			c.Hits, c.Hits+c.Misses, 100*c.HitRate(), c.Evictions)
+		if c.Prefetches > 0 {
+			fmt.Printf("cache prefetches:     %d issued, %d hit\n", c.Prefetches, c.PrefetchHits)
+		}
 	}
 	if r := res.Resilience; r.Retries > 0 || r.ReadErrors > 0 || r.DegradedRuns > 0 {
 		fmt.Printf("NVM read errors:      %d (%d retried, backoff %v)\n",

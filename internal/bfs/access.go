@@ -13,6 +13,7 @@ package bfs
 
 import (
 	"semibfs/internal/csr"
+	"semibfs/internal/nvm"
 	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
@@ -70,6 +71,13 @@ type HealthCounters interface {
 	Health() semiext.Health
 }
 
+// CacheStatsProvider is optionally implemented by ForwardAccess values
+// whose stores read through a DRAM page cache; the engine reports per-run
+// deltas of these cumulative counters in Result.Cache.
+type CacheStatsProvider interface {
+	CacheStats() nvm.CacheStats
+}
+
 // DRAMForward adapts a DRAM-resident csr.ForwardGraph.
 type DRAMForward struct {
 	G *csr.ForwardGraph
@@ -105,6 +113,9 @@ func (n NVMForward) NewCursor(clock *vtime.Clock) ForwardCursor {
 
 // OnNVM implements ForwardAccess.
 func (NVMForward) OnNVM() bool { return true }
+
+// CacheStats implements CacheStatsProvider.
+func (n NVMForward) CacheStats() nvm.CacheStats { return n.SF.CacheStats() }
 
 type nvmForwardCursor struct {
 	r *semiext.ForwardReader

@@ -7,6 +7,7 @@ import (
 
 	"semibfs/internal/bitmap"
 	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
 	"semibfs/internal/vtime"
 )
 
@@ -140,6 +141,9 @@ type Result struct {
 	// Resilience summarizes the run's fault handling (zero for a healthy
 	// run over healthy devices).
 	Resilience Resilience
+	// Cache summarizes the run's forward-graph page-cache activity (zero
+	// when no cache is configured).
+	Cache nvm.CacheStats
 }
 
 // CloneTree returns a copy of the parent array.
@@ -191,6 +195,10 @@ type Runner struct {
 
 	// per-level, per-worker accumulators
 	acc []workerAcc
+
+	// offsScratch is gatherQueues's prefix-sum scratch, kept across
+	// levels so deep traversals don't allocate per level.
+	offsScratch []int
 }
 
 type workerAcc struct {
@@ -230,6 +238,8 @@ func NewRunner(fwd ForwardAccess, bwd BackwardAccess, part *numa.Partition, cfg 
 		scanners: make([]BackwardScan, nw),
 		barrier:  vtime.NewBarrier(cfg.Cost.Barrier),
 		acc:      make([]workerAcc, nw),
+
+		offsScratch: make([]int, nw+1),
 	}
 	r.frontBM = make([]*bitmap.Atomic, cfg.Topology.Nodes)
 	for k := range r.frontBM {
@@ -368,9 +378,10 @@ func (r *Runner) Run(root int64) (*Result, error) {
 		c.AdvanceTo(0)
 	}
 	r.pinned = false
-	// Cursor health accumulates across runs; per-run resilience is the
-	// delta against this snapshot.
+	// Cursor health and cache counters accumulate across runs; per-run
+	// figures are deltas against these snapshots.
 	health0 := r.healthTotals()
+	cache0 := r.cacheTotals()
 	start := r.clocks[0].Now()
 
 	r.tree[root] = root
@@ -495,5 +506,15 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	res.Resilience.Retries = h.Retries
 	res.Resilience.ReadErrors = h.Errors
 	res.Resilience.BackoffTime = h.Backoff
+	res.Cache = r.cacheTotals().Sub(cache0)
 	return res, nil
+}
+
+// cacheTotals returns the forward graph's cumulative page-cache counters
+// (zero when the access has no cache).
+func (r *Runner) cacheTotals() nvm.CacheStats {
+	if c, ok := r.fwd.(CacheStatsProvider); ok {
+		return c.CacheStats()
+	}
+	return nvm.CacheStats{}
 }

@@ -39,7 +39,7 @@ func (r *Runner) convertFrontier(from, to Direction) error {
 // copy itself parallelizes; the bytes moved are charged as streams.
 func (r *Runner) gatherQueues() error {
 	total := 0
-	offs := make([]int, r.nWorkers+1)
+	offs := r.offsScratch
 	for w := 0; w < r.nWorkers; w++ {
 		offs[w] = total
 		total += len(r.nextQ[w])

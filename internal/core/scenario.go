@@ -56,6 +56,13 @@ type Scenario struct {
 	// so injected bit-flip corruption is detected (and retried) instead
 	// of silently traversed.
 	Checksums bool
+	// CacheBytes, when positive, gives the forward graph's stores a
+	// shared DRAM page cache of that budget (block = the request size,
+	// FlashGraph's SAFS-style cache); 0 disables caching.
+	CacheBytes int64
+	// ReadaheadBlocks prefetches that many value blocks past each
+	// adjacency read (requires CacheBytes > 0).
+	ReadaheadBlocks int
 }
 
 // WithFaults returns the scenario with fault injection configured.
@@ -67,6 +74,14 @@ func (s Scenario) WithFaults(cfg faults.Config) Scenario {
 // WithLatencyScale returns the scenario with its device latencies scaled.
 func (s Scenario) WithLatencyScale(f float64) Scenario {
 	s.LatencyScale = f
+	return s
+}
+
+// WithCache returns the scenario with a forward-graph page cache of the
+// given budget and readahead depth.
+func (s Scenario) WithCache(budget int64, readahead int) Scenario {
+	s.CacheBytes = budget
+	s.ReadaheadBlocks = readahead
 	return s
 }
 
@@ -166,6 +181,15 @@ func (s *System) FaultCounters() faults.Counters {
 // offloads backward-graph tails, or nil.
 func (s *System) HybridBackward() *semiext.HybridBackward { return s.hybBwd }
 
+// PageCache returns the forward graph's shared page cache, or nil when
+// the scenario configures none.
+func (s *System) PageCache() *nvm.PageCache {
+	if s.semiFwd == nil {
+		return nil
+	}
+	return s.semiFwd.Cache()
+}
+
 // DRAMBytes returns the total graph bytes resident in DRAM.
 func (s *System) DRAMBytes() int64 { return s.DRAMForwardBytes + s.DRAMBackwardBytes }
 
@@ -256,8 +280,10 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 	}
 	if sc.ForwardOnNVM {
 		fwdOpts := semiext.ForwardOptions{
-			IndexInDRAM: sc.IndexInDRAM,
-			AggregateIO: sc.AggregateIO,
+			IndexInDRAM:     sc.IndexInDRAM,
+			AggregateIO:     sc.AggregateIO,
+			CacheBytes:      sc.CacheBytes,
+			ReadaheadBlocks: sc.ReadaheadBlocks,
 		}
 		sf, err := semiext.OffloadForward(fg, mk, opts.ConstructClock, fwdOpts)
 		if err != nil {

@@ -91,6 +91,9 @@ type RootResult struct {
 	// Resilience summarizes the run's fault handling (zero over healthy
 	// devices).
 	Resilience bfs.Resilience
+	// Cache summarizes the run's forward-graph page-cache activity (zero
+	// when no cache is configured).
+	Cache nvm.CacheStats
 	// Levels is retained only when Params.KeepLevelStats is set.
 	Levels []bfs.LevelStats
 }
@@ -137,6 +140,9 @@ type Result struct {
 	// Faults snapshots the injected-fault totals (zero when the scenario
 	// injects none).
 	Faults faults.Counters
+	// CacheStats aggregates the forward-graph page cache's activity over
+	// all BFS iterations (zero when the scenario configures no cache).
+	CacheStats nvm.CacheStats
 }
 
 // MedianTEPS returns the benchmark score (the median over roots).
@@ -245,6 +251,12 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 		// run's measurements.
 		sys.Device.Reset()
 	}
+	if c := sys.PageCache(); c != nil {
+		// Start cold so repeated calls over a shared system measure the
+		// same thing (and stay deterministic). The cache warms across
+		// this call's roots, as it would across a real benchmark run.
+		c.Reset()
+	}
 
 	runner, err := sys.NewRunner(p.BFS)
 	if err != nil {
@@ -297,7 +309,9 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 			ExaminedNVM: out.ExaminedNVM,
 			Switches:    out.Switches,
 			Resilience:  out.Resilience,
+			Cache:       out.Cache,
 		}
+		res.CacheStats = res.CacheStats.Add(out.Cache)
 		res.Resilience.Retries += out.Resilience.Retries
 		res.Resilience.ReadErrors += out.Resilience.ReadErrors
 		res.Resilience.BackoffTime += out.Resilience.BackoffTime

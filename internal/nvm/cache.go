@@ -1,0 +1,584 @@
+package nvm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"semibfs/internal/numa"
+	"semibfs/internal/vtime"
+)
+
+// PageCache is a fixed-budget, block-granular DRAM cache shared by a set
+// of NVM stores — the compact shared page cache FlashGraph puts in front
+// of its SSD file system (SAFS), applied to the paper's forward graph.
+//
+// Design:
+//
+//   - Pages are whole device blocks (the store's request-size cap, 4 KiB
+//     by default), so a cached read never issues a smaller device request
+//     than an uncached one would, and checksum-verified stores are read at
+//     exactly their verification granularity.
+//   - Eviction is GCLOCK (CLOCK with a saturating reference counter):
+//     each shard sweeps a clock hand over its page ring, decrementing
+//     counters until a zero-count settled page turns up. New fills enter
+//     cold (count 0) and each demand hit increments the counter, so a
+//     BFS level streaming adjacency blocks it will never revisit churns
+//     through the cold pages while the repeatedly-hit index blocks
+//     accumulate counts and stay resident — scan resistance one bit of
+//     CLOCK state cannot express. This approximates LRU-k without
+//     per-hit list surgery, which matters because hits take the shard
+//     lock only briefly.
+//   - The page table is sharded by key hash, so concurrent simulated
+//     workers touching different blocks never contend on one lock.
+//   - Fills are single-flighted: when two workers miss the same block at
+//     once, one issues the device request and the other waits for the
+//     filled page, modeling the request merging a shared OS page cache
+//     performs.
+//
+// Virtual-time accounting: a hit charges the worker's clock the DRAM
+// streaming cost of the copied bytes (numa.CostModel.Stream); a miss
+// charges the device request through the inner store and then the copy.
+// A page filled by prefetch or by another worker's in-flight request
+// carries its fill's completion time, and a reader arriving earlier
+// advances to it — an async prefetch is free only once it has completed.
+type PageCache struct {
+	block  int64
+	cost   numa.CostModel
+	shards []cacheShard
+	// capacity is the page budget summed over shards.
+	capacity int64
+	// nextID hands out CachedStore identities.
+	nextID atomic.Uint32
+
+	hits, misses, evictions atomic.Int64
+	hitBytes, fillBytes     atomic.Int64
+	prefetches              atomic.Int64
+	prefetchHits            atomic.Int64
+	mergedFills             atomic.Int64
+}
+
+// maxCacheShards bounds the lock-shard count. 16 shards keep 48
+// simulated workers from serializing; small caches use fewer shards so
+// each ring keeps enough pages for CLOCK to have history to work with
+// (a 1-page shard degenerates to direct-mapped and thrashes on any two
+// hot blocks that collide).
+const maxCacheShards = 16
+
+// minPagesPerShard is the smallest ring CLOCK sweeps usefully.
+const minPagesPerShard = 8
+
+// maxPageRefs caps the GCLOCK reference counter: a page the sweep must
+// pass this many times before it becomes a victim. Small enough that a
+// formerly-hot page ages out within a few sweeps.
+const maxPageRefs = 3
+
+type pageKey struct {
+	store uint32
+	block int64
+}
+
+type page struct {
+	key pageKey
+	// buf is immutable once the fill completes; evicted pages keep their
+	// buffer so a straggling waiter can still copy from it.
+	buf []byte
+	// readyAt is the virtual completion time of the fill that produced
+	// the page; readers arriving earlier advance to it.
+	readyAt vtime.Duration
+	// refs is the GCLOCK reference counter: incremented (saturating at
+	// maxPageRefs) on each demand hit, decremented by the eviction sweep.
+	// New fills enter at zero, so unreferenced pages evict first.
+	refs uint8
+	// filling marks an in-flight fill; done is closed when it completes
+	// (buf/readyAt/err are published before the close).
+	filling bool
+	done    chan struct{}
+	err     error
+	// stale marks a page invalidated by a write while its fill was in
+	// flight; the filler discards it instead of installing it.
+	stale bool
+	// prefetched marks a page filled by readahead; the first hit on it
+	// counts as a prefetch hit and clears the mark.
+	prefetched bool
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	// pages indexes the ring by key; ring is the CLOCK ring, growing up
+	// to capacity before eviction starts.
+	pages    map[pageKey]*page
+	ring     []*page
+	hand     int
+	capacity int
+}
+
+// NewPageCache returns a cache with the given byte budget and block size.
+// block <= 0 selects DefaultChunkSize; a positive budget smaller than one
+// block is rounded up to a single page. cost supplies the DRAM streaming
+// cost hits charge; the zero value selects numa.DefaultCostModel.
+func NewPageCache(budget int64, block int, cost numa.CostModel) *PageCache {
+	if block <= 0 {
+		block = DefaultChunkSize
+	}
+	if cost == (numa.CostModel{}) {
+		cost = numa.DefaultCostModel
+	}
+	pages := budget / int64(block)
+	if pages < 1 {
+		pages = 1
+	}
+	nShards := int(pages / minPagesPerShard)
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > maxCacheShards {
+		nShards = maxCacheShards
+	}
+	c := &PageCache{
+		block:    int64(block),
+		cost:     cost,
+		shards:   make([]cacheShard, nShards),
+		capacity: pages,
+	}
+	// Spread the page budget over the shards, remainder to the leading
+	// ones.
+	base, rem := pages/int64(nShards), pages%int64(nShards)
+	for i := range c.shards {
+		cap := base
+		if int64(i) < rem {
+			cap++
+		}
+		c.shards[i].capacity = int(cap)
+		c.shards[i].pages = make(map[pageKey]*page)
+	}
+	return c
+}
+
+// BlockBytes returns the cache's page size in bytes.
+func (c *PageCache) BlockBytes() int64 { return c.block }
+
+// CapacityBytes returns the DRAM budget the cache may occupy. Shard
+// rounding can hold a few pages more than the requested budget; this
+// reports the actual bound.
+func (c *PageCache) CapacityBytes() int64 {
+	var pages int64
+	for i := range c.shards {
+		pages += int64(c.shards[i].capacity)
+	}
+	return pages * c.block
+}
+
+// Wrap returns a CachedStore routing inner's reads through the cache.
+// Every wrapped store gets a distinct identity, so stores sharing the
+// cache never alias each other's blocks.
+func (c *PageCache) Wrap(inner Storage) *CachedStore {
+	return &CachedStore{inner: inner, cache: c, id: c.nextID.Add(1)}
+}
+
+// Reset drops every cached page and zeroes the statistics (the benchmark
+// driver calls it so each run starts cold, like the device counters).
+func (c *PageCache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.pages = make(map[pageKey]*page)
+		s.ring = s.ring[:0]
+		s.hand = 0
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.hitBytes.Store(0)
+	c.fillBytes.Store(0)
+	c.prefetches.Store(0)
+	c.prefetchHits.Store(0)
+	c.mergedFills.Store(0)
+}
+
+// CacheStats is a snapshot of a cache's accumulated counters.
+type CacheStats struct {
+	// Hits / Misses count block lookups; a read spanning b blocks
+	// performs b lookups. HitBytes / FillBytes are the bytes served from
+	// DRAM and filled from the device.
+	Hits, Misses        int64
+	HitBytes, FillBytes int64
+	// Evictions counts pages dropped by the CLOCK sweep.
+	Evictions int64
+	// Prefetches counts blocks filled by readahead; PrefetchHits counts
+	// prefetched pages that later served a demand read.
+	Prefetches   int64
+	PrefetchHits int64
+	// MergedFills counts misses that coalesced onto another worker's
+	// in-flight fill instead of issuing their own device request.
+	MergedFills int64
+	// CapacityBytes / BlockBytes describe the cache's configuration
+	// (zero when no cache is attached).
+	CapacityBytes int64
+	BlockBytes    int64
+}
+
+// HitRate returns hits over lookups, or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	n := s.Hits + s.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// Sub returns s minus o counter-wise, keeping s's configuration fields
+// (for per-run deltas over cumulative counters).
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	s.Hits -= o.Hits
+	s.Misses -= o.Misses
+	s.HitBytes -= o.HitBytes
+	s.FillBytes -= o.FillBytes
+	s.Evictions -= o.Evictions
+	s.Prefetches -= o.Prefetches
+	s.PrefetchHits -= o.PrefetchHits
+	s.MergedFills -= o.MergedFills
+	return s
+}
+
+// Add returns s plus o counter-wise; configuration fields take o's when
+// s has none (for aggregating per-run deltas).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.HitBytes += o.HitBytes
+	s.FillBytes += o.FillBytes
+	s.Evictions += o.Evictions
+	s.Prefetches += o.Prefetches
+	s.PrefetchHits += o.PrefetchHits
+	s.MergedFills += o.MergedFills
+	if s.CapacityBytes == 0 {
+		s.CapacityBytes = o.CapacityBytes
+		s.BlockBytes = o.BlockBytes
+	}
+	return s
+}
+
+// String renders the stats for reports.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (%.1f%%) evictions=%d prefetched=%d merged=%d",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Prefetches, s.MergedFills)
+}
+
+// Stats returns the cache's counters so far.
+func (c *PageCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		HitBytes:      c.hitBytes.Load(),
+		FillBytes:     c.fillBytes.Load(),
+		Evictions:     c.evictions.Load(),
+		Prefetches:    c.prefetches.Load(),
+		PrefetchHits:  c.prefetchHits.Load(),
+		MergedFills:   c.mergedFills.Load(),
+		CapacityBytes: c.CapacityBytes(),
+		BlockBytes:    c.block,
+	}
+}
+
+// Pages returns the number of resident (including in-flight) pages, for
+// tests asserting the budget is respected.
+func (c *PageCache) Pages() int {
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.ring)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// shardOf picks the lock shard for a key (fibonacci hash of store+block).
+func (c *PageCache) shardOf(k pageKey) *cacheShard {
+	h := (uint64(k.store)<<40 ^ uint64(k.block)) * 0x9e3779b97f4a7c15
+	return &c.shards[h>>48%uint64(len(c.shards))]
+}
+
+// insertLocked places pg in the shard, evicting by CLOCK if the ring is
+// full. The shard lock must be held.
+func (c *PageCache) insertLocked(s *cacheShard, pg *page) {
+	if len(s.ring) < s.capacity {
+		s.pages[pg.key] = pg
+		s.ring = append(s.ring, pg)
+		return
+	}
+	// GCLOCK sweep: decrement reference counters until a zero-count,
+	// settled page turns up. maxPageRefs+1 full turns visit every page
+	// with its counter drained, so the only way out without a victim is a
+	// ring full of in-flight fills; grow past budget transiently rather
+	// than deadlock.
+	for turns := 0; turns < (maxPageRefs+1)*len(s.ring); turns++ {
+		cand := s.ring[s.hand]
+		switch {
+		case cand.filling:
+			// In-flight pages cannot be dropped.
+		case cand.refs > 0:
+			cand.refs--
+		default:
+			delete(s.pages, cand.key)
+			c.evictions.Add(1)
+			s.ring[s.hand] = pg
+			s.pages[pg.key] = pg
+			s.hand = (s.hand + 1) % len(s.ring)
+			return
+		}
+		s.hand = (s.hand + 1) % len(s.ring)
+	}
+	s.pages[pg.key] = pg
+	s.ring = append(s.ring, pg)
+}
+
+// removeLocked drops pg from the shard's table and ring (used by failed
+// fills and write invalidation). The shard lock must be held.
+func (c *PageCache) removeLocked(s *cacheShard, pg *page) {
+	delete(s.pages, pg.key)
+	for i, q := range s.ring {
+		if q == pg {
+			last := len(s.ring) - 1
+			s.ring[i] = s.ring[last]
+			s.ring = s.ring[:last]
+			if s.hand > last || (s.hand == last && last > 0) {
+				s.hand = 0
+			}
+			return
+		}
+	}
+}
+
+// getBlock returns block `block` of store id, filling it from inner on a
+// miss. prefetch fills install the page without advancing clock; demand
+// reads advance clock to the page's fill completion. The returned buffer
+// is immutable. A nil buffer with nil error means the block lies beyond
+// the store's end (prefetch past EOF).
+func (c *PageCache) getBlock(clock *vtime.Clock, inner Storage, id uint32, block int64, prefetch bool) ([]byte, error) {
+	key := pageKey{store: id, block: block}
+	s := c.shardOf(key)
+
+	s.mu.Lock()
+	if pg, ok := s.pages[key]; ok {
+		if !pg.filling {
+			first := pg.prefetched
+			if !prefetch {
+				// Only demand hits promote the page; a readahead touching
+				// an already-cached block is not evidence of reuse.
+				if pg.refs < maxPageRefs {
+					pg.refs++
+				}
+				pg.prefetched = false
+			}
+			s.mu.Unlock()
+			if prefetch {
+				return pg.buf, nil
+			}
+			c.hits.Add(1)
+			c.hitBytes.Add(int64(len(pg.buf)))
+			if first {
+				c.prefetchHits.Add(1)
+				// First demand read of a prefetched page waits out the
+				// prefetch's completion: an async readahead is free only
+				// once it has actually finished. Settled demand-filled
+				// pages cost nothing here — the page is plain DRAM, and
+				// dragging this worker's clock to the *filler's* timeline
+				// would couple independent workers' queueing delays.
+				if clock != nil {
+					clock.AdvanceTo(pg.readyAt)
+				}
+			}
+			return pg.buf, nil
+		}
+		// Another worker's fill is in flight: wait for it instead of
+		// issuing a second device request for the same block.
+		done := pg.done
+		s.mu.Unlock()
+		if prefetch {
+			return nil, nil
+		}
+		c.mergedFills.Add(1)
+		<-done
+		if pg.err != nil {
+			return nil, pg.err
+		}
+		c.hits.Add(1)
+		c.hitBytes.Add(int64(len(pg.buf)))
+		if clock != nil {
+			clock.AdvanceTo(pg.readyAt)
+		}
+		return pg.buf, nil
+	}
+
+	// Miss: reserve the page, then fill it outside the shard lock.
+	off := block * c.block
+	size := inner.Size()
+	if off >= size {
+		s.mu.Unlock()
+		if prefetch {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("nvm: cache read block %d beyond store size %d", block, size)
+	}
+	n := c.block
+	if off+n > size {
+		n = size - off
+	}
+	pg := &page{key: key, filling: true, done: make(chan struct{})}
+	c.insertLocked(s, pg)
+	s.mu.Unlock()
+
+	// The fill's device time is computed on a scratch clock so prefetch
+	// issues the request at the worker's current time without stalling
+	// the worker on its completion; demand reads advance to it below.
+	var at vtime.Duration
+	if clock != nil {
+		at = clock.Now()
+	}
+	fillClock := vtime.NewClock(at)
+	buf := make([]byte, n)
+	err := inner.ReadAt(fillClock, buf, off)
+
+	s.mu.Lock()
+	if err != nil || pg.stale {
+		c.removeLocked(s, pg)
+	} else {
+		pg.buf = buf
+		pg.readyAt = fillClock.Now()
+		pg.prefetched = prefetch
+	}
+	pg.err = err
+	pg.filling = false
+	s.mu.Unlock()
+	close(pg.done)
+
+	if err != nil {
+		return nil, err
+	}
+	if prefetch {
+		c.prefetches.Add(1)
+		c.fillBytes.Add(n)
+		return buf, nil
+	}
+	c.misses.Add(1)
+	c.fillBytes.Add(n)
+	if clock != nil {
+		clock.AdvanceTo(pg.readyAt)
+	}
+	return buf, nil
+}
+
+// invalidate drops every settled page covering [off, off+n) of store id
+// and marks in-flight ones stale so their fills are discarded.
+func (c *PageCache) invalidate(id uint32, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	for block := off / c.block; block*c.block < off+n; block++ {
+		key := pageKey{store: id, block: block}
+		s := c.shardOf(key)
+		s.mu.Lock()
+		if pg, ok := s.pages[key]; ok {
+			if pg.filling {
+				pg.stale = true
+			} else {
+				c.removeLocked(s, pg)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// CachedStore is an nvm.Storage whose reads are served through a shared
+// PageCache. It is the layer the semi-external readers place between
+// their retry policy and the (possibly checksum-verified, possibly
+// fault-injected) index and value stores: a block that fails to read —
+// including one whose checksum does not verify — is never cached, so a
+// retry always re-reads the media.
+type CachedStore struct {
+	inner Storage
+	cache *PageCache
+	id    uint32
+}
+
+// Cache returns the shared cache this store reads through.
+func (s *CachedStore) Cache() *PageCache { return s.cache }
+
+// Inner returns the wrapped store.
+func (s *CachedStore) Inner() Storage { return s.inner }
+
+// Device returns the inner store's device model.
+func (s *CachedStore) Device() *Device { return s.inner.Device() }
+
+// Size returns the inner store's size.
+func (s *CachedStore) Size() int64 { return s.inner.Size() }
+
+// Close closes the inner store. Cached pages are not dropped; the cache
+// owner resets it.
+func (s *CachedStore) Close() error { return s.inner.Close() }
+
+// ReadAt implements Storage: each covered block is served from the cache
+// (filled from the inner store on a miss) and copied out. The copy
+// charges the DRAM streaming cost; fills charge the device through the
+// worker's clock as usual.
+func (s *CachedStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if off < 0 {
+		return fmt.Errorf("nvm: cache read at negative offset %d", off)
+	}
+	c := s.cache
+	bs := c.block
+	for pos := int64(0); pos < int64(len(p)); {
+		cur := off + pos
+		block := cur / bs
+		buf, err := c.getBlock(clock, s.inner, s.id, block, false)
+		if err != nil {
+			return err
+		}
+		lo := cur - block*bs
+		if lo >= int64(len(buf)) {
+			return fmt.Errorf("nvm: cache read [%d,%d) beyond store size %d",
+				off, off+int64(len(p)), block*bs+int64(len(buf)))
+		}
+		n := int64(copy(p[pos:], buf[lo:]))
+		if clock != nil {
+			clock.Advance(c.cost.Stream(int(n)))
+		}
+		pos += n
+	}
+	return nil
+}
+
+// Prefetch asynchronously fills the blocks covering [off, off+n): each
+// absent block's device request is issued at the worker's current virtual
+// time, but the worker does not wait for completion — a later demand read
+// of a prefetched page advances to the fill's completion time, so only
+// prefetches that have finished by then are free. Blocks already cached,
+// in flight, or beyond the store's end are skipped, as are failed fills
+// (a demand read will retry them and surface the error).
+func (s *CachedStore) Prefetch(clock *vtime.Clock, off, n int64) {
+	if n <= 0 || off < 0 {
+		return
+	}
+	c := s.cache
+	for block := off / c.block; block*c.block < off+n; block++ {
+		// Errors are deliberately dropped: readahead is a hint.
+		c.getBlock(clock, s.inner, s.id, block, true) //nolint:errcheck
+	}
+}
+
+// WriteAt implements Storage: write-through, invalidating every covered
+// page (offload writes happen before traversal; the cache stays cold
+// until reads begin).
+func (s *CachedStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
+	if err := s.inner.WriteAt(clock, p, off); err != nil {
+		return err
+	}
+	s.cache.invalidate(s.id, off, int64(len(p)))
+	return nil
+}

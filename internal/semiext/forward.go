@@ -53,6 +53,18 @@ type ForwardOptions struct {
 	// AggregateIO raises the request size cap from the paper's 4 KiB
 	// to AggregatedChunk (the libaio-style aggregation of §VI-D).
 	AggregateIO bool
+	// CacheBytes, when positive, puts a shared DRAM page cache of that
+	// budget between the readers' retry policy and the index/value
+	// stores (FlashGraph's SAFS-style cache applied to the forward
+	// graph). Pages are chunkBytes()-sized so a fill is exactly one
+	// device request and aligns with checksum verification blocks.
+	CacheBytes int64
+	// ReadaheadBlocks, when positive with CacheBytes set, prefetches
+	// that many value blocks past each adjacency read. Neighbor lists
+	// are laid out consecutively, so during top-down hub expansion the
+	// next frontier vertex on the same node usually lands in a
+	// prefetched block.
+	ReadaheadBlocks int
 }
 
 // chunkBytes returns the request size cap the options select.
@@ -73,6 +85,9 @@ type SemiForward struct {
 	// Retry bounds per-read retries with virtual-time backoff; readers
 	// snapshot it at creation. OffloadForward sets DefaultRetryPolicy.
 	Retry RetryPolicy
+	// cache is the shared page cache all node stores read through, nil
+	// when Options.CacheBytes is zero.
+	cache *nvm.PageCache
 }
 
 // ForwardNode is one NUMA node's slice of the offloaded forward graph.
@@ -82,6 +97,9 @@ type ForwardNode struct {
 	ValueStore nvm.Storage
 	// dramIndex is populated only when IndexInDRAM is enabled.
 	dramIndex []int64
+	// valueCache is ValueStore's cached view when a page cache is
+	// configured; readers use it for readahead prefetch.
+	valueCache *nvm.CachedStore
 }
 
 // OffloadForward writes fg to stores created by mk (two per NUMA node,
@@ -104,6 +122,11 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		return nil, err
 	}
 	chunk := opts.chunkBytes()
+	if opts.CacheBytes > 0 {
+		// One cache shared by every node's stores, so the DRAM budget is
+		// global and hot index blocks compete with hot value blocks.
+		sf.cache = nvm.NewPageCache(opts.CacheBytes, chunk, numa.CostModel{})
+	}
 	for k, g := range fg.PerNode {
 		idxStore, err := mk(fmt.Sprintf("fwd-node%d-index", k), chunk)
 		if err != nil {
@@ -126,6 +149,13 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 			IndexStore: idxStore,
 			ValueStore: valStore,
 		}
+		if sf.cache != nil {
+			// Wrap after the offload writes so the cache starts cold and
+			// traversal-time fills are the only pages it ever holds.
+			node.IndexStore = sf.cache.Wrap(idxStore)
+			node.valueCache = sf.cache.Wrap(valStore)
+			node.ValueStore = node.valueCache
+		}
 		if opts.IndexInDRAM {
 			node.dramIndex = append([]int64(nil), g.Index...)
 		}
@@ -143,13 +173,28 @@ func (sf *SemiForward) NVMBytes() int64 {
 	return b
 }
 
-// DRAMBytes returns the DRAM kept by the handle (zero unless IndexInDRAM).
+// DRAMBytes returns the DRAM kept by the handle: the in-DRAM index copies
+// (IndexInDRAM) plus the page cache budget (CacheBytes).
 func (sf *SemiForward) DRAMBytes() int64 {
 	var b int64
 	for _, n := range sf.PerNode {
 		b += int64(len(n.dramIndex)) * 8
 	}
+	if sf.cache != nil {
+		b += sf.cache.CapacityBytes()
+	}
 	return b
+}
+
+// Cache returns the shared page cache, or nil when none is configured.
+func (sf *SemiForward) Cache() *nvm.PageCache { return sf.cache }
+
+// CacheStats returns the page cache's counters (zero value if no cache).
+func (sf *SemiForward) CacheStats() nvm.CacheStats {
+	if sf.cache == nil {
+		return nvm.CacheStats{}
+	}
+	return sf.cache.Stats()
 }
 
 // Close closes all backing stores.
@@ -219,22 +264,21 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 		r.valBuf = make([]int64, deg)
 	}
 	out := r.valBuf[:deg]
-	// Read the value range in <=4 KiB chunks, decoding as we go.
-	byteLo, byteHi := lo*8, hi*8
-	pos := int64(0)
-	for off := byteLo; off < byteHi; {
-		n := int64(len(r.byteBuf))
-		if off+n > byteHi {
-			n = byteHi - off
+	// Read the value range in chunk-sized requests, decoding as we go.
+	if err := readInt64s(node.ValueStore, r.clock, r.retry, &r.Health, lo, deg, out, r.byteBuf); err != nil {
+		return nil, err
+	}
+	if ra := r.sf.Options.ReadaheadBlocks; ra > 0 && node.valueCache != nil {
+		c := node.valueCache.Cache()
+		if deg*8 >= c.BlockBytes() {
+			// Hub expansion: this adjacency spans at least a whole block,
+			// so the traversal is in the dense low-vertex-ID region where
+			// adjacencies are stored back to back — the blocks after this
+			// range hold the next frontier vertices' neighbors. Small
+			// adjacencies skip readahead; prefetching around them mostly
+			// pollutes the cache.
+			node.valueCache.Prefetch(r.clock, hi*8, int64(ra)*c.BlockBytes())
 		}
-		if err := r.retry.readAt(node.ValueStore, r.clock, &r.Health, r.byteBuf[:n], off); err != nil {
-			return nil, err
-		}
-		for b := int64(0); b < n; b += 8 {
-			out[pos] = int64(binary.LittleEndian.Uint64(r.byteBuf[b : b+8]))
-			pos++
-		}
-		off += n
 	}
 	r.EdgesRead += deg
 	return out, nil

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Perf-trajectory recorder: runs the cache sweep (harmonic-mean TEPS with
+# and without the forward-graph page cache, PCIe and SATA profiles, hybrid
+# and pure top-down) at a fixed seed and writes the rows as JSON.
+#
+# The output file name carries the PR number so successive PRs leave a
+# comparable series of benchmark snapshots in the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SCALE=${SCALE:-13}
+ROOTS=${ROOTS:-12}
+OUT=${OUT:-BENCH_PR2.json}
+
+echo "==> cache sweep (scale $SCALE, $ROOTS roots) -> $OUT"
+go run ./cmd/analyze -exp cache -json -scale "$SCALE" -roots "$ROOTS" > "$OUT"
+echo "wrote $OUT"
