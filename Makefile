@@ -15,6 +15,6 @@ check:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Perf trajectory: cache-sweep TEPS (with/without the page cache) as JSON.
+# Perf trajectory: cache-sweep and failover-sweep TEPS as JSON snapshots.
 bench-json:
 	sh scripts/bench.sh

@@ -51,6 +51,9 @@ func main() {
 		faultAfter = flag.Int64("fault-after", 0, "kill each NVM store permanently after this many reads (0 = never)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		corrupt    = flag.Float64("fault-corrupt", 0, "bit-flip corruption rate on NVM reads (enables CRC32 checksums)")
+		faultRep   = flag.Int("fault-replica", 0, "restrict -fault-after to one replica: 1 kills replica 0, ... (0 = all stores)")
+		replicas   = flag.Int("replicas", 1, "mirror the forward graph across this many simulated devices")
+		scrubRate  = flag.Float64("scrub-rate", 0, "background scrub pace in blocks per virtual second (0 = off; requires -replicas > 1)")
 		cacheSize  = flag.String("cache-bytes", "", "DRAM page-cache budget for the forward graph, e.g. 64M or 1G (empty = no cache)")
 		readahead  = flag.Int("readahead", 0, "value-store readahead depth in cache blocks (requires -cache-bytes)")
 	)
@@ -99,9 +102,28 @@ func main() {
 			TransientRate: *faultRate,
 			DieAfterReads: *faultAfter,
 			CorruptRate:   *corrupt,
+			DieReplica:    *faultRep,
 		}
 		// Corruption without checksums is silent; always pair them.
 		sc.Checksums = *corrupt > 0
+	}
+	if *replicas < 1 {
+		fatal(fmt.Errorf("-replicas must be >= 1"))
+	}
+	if *replicas > 1 || *scrubRate > 0 {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-replicas / -scrub-rate require an NVM scenario (pcie or ssd)"))
+		}
+		if *scrubRate < 0 {
+			fatal(fmt.Errorf("-scrub-rate must be >= 0"))
+		}
+		if *scrubRate > 0 && *replicas == 1 {
+			fatal(fmt.Errorf("-scrub-rate requires -replicas > 1 (a lone device has no mirror to repair from)"))
+		}
+		sc = sc.WithReplicas(*replicas, *scrubRate)
+	}
+	if *faultRep < 0 || *faultRep > *replicas {
+		fatal(fmt.Errorf("-fault-replica must be in [0, %d]", *replicas))
 	}
 	if *cacheSize != "" {
 		if !sc.HasNVM() {
@@ -271,6 +293,20 @@ func printReport(res *graph500.Result, wall time.Duration) {
 		f := res.Faults
 		fmt.Printf("injected faults:      %d transient, %d corrupt, %d spikes over %d reads\n",
 			f.Transient, f.Corrupted, f.Spikes, f.Reads)
+	}
+	if r := res.Resilience; len(res.DeviceHealth) > 0 {
+		fmt.Printf("mirror failovers:     %d\n", r.Failovers)
+		if r.ScrubbedBlocks > 0 || r.RepairedBlocks > 0 {
+			fmt.Printf("scrubber:             %d blocks verified, %d repaired (repair vtime %v)\n",
+				r.ScrubbedBlocks, r.RepairedBlocks, r.RepairTime.ToTime())
+		}
+		for i, d := range res.DeviceHealth {
+			fmt.Printf("device r%d:            %-8s %d reads, %d errors", i, d.State, d.Reads, d.Errors)
+			if i < len(res.PerDevice) {
+				fmt.Printf(" (media: %d reads, %d writes)", res.PerDevice[i].Reads, res.PerDevice[i].Writes)
+			}
+			fmt.Println()
+		}
 	}
 	if res.ConstructionTime > 0 {
 		fmt.Printf("construction vtime:   %v (edge list on NVM: %d reads, %d writes)\n",

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"semibfs/internal/experiments"
+	"semibfs/internal/faults"
 )
 
 func main() {
@@ -26,8 +27,23 @@ func main() {
 		dir   = flag.String("dir", "", "directory for NVM store files")
 		noEq  = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence")
 		csv   = flag.Bool("csv", false, "emit CSV rows (scenario,alpha,beta,teps) instead of tables")
+		// The same fault-injection flags cmd/graph500 takes, so the
+		// (alpha, beta) sweeps can be re-run on a faulty device.
+		faultRate  = flag.Float64("fault-rate", 0, "inject transient read errors at this rate on every NVM store")
+		faultAfter = flag.Int64("fault-after", 0, "kill each NVM store permanently after this many reads (0 = never)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		corrupt    = flag.Float64("fault-corrupt", 0, "bit-flip corruption rate on NVM reads (enables CRC32 checksums)")
 	)
 	flag.Parse()
+
+	if *faultRate < 0 || *faultRate > 1 || *corrupt < 0 || *corrupt > 1 {
+		fmt.Fprintln(os.Stderr, "sweep: -fault-rate / -fault-corrupt must be in [0, 1]")
+		os.Exit(1)
+	}
+	if *faultAfter < 0 {
+		fmt.Fprintln(os.Stderr, "sweep: -fault-after must be >= 0")
+		os.Exit(1)
+	}
 
 	opts := experiments.Options{
 		Scale:                  *scale,
@@ -36,6 +52,12 @@ func main() {
 		Roots:                  *roots,
 		Dir:                    *dir,
 		ScaleEquivalentLatency: !*noEq,
+		Faults: faults.Config{
+			Seed:          *faultSeed,
+			TransientRate: *faultRate,
+			DieAfterReads: *faultAfter,
+			CorruptRate:   *corrupt,
+		},
 	}
 
 	var err error

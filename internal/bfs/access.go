@@ -78,6 +78,15 @@ type CacheStatsProvider interface {
 	CacheStats() nvm.CacheStats
 }
 
+// MirrorStatsProvider is optionally implemented by ForwardAccess values
+// whose stores are mirrored device arrays; the engine reports per-run
+// deltas of the failover/scrub counters and the end-of-run per-device
+// health in Result.Resilience.
+type MirrorStatsProvider interface {
+	MirrorStats() nvm.MirrorStats
+	DeviceHealth() []nvm.ReplicaHealth
+}
+
 // DRAMForward adapts a DRAM-resident csr.ForwardGraph.
 type DRAMForward struct {
 	G *csr.ForwardGraph
@@ -116,6 +125,12 @@ func (NVMForward) OnNVM() bool { return true }
 
 // CacheStats implements CacheStatsProvider.
 func (n NVMForward) CacheStats() nvm.CacheStats { return n.SF.CacheStats() }
+
+// MirrorStats implements MirrorStatsProvider.
+func (n NVMForward) MirrorStats() nvm.MirrorStats { return n.SF.MirrorStats() }
+
+// DeviceHealth implements MirrorStatsProvider.
+func (n NVMForward) DeviceHealth() []nvm.ReplicaHealth { return n.SF.DeviceHealth() }
 
 type nvmForwardCursor struct {
 	r *semiext.ForwardReader

@@ -382,6 +382,7 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	// figures are deltas against these snapshots.
 	health0 := r.healthTotals()
 	cache0 := r.cacheTotals()
+	mirror0 := r.mirrorTotals()
 	start := r.clocks[0].Now()
 
 	r.tree[root] = root
@@ -506,6 +507,12 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	res.Resilience.Retries = h.Retries
 	res.Resilience.ReadErrors = h.Errors
 	res.Resilience.BackoffTime = h.Backoff
+	m := r.mirrorTotals().Sub(mirror0)
+	res.Resilience.Failovers = m.Failovers
+	res.Resilience.ScrubbedBlocks = m.ScrubbedBlocks
+	res.Resilience.RepairedBlocks = m.RepairedBlocks
+	res.Resilience.RepairTime = m.RepairTime
+	res.Resilience.Devices = r.deviceHealth()
 	res.Cache = r.cacheTotals().Sub(cache0)
 	return res, nil
 }

@@ -3,6 +3,7 @@ package bfs
 import (
 	"math/bits"
 
+	"semibfs/internal/nvm"
 	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
@@ -29,6 +30,19 @@ type Resilience struct {
 	ReadErrors int64
 	// BackoffTime is the virtual time spent backing off before retries.
 	BackoffTime vtime.Duration
+	// Failovers counts mirror reads redirected to another replica after a
+	// replica failure (zero without a device array).
+	Failovers int64
+	// ScrubbedBlocks / RepairedBlocks count the background scrubber's
+	// verified and rewritten blocks during the run.
+	ScrubbedBlocks int64
+	RepairedBlocks int64
+	// RepairTime is the virtual time spent repairing corrupt or stale
+	// blocks (mean repair latency = RepairTime / RepairedBlocks).
+	RepairTime vtime.Duration
+	// Devices is the per-device health at the end of the run, merged
+	// across the mirrored stores (nil without a device array).
+	Devices []nvm.ReplicaHealth
 	// Degraded lists the levels that had to switch direction after a
 	// device failure (empty for a healthy run).
 	Degraded []DegradedEvent
@@ -36,6 +50,17 @@ type Resilience struct {
 
 // DegradedLevels returns the number of degradation events.
 func (r *Resilience) DegradedLevels() int { return len(r.Degraded) }
+
+// DeadDevices returns how many devices finished the run dead.
+func (r *Resilience) DeadDevices() int {
+	n := 0
+	for _, d := range r.Devices {
+		if d.State == nvm.ReplicaDead {
+			n++
+		}
+	}
+	return n
+}
 
 // healthTotals sums the cumulative retry/backoff health of every worker's
 // cursor and scanner (zero when the graphs are fully DRAM-resident).
@@ -52,6 +77,23 @@ func (r *Runner) healthTotals() semiext.Health {
 		}
 	}
 	return t
+}
+
+// mirrorTotals returns the forward access's cumulative mirror counters
+// (zero when the forward graph is not a mirrored device array).
+func (r *Runner) mirrorTotals() nvm.MirrorStats {
+	if m, ok := r.fwd.(MirrorStatsProvider); ok {
+		return m.MirrorStats()
+	}
+	return nvm.MirrorStats{}
+}
+
+// deviceHealth returns the forward access's per-device health, or nil.
+func (r *Runner) deviceHealth() []nvm.ReplicaHealth {
+	if m, ok := r.fwd.(MirrorStatsProvider); ok {
+		return m.DeviceHealth()
+	}
+	return nil
 }
 
 // backwardOnNVM reports whether the backward graph has NVM-resident data.

@@ -63,6 +63,14 @@ type Scenario struct {
 	// ReadaheadBlocks prefetches that many value blocks past each
 	// adjacency read (requires CacheBytes > 0).
 	ReadaheadBlocks int
+	// Replicas, when > 1, mirrors the forward graph's stores across that
+	// many simulated devices with independent fault streams; reads come
+	// from the least-loaded healthy replica and fail over transparently.
+	Replicas int
+	// ScrubRate is the background scrubber's pace in blocks per virtual
+	// second (0 disables scrubbing). Requires Replicas > 1 to repair
+	// from, though a single replica still detects via checksums.
+	ScrubRate float64
 }
 
 // WithFaults returns the scenario with fault injection configured.
@@ -83,6 +91,31 @@ func (s Scenario) WithCache(budget int64, readahead int) Scenario {
 	s.CacheBytes = budget
 	s.ReadaheadBlocks = readahead
 	return s
+}
+
+// WithReplicas returns the scenario with a mirrored device array of n
+// replicas scrubbed at scrubRate blocks per virtual second.
+func (s Scenario) WithReplicas(n int, scrubRate float64) Scenario {
+	s.Replicas = n
+	s.ScrubRate = scrubRate
+	return s
+}
+
+// replicas returns the effective replica count (always >= 1).
+func (s Scenario) replicas() int {
+	if s.Replicas < 1 {
+		return 1
+	}
+	return s.Replicas
+}
+
+// scrubInterval converts ScrubRate (blocks per virtual second) into the
+// mirror layer's per-step interval.
+func (s Scenario) scrubInterval() vtime.Duration {
+	if s.ScrubRate <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(vtime.Second) / s.ScrubRate)
 }
 
 // HasNVM reports whether the scenario uses an NVM device.
@@ -142,8 +175,12 @@ type System struct {
 	Part     *numa.Partition
 	Forward  bfs.ForwardAccess
 	Backward bfs.BackwardAccess
-	// Device is the NVM device model (nil for DRAM-only).
+	// Device is the NVM device model (nil for DRAM-only). With a mirrored
+	// array it is the first replica's device; Devices holds them all.
 	Device *nvm.Device
+	// Devices is the per-replica device array (len 1 without mirroring,
+	// nil for DRAM-only).
+	Devices []*nvm.Device
 
 	// DRAMForwardBytes etc. record where the bytes ended up.
 	DRAMForwardBytes  int64
@@ -232,21 +269,39 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 	}
 
 	sys := &System{Scenario: sc, Part: part}
-	var dev *nvm.Device
+	var devs []*nvm.Device
 	if sc.HasNVM() {
 		profile := sc.Device
 		if sc.LatencyScale > 0 && sc.LatencyScale != 1 {
 			profile = profile.WithLatencyScale(sc.LatencyScale)
 		}
-		dev = nvm.NewDevice(profile, opts.SeriesBinWidth)
-		sys.Device = dev
+		// One independent device per replica: a mirrored array spans
+		// distinct simulated hardware with separate queues and fault
+		// streams, not N copies on one device.
+		devs = make([]*nvm.Device, sc.replicas())
+		for i := range devs {
+			devs[i] = nvm.NewDevice(profile, opts.SeriesBinWidth)
+		}
+		sys.Device = devs[0]
+		sys.Devices = devs
 	} else if sc.ForwardOnNVM || sc.BackwardDRAMEdgeLimit > 0 {
 		return nil, fmt.Errorf("core: scenario %q offloads data but has no device", sc.Name)
+	} else if sc.Replicas > 1 || sc.ScrubRate > 0 {
+		return nil, fmt.Errorf("core: scenario %q mirrors stores but has no device", sc.Name)
 	}
 
 	base := func(name string, chunk int) (nvm.Storage, error) {
+		// Replica stores ("...-r<i>") are routed onto device i; stores
+		// without a replica suffix (backward tails) use the first device.
+		dev := (*nvm.Device)(nil)
+		if len(devs) > 0 {
+			dev = devs[0]
+			if i := nvm.ReplicaIndex(name); i >= 0 {
+				dev = devs[i%len(devs)]
+			}
+		}
 		if opts.Dir == "" {
-			return nvm.NewMemStore(dev, chunk), nil
+			return nvm.NewNamedMemStore(name, dev, chunk), nil
 		}
 		return nvm.CreateFileStore(filepath.Join(opts.Dir, name+".bin"), dev, chunk)
 	}
@@ -265,7 +320,7 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 			if err != nil {
 				return nil, err
 			}
-			cs, err := nvm.WrapChecksum(st, chunk)
+			cs, err := nvm.WrapChecksumNamed(st, name, chunk)
 			if err != nil {
 				st.Close()
 				return nil, err
@@ -284,6 +339,8 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 			AggregateIO:     sc.AggregateIO,
 			CacheBytes:      sc.CacheBytes,
 			ReadaheadBlocks: sc.ReadaheadBlocks,
+			Replicas:        sc.Replicas,
+			Mirror:          nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
 		}
 		sf, err := semiext.OffloadForward(fg, mk, opts.ConstructClock, fwdOpts)
 		if err != nil {

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"semibfs/internal/core"
+	"semibfs/internal/faults"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// FailoverReplicas is the device-array width grid of the failover sweep:
+// a single device (the baseline every earlier experiment used), a two-way
+// mirror, and a three-way mirror.
+var FailoverReplicas = []int{1, 2, 3}
+
+// FailoverRates is the per-device fault-rate grid: each rate r injects
+// transient read errors at rate r and bit-flip corruption at r/2 into
+// every replica's independent fault stream. The top rate matches the
+// fault sweep's worst case — far beyond any non-failing drive.
+var FailoverRates = []float64{0, 0.01, 0.05}
+
+// FailoverScrubRate is the background scrubber's pace, in blocks per
+// virtual second, used whenever the sweep mirrors stores. At the default
+// 4 KiB block this is ~80 MB/s of scrub traffic — a low-priority
+// patrol-read rate, small against the devices' GB/s class bandwidth.
+const FailoverScrubRate = 20000
+
+// FailoverRow is one (replicas, fault-rate) measurement of the sweep.
+type FailoverRow struct {
+	Scenario string  `json:"scenario"`
+	Replicas int     `json:"replicas"`
+	Rate     float64 `json:"rate"`
+	TEPS     float64 `json:"teps"`
+	// Failovers counts reads redirected to another replica; ReadErrors is
+	// the retry layer's failed-attempt count (errors the mirror absorbed
+	// never reach it).
+	Failovers  int64 `json:"failovers"`
+	ReadErrors int64 `json:"read_errors"`
+	// ScrubbedBlocks / RepairedBlocks count the background scrubber's
+	// verified and rewritten blocks; MeanRepairUs is the mean virtual
+	// repair latency in microseconds (0 when nothing was repaired).
+	ScrubbedBlocks int64   `json:"scrubbed_blocks"`
+	RepairedBlocks int64   `json:"repaired_blocks"`
+	MeanRepairUs   float64 `json:"mean_repair_us"`
+	// DeadDevices / DegradedRuns count replicas lost by the end of the
+	// benchmark and roots that had to pin to the DRAM direction.
+	DeadDevices  int `json:"dead_devices"`
+	DegradedRuns int `json:"degraded_runs"`
+}
+
+// FailoverSweep measures TEPS and repair activity versus injected
+// per-device fault rate for 1-, 2- and 3-way mirrored device arrays — the
+// robustness payoff curve of the mirror layer. Runs use one real worker so
+// the interleaving of foreground reads and scrub catch-up (which share the
+// per-offset fault attempt counters) is schedule-independent, making every
+// row bit-reproducible. TEPS is the harmonic mean over roots, like the
+// cache sweep, because scrub repairs persist across roots. The expected
+// shape: replication costs nothing at rate 0 (reads spread over more
+// devices), and as the rate climbs the mirrored arrays hold TEPS by
+// absorbing failures in failover while the single device pays for every
+// error with retry backoff.
+func FailoverSweep(opts Options) ([]FailoverRow, error) {
+	opts = opts.WithDefaults()
+	opts.Workers = 1
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	base := lab.scenario(core.ScenarioPCIeFlash, true)
+	var rows []FailoverRow
+	for _, replicas := range FailoverReplicas {
+		for _, rate := range FailoverRates {
+			sc := base.WithReplicas(replicas, FailoverScrubRate)
+			sc.Checksums = true
+			sc.Faults = faults.Config{
+				Seed:          opts.Seed,
+				TransientRate: rate,
+				CorruptRate:   rate / 2,
+			}
+			cfg := defaultBFSConfig(opts)
+			cfg.Alpha = CacheSweepAlpha
+			cfg.Beta = 10 * CacheSweepAlpha
+			res, err := lab.Run(sc, cfg, false, false)
+			if err != nil {
+				return nil, fmt.Errorf("failover sweep r=%d rate=%g: %w",
+					replicas, rate, err)
+			}
+			row := FailoverRow{
+				Scenario:       base.Name,
+				Replicas:       replicas,
+				Rate:           rate,
+				TEPS:           res.TEPS.HarmonicMean,
+				Failovers:      res.Resilience.Failovers,
+				ReadErrors:     res.Resilience.ReadErrors,
+				ScrubbedBlocks: res.Resilience.ScrubbedBlocks,
+				RepairedBlocks: res.Resilience.RepairedBlocks,
+				DegradedRuns:   res.Resilience.DegradedRuns,
+			}
+			if row.RepairedBlocks > 0 {
+				row.MeanRepairUs = float64(res.Resilience.RepairTime) /
+					float64(vtime.Microsecond) / float64(row.RepairedBlocks)
+			}
+			for _, d := range res.DeviceHealth {
+				if d.State == nvm.ReplicaDead {
+					row.DeadDevices++
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatFailoverSweep renders the failover sweep as a text table.
+func FormatFailoverSweep(rows []FailoverRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Failover sweep: harmonic-mean TEPS vs per-device fault rate and replica count")
+	fmt.Fprintf(&b, "%-16s %4s %8s %10s %10s %9s %9s %9s %11s %5s %9s\n",
+		"scenario", "reps", "rate", "TEPS", "failovers", "errors",
+		"scrubbed", "repaired", "repair-us", "dead", "degraded")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %4d %8g %10s %10d %9d %9d %9d %11.1f %5d %9d\n",
+			r.Scenario, r.Replicas, r.Rate, shortTEPS(r.TEPS), r.Failovers,
+			r.ReadErrors, r.ScrubbedBlocks, r.RepairedBlocks,
+			r.MeanRepairUs, r.DeadDevices, r.DegradedRuns)
+	}
+	return b.String()
+}
+
+// FailoverSweepCSV renders the sweep as CSV for plotting.
+func FailoverSweepCSV(rows []FailoverRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "scenario,replicas,rate,teps,failovers,read_errors,scrubbed_blocks,repaired_blocks,mean_repair_us,dead_devices,degraded_runs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%g,%.6g,%d,%d,%d,%d,%.3f,%d,%d\n",
+			r.Scenario, r.Replicas, r.Rate, r.TEPS, r.Failovers, r.ReadErrors,
+			r.ScrubbedBlocks, r.RepairedBlocks, r.MeanRepairUs,
+			r.DeadDevices, r.DegradedRuns)
+	}
+	return b.String()
+}
+
+// FailoverSweepJSON renders the sweep as indented JSON (the bench tooling
+// records it as BENCH_PR3.json).
+func FailoverSweepJSON(rows []FailoverRow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

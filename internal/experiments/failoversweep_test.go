@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFailoverSweepAcceptance runs the sweep at a tiny scale and checks
+// the shape of the robustness payoff curve: the single-device baseline
+// never fails over, mirrored arrays do under injected faults, and the
+// scrubber repairs corruption everywhere it is injected.
+func TestFailoverSweepAcceptance(t *testing.T) {
+	opts := tinyOpts()
+	// Scale 13 with a dozen roots, like the cache sweep's acceptance run:
+	// at scale 10 the hybrid issues so few forward reads that even the top
+	// fault rate fires roughly never and the curve is flat noise.
+	opts.Scale = 13
+	opts.Roots = 12
+	rows, err := FailoverSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(FailoverReplicas) * len(FailoverRates)
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	var mirroredFailovers, repaired int64
+	for _, r := range rows {
+		if r.TEPS <= 0 {
+			t.Errorf("r=%d rate=%g: TEPS %g, want > 0", r.Replicas, r.Rate, r.TEPS)
+		}
+		if r.Replicas == 1 && r.Failovers != 0 {
+			t.Errorf("single device reported %d failovers", r.Failovers)
+		}
+		if r.Rate == 0 && (r.ReadErrors != 0 || r.RepairedBlocks != 0) {
+			t.Errorf("r=%d rate=0: errors=%d repaired=%d, want none",
+				r.Replicas, r.ReadErrors, r.RepairedBlocks)
+		}
+		if r.Replicas == 1 && r.ScrubbedBlocks != 0 {
+			t.Errorf("single device reported %d scrubbed blocks; there is no mirror",
+				r.ScrubbedBlocks)
+		}
+		if r.Replicas > 1 && r.ScrubbedBlocks == 0 {
+			t.Errorf("r=%d rate=%g: scrubber never ran", r.Replicas, r.Rate)
+		}
+		if r.DegradedRuns != 0 {
+			t.Errorf("r=%d rate=%g: %d degraded runs; transient faults should recover",
+				r.Replicas, r.Rate, r.DegradedRuns)
+		}
+		if r.Replicas == 1 && r.Rate == FailoverRates[len(FailoverRates)-1] &&
+			r.ReadErrors == 0 {
+			t.Error("single device at the top rate saw no read errors")
+		}
+		if r.Replicas > 1 && r.Rate > 0 {
+			mirroredFailovers += r.Failovers
+			repaired += r.RepairedBlocks
+		}
+	}
+	if mirroredFailovers == 0 {
+		t.Error("no mirrored row under faults recorded a failover")
+	}
+	if repaired == 0 {
+		t.Error("no faulted row recorded a scrub repair")
+	}
+}
+
+// TestFailoverSweepDeterminism re-runs the sweep and demands bit-identical
+// rows — the reproducibility the acceptance criterion requires.
+func TestFailoverSweepDeterminism(t *testing.T) {
+	opts := tinyOpts()
+	a, err := FailoverSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FailoverSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical sweeps:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFailoverSweepRenderings(t *testing.T) {
+	rows := []FailoverRow{
+		{Scenario: "DRAM+PCIeFlash", Replicas: 1, Rate: 0, TEPS: 1e8,
+			ScrubbedBlocks: 1200},
+		{Scenario: "DRAM+PCIeFlash", Replicas: 2, Rate: 0.01, TEPS: 9e7,
+			Failovers: 40, ReadErrors: 3, ScrubbedBlocks: 1200,
+			RepairedBlocks: 5, MeanRepairUs: 12.5, DeadDevices: 0},
+	}
+	text := FormatFailoverSweep(rows)
+	for _, want := range []string{"Failover sweep", "DRAM+PCIeFlash", "failovers", "repaired"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	csv := FailoverSweepCSV(rows)
+	if !strings.HasPrefix(csv, "scenario,replicas,rate,") {
+		t.Fatalf("bad CSV header:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Fatalf("CSV has %d lines, want 3", lines)
+	}
+	js, err := FailoverSweepJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []FailoverRow
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(back) != 2 || back[1].Failovers != 40 {
+		t.Fatalf("JSON round-trip mangled rows: %+v", back)
+	}
+	if !strings.Contains(js, "\"repaired_blocks\"") {
+		t.Fatalf("JSON missing field:\n%s", js)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"semibfs/internal/bfs"
 	"semibfs/internal/core"
 	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
 	"semibfs/internal/generator"
 	"semibfs/internal/graph500"
 	"semibfs/internal/numa"
@@ -44,6 +45,11 @@ type Options struct {
 	ScaleEquivalentLatency bool
 	// Workers bounds real goroutines for the BFS engine.
 	Workers int
+	// Faults injects deterministic seeded faults into every NVM scenario
+	// a sweep builds (experiments that sweep fault parameters themselves,
+	// like FaultSweep and FailoverSweep, ignore it). The zero value
+	// injects nothing.
+	Faults faults.Config
 }
 
 // WithDefaults returns o with zero fields defaulted.
@@ -100,10 +106,19 @@ func NewLab(opts Options, scale int) (*Lab, error) {
 	}, nil
 }
 
-// scenario applies the lab's latency-equivalence policy to sc.
+// scenario applies the lab's latency-equivalence policy and ambient fault
+// configuration to sc.
 func (l *Lab) scenario(sc core.Scenario, unscaled bool) core.Scenario {
 	if l.Opts.ScaleEquivalentLatency && !unscaled && sc.HasNVM() {
 		sc.LatencyScale = nvm.ScaleEquivalenceFactor(l.Scale, PaperScale)
+	}
+	if l.Opts.Faults.Enabled() && sc.HasNVM() && !sc.Faults.Enabled() {
+		sc.Faults = l.Opts.Faults
+		if sc.Faults.CorruptRate > 0 {
+			// Undetected bit flips would silently corrupt every sweep
+			// row; corruption injection implies verification.
+			sc.Checksums = true
+		}
 	}
 	return sc
 }
@@ -111,9 +126,10 @@ func (l *Lab) scenario(sc core.Scenario, unscaled bool) core.Scenario {
 // System builds (or returns the cached) system for sc. The series flag
 // enables per-bin device statistics.
 func (l *Lab) System(sc core.Scenario, series bool) (*core.System, error) {
-	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v/cache=%d/ra=%d",
+	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v/cache=%d/ra=%d/rep=%d/scrub=%g",
 		sc.Name, sc.BackwardDRAMEdgeLimit, sc.LatencyScale, series,
-		sc.Faults, sc.Checksums, sc.CacheBytes, sc.ReadaheadBlocks)
+		sc.Faults, sc.Checksums, sc.CacheBytes, sc.ReadaheadBlocks,
+		sc.Replicas, sc.ScrubRate)
 	if sys, ok := l.systems[key]; ok {
 		return sys, nil
 	}

@@ -48,6 +48,11 @@ type Config struct {
 	// DieAtTime kills the device permanently at this virtual time:
 	// any read submitted at or after it fails (0 = never).
 	DieAtTime vtime.Duration
+	// DieReplica restricts DieAfterReads/DieAtTime to the stores of one
+	// mirror replica: 1 kills replica 0 ("...-r0"), 2 kills replica 1, and
+	// so on. 0 applies death to every store (the pre-mirror behavior), so
+	// with replication it models correlated loss of the whole array.
+	DieReplica int
 	// SpikeRate is the probability that a read's modeled service time is
 	// multiplied by SpikeMultiplier (a latency spike, not an error).
 	SpikeRate float64
@@ -68,8 +73,8 @@ func (c Config) Enabled() bool {
 // String renders the active fault parameters (used in cache keys and
 // reports).
 func (c Config) String() string {
-	return fmt.Sprintf("seed=%d rate=%g after=%d at=%v spike=%gx@%g corrupt=%g",
-		c.Seed, c.TransientRate, c.DieAfterReads, c.DieAtTime,
+	return fmt.Sprintf("seed=%d rate=%g after=%d at=%v rep=%d spike=%gx@%g corrupt=%g",
+		c.Seed, c.TransientRate, c.DieAfterReads, c.DieAtTime, c.DieReplica,
 		c.SpikeMultiplier, c.SpikeRate, c.CorruptRate)
 }
 
@@ -88,6 +93,9 @@ type Store struct {
 	name  string
 	cfg   Config
 	salt  uint64
+	// canDie reports whether this store is covered by the config's death
+	// clauses (false when DieReplica selects a different replica).
+	canDie bool
 
 	reads     atomic.Int64
 	transient atomic.Int64
@@ -108,6 +116,7 @@ func Wrap(inner nvm.Storage, name string, cfg Config) *Store {
 		name:     name,
 		cfg:      cfg,
 		salt:     rng.Mix64(hashName(name)),
+		canDie:   cfg.DieReplica == 0 || nvm.ReplicaIndex(name)+1 == cfg.DieReplica,
 		attempts: make(map[int64]uint64),
 	}
 }
@@ -178,11 +187,13 @@ func (s *Store) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 	reads := s.reads.Add(1)
 
 	// Permanent death: sticky, and decided before any service.
-	if s.cfg.DieAfterReads > 0 && reads > s.cfg.DieAfterReads {
-		s.dead.Store(true)
-	}
-	if s.cfg.DieAtTime > 0 && clock != nil && clock.Now() >= s.cfg.DieAtTime {
-		s.dead.Store(true)
+	if s.canDie {
+		if s.cfg.DieAfterReads > 0 && reads > s.cfg.DieAfterReads {
+			s.dead.Store(true)
+		}
+		if s.cfg.DieAtTime > 0 && clock != nil && clock.Now() >= s.cfg.DieAtTime {
+			s.dead.Store(true)
+		}
 	}
 	if s.dead.Load() {
 		var at vtime.Duration

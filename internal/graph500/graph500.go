@@ -104,6 +104,14 @@ type ResilienceTotals struct {
 	ReadErrors int64
 	// BackoffTime is the total virtual time spent in retry backoff.
 	BackoffTime vtime.Duration
+	// Failovers counts mirror reads redirected to another replica;
+	// ScrubbedBlocks / RepairedBlocks count the background scrubber's
+	// verified and rewritten blocks; RepairTime is the virtual time those
+	// repairs took (all zero without a device array).
+	Failovers      int64
+	ScrubbedBlocks int64
+	RepairedBlocks int64
+	RepairTime     vtime.Duration
 	// DegradedRuns counts roots whose traversal had to pin to the
 	// surviving direction after a device death; DegradedLevels counts the
 	// rescued levels themselves.
@@ -118,9 +126,15 @@ type Result struct {
 	PerRoot []RootResult
 	TEPS    stats.Summary
 	// DeviceStats snapshots the CSR device after all BFS iterations
-	// (zero value for DRAM-only).
+	// (zero value for DRAM-only; the first replica's with a mirror).
 	DeviceStats  nvm.Stats
 	DeviceSeries []nvm.SeriesPoint
+	// PerDevice snapshots every replica device of a mirrored array (len 1
+	// without mirroring, nil for DRAM-only).
+	PerDevice []nvm.Stats
+	// DeviceHealth is the mirror layer's per-device health after the last
+	// root (nil without a device array).
+	DeviceHealth []nvm.ReplicaHealth
 	// Placement records where the graph bytes ended up.
 	DRAMBytes, NVMBytes int64
 	StatusBytes         int64
@@ -246,9 +260,13 @@ func RunList(list *edgelist.List, p Params) (*Result, error) {
 // reset at entry so each call observes only its own traffic.
 func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, error) {
 	p = p.WithDefaults()
-	if sys.Device != nil {
+	for _, dev := range sys.Devices {
 		// Construction (or prior-run) traffic is not part of this
 		// run's measurements.
+		dev.Reset()
+	}
+	if len(sys.Devices) == 0 && sys.Device != nil {
+		// Hand-assembled systems may carry only the single device.
 		sys.Device.Reset()
 	}
 	if c := sys.PageCache(); c != nil {
@@ -315,6 +333,11 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 		res.Resilience.Retries += out.Resilience.Retries
 		res.Resilience.ReadErrors += out.Resilience.ReadErrors
 		res.Resilience.BackoffTime += out.Resilience.BackoffTime
+		res.Resilience.Failovers += out.Resilience.Failovers
+		res.Resilience.ScrubbedBlocks += out.Resilience.ScrubbedBlocks
+		res.Resilience.RepairedBlocks += out.Resilience.RepairedBlocks
+		res.Resilience.RepairTime += out.Resilience.RepairTime
+		res.DeviceHealth = out.Resilience.Devices
 		if n := out.Resilience.DegradedLevels(); n > 0 {
 			res.Resilience.DegradedRuns++
 			res.Resilience.DegradedLevels += n
@@ -332,6 +355,9 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 	if sys.Device != nil {
 		res.DeviceStats = sys.Device.Snapshot()
 		res.DeviceSeries = sys.Device.Series()
+	}
+	for _, dev := range sys.Devices {
+		res.PerDevice = append(res.PerDevice, dev.Snapshot())
 	}
 	res.BackwardDRAMScans, res.BackwardNVMScans = runner.BackwardScanTotals()
 	res.Faults = sys.FaultCounters()

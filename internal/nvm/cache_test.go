@@ -3,6 +3,7 @@ package nvm
 import (
 	"bytes"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -252,6 +253,91 @@ func TestCacheNeverCachesErrors(t *testing.T) {
 	}
 	if st := c.Stats(); st.Hits != 1 {
 		t.Fatalf("want 1 hit after recovery, got %+v", st)
+	}
+}
+
+// gatedStore blocks every read until the gate channel is closed, then
+// returns the configured error. It lets a test park one worker mid-fill
+// while another merges onto the in-flight page.
+type gatedStore struct {
+	*MemStore
+	gate    chan struct{}
+	started chan struct{}
+	err     error
+
+	once sync.Once
+}
+
+func (s *gatedStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	s.once.Do(func() { close(s.started) })
+	<-s.gate
+	if s.err != nil {
+		return s.err
+	}
+	return s.MemStore.ReadAt(clock, p, off)
+}
+
+// TestCacheSingleFlightErrorPropagates pins down the failed-fill contract
+// under concurrency: when a fill errors while another worker is merged
+// onto it, *both* workers observe the error and the page is not installed,
+// so a later read retries the device instead of serving a poisoned page.
+func TestCacheSingleFlightErrorPropagates(t *testing.T) {
+	mem := NewMemStore(nil, 0)
+	data := fillStore(t, mem, DefaultChunkSize)
+	inner := &gatedStore{
+		MemStore: mem,
+		gate:     make(chan struct{}),
+		started:  make(chan struct{}),
+		err:      &CorruptionError{Store: "gated", Block: 0},
+	}
+
+	c := NewPageCache(1<<20, 0, numa.CostModel{})
+	cs := c.Wrap(inner)
+
+	errA := make(chan error, 1)
+	go func() {
+		buf := make([]byte, DefaultChunkSize)
+		errA <- cs.ReadAt(vtime.NewClock(0), buf, 0)
+	}()
+	// Wait until worker A is inside the fill (page reserved, filling=true).
+	<-inner.started
+	if c.Pages() != 1 {
+		t.Fatalf("in-flight fill should reserve 1 page, got %d", c.Pages())
+	}
+
+	errB := make(chan error, 1)
+	go func() {
+		buf := make([]byte, DefaultChunkSize)
+		errB <- cs.ReadAt(vtime.NewClock(0), buf, 0)
+	}()
+	// Wait until worker B has merged onto A's fill.
+	for c.Stats().MergedFills == 0 {
+		runtime.Gosched()
+	}
+
+	// Release the fill; it fails.
+	close(inner.gate)
+	for i, ch := range []chan error{errA, errB} {
+		if err := <-ch; !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("worker %d: want ErrCorrupt, got %v", i, err)
+		}
+	}
+	if c.Pages() != 0 {
+		t.Fatalf("failed fill left %d pages installed", c.Pages())
+	}
+
+	// The store recovers; the next read must go back to the device and
+	// succeed (nothing poisoned stayed behind).
+	inner.err = nil
+	buf := make([]byte, DefaultChunkSize)
+	if err := cs.ReadAt(vtime.NewClock(0), buf, 0); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("recovered read returned wrong data")
+	}
+	if c.Pages() != 1 {
+		t.Fatalf("recovered read should cache 1 page, got %d", c.Pages())
 	}
 }
 

@@ -24,6 +24,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // detection and is reported honestly through the device model.
 type ChecksumStore struct {
 	inner Storage
+	name  string
 	block int64
 
 	mu   sync.Mutex
@@ -39,10 +40,17 @@ type ChecksumStore struct {
 // DefaultChunkSize. If inner already holds data, its current contents are
 // checksummed as-is (trusted at wrap time) without device charges.
 func WrapChecksum(inner Storage, block int) (*ChecksumStore, error) {
+	return WrapChecksumNamed(inner, "", block)
+}
+
+// WrapChecksumNamed is WrapChecksum with a store name carried into every
+// read-path error, so failover and degraded-mode logs identify which
+// replica and block failed verification.
+func WrapChecksumNamed(inner Storage, name string, block int) (*ChecksumStore, error) {
 	if block <= 0 {
 		block = DefaultChunkSize
 	}
-	s := &ChecksumStore{inner: inner, block: int64(block), size: inner.Size()}
+	s := &ChecksumStore{inner: inner, name: name, block: int64(block), size: inner.Size()}
 	s.pool.New = func() any {
 		b := make([]byte, 0, block)
 		return &b
@@ -64,6 +72,9 @@ func WrapChecksum(inner Storage, block int) (*ChecksumStore, error) {
 	}
 	return s, nil
 }
+
+// Name returns the store name carried into errors ("" when anonymous).
+func (s *ChecksumStore) Name() string { return s.name }
 
 // Device returns the inner store's device model.
 func (s *ChecksumStore) Device() *Device { return s.inner.Device() }
@@ -168,8 +179,12 @@ func (s *ChecksumStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 	size := s.size
 	s.mu.Unlock()
 	if off < 0 || off+int64(len(p)) > size {
-		return fmt.Errorf("nvm: checksum store read [%d,%d) out of range [0,%d)",
-			off, off+int64(len(p)), size)
+		name := s.name
+		if name == "" {
+			name = "checksum store"
+		}
+		return fmt.Errorf("nvm: %s: block %d: read [%d,%d) out of range [0,%d)",
+			name, off/s.block, off, off+int64(len(p)), size)
 	}
 	bs := s.block
 	alo := off - off%bs
@@ -198,7 +213,7 @@ func (s *ChecksumStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 			if dev := s.inner.Device(); dev != nil {
 				dev.NoteError()
 			}
-			return &CorruptionError{Block: b, Off: lo, Want: want, Got: got}
+			return &CorruptionError{Store: s.name, Block: b, Off: lo, Want: want, Got: got}
 		}
 	}
 	s.mu.Unlock()

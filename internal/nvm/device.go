@@ -140,6 +140,21 @@ func (d *Device) submit(at vtime.Duration, n int, write bool) vtime.Duration {
 	return complete
 }
 
+// EarliestFree returns the earliest virtual time at which one of the
+// device's channels next idles — the load signal the mirror layer uses
+// for least-loaded replica selection. It is 0 for an idle device.
+func (d *Device) EarliestFree() vtime.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	best := d.channelFree[0]
+	for _, t := range d.channelFree[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
 // NoteError records one failed request against the device's health
 // accounting (the request itself may or may not have been charged time).
 func (d *Device) NoteError() {

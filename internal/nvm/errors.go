@@ -50,6 +50,9 @@ func (e *DeadError) Unwrap() error { return ErrDeviceDead }
 // CorruptionError is the structured error a checksum-verifying store
 // returns when a block's CRC does not match. It wraps ErrCorrupt.
 type CorruptionError struct {
+	// Store names the failing store ("" when the store is anonymous), so
+	// failover and degraded-mode logs identify which replica corrupted.
+	Store string
 	// Block is the index of the failing checksum block.
 	Block int64
 	// Off is the block's byte offset.
@@ -59,8 +62,12 @@ type CorruptionError struct {
 }
 
 func (e *CorruptionError) Error() string {
-	return fmt.Sprintf("nvm: block %d @%d: crc32 %08x != stored %08x: %v",
-		e.Block, e.Off, e.Got, e.Want, ErrCorrupt)
+	name := e.Store
+	if name == "" {
+		name = "store"
+	}
+	return fmt.Sprintf("nvm: %s: block %d @%d: crc32 %08x != stored %08x: %v",
+		name, e.Block, e.Off, e.Got, e.Want, ErrCorrupt)
 }
 
 func (e *CorruptionError) Unwrap() error { return ErrCorrupt }

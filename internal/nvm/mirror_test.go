@@ -1,0 +1,552 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"semibfs/internal/vtime"
+)
+
+// mirrorProfile is a single-channel profile so queueing (and therefore
+// least-loaded selection) is easy to provoke deterministically.
+var mirrorProfile = Profile{
+	Name:           "mirror-test",
+	ReadLatency:    10 * vtime.Microsecond,
+	WriteLatency:   10 * vtime.Microsecond,
+	ReadBandwidth:  1 << 30,
+	WriteBandwidth: 1 << 30,
+	Channels:       1,
+}
+
+// flakyStore wraps a MemStore with a programmable per-read error hook.
+type flakyStore struct {
+	*MemStore
+	fail func(off int64) error
+}
+
+func (s *flakyStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	if s.fail != nil {
+		if err := s.fail(off); err != nil {
+			return err
+		}
+	}
+	return s.MemStore.ReadAt(clock, p, off)
+}
+
+func pattern(n int, salt byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*7 + salt
+	}
+	return p
+}
+
+func newTestMirror(t *testing.T, replicas int, cfg MirrorConfig) (*MirrorStore, []*MemStore) {
+	t.Helper()
+	mems := make([]*MemStore, replicas)
+	stores := make([]Storage, replicas)
+	for i := range mems {
+		mems[i] = NewNamedMemStore(fmt.Sprintf("m-r%d", i), NewDevice(mirrorProfile, 0), 0)
+		stores[i] = mems[i]
+	}
+	m, err := NewMirror("m", stores, DefaultChunkSize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mems
+}
+
+func TestMirrorRoundTrip(t *testing.T) {
+	m, mems := newTestMirror(t, 2, MirrorConfig{})
+	clock := vtime.NewClock(0)
+	data := pattern(3*DefaultChunkSize+100, 1)
+	if err := m.WriteAt(clock, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", m.Size(), len(data))
+	}
+	if m.PhysicalBytes() != 2*int64(len(data)) {
+		t.Fatalf("PhysicalBytes = %d, want %d", m.PhysicalBytes(), 2*len(data))
+	}
+	buf := make([]byte, len(data))
+	if err := m.ReadAt(clock, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("mirror read differs from written data")
+	}
+	// The write really landed on both replicas.
+	for i, mem := range mems {
+		got := make([]byte, len(data))
+		if err := mem.ReadAt(nil, got, 0); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("replica %d content diverges", i)
+		}
+	}
+}
+
+func TestMirrorFailoverAndStateMachine(t *testing.T) {
+	mems := []*MemStore{
+		NewNamedMemStore("m-r0", NewDevice(mirrorProfile, 0), 0),
+		NewNamedMemStore("m-r1", NewDevice(mirrorProfile, 0), 0),
+	}
+	failing := true
+	r0 := &flakyStore{MemStore: mems[0], fail: func(int64) error {
+		if failing {
+			return ErrTransient
+		}
+		return nil
+	}}
+	m, err := NewMirror("m", []Storage{r0, mems[1]}, DefaultChunkSize,
+		MirrorConfig{SuspectAfter: 2, DeadAfter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewClock(0)
+	data := pattern(DefaultChunkSize, 2)
+	if err := m.WriteAt(clock, data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 64)
+	// Reads keep succeeding by failing over to r1 whenever r0 is picked.
+	for i := 0; i < 16; i++ {
+		if err := m.ReadAt(clock, buf, 0); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(buf, data[:64]) {
+			t.Fatalf("read %d returned wrong bytes", i)
+		}
+	}
+	st := m.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("expected failovers > 0")
+	}
+	h := m.Health()
+	// After SuspectAfter consecutive failures, r0 is sidelined: only picked
+	// when healthy replicas fail, so it parks at suspect while r1 is fine.
+	if h[0].State != ReplicaSuspect {
+		t.Fatalf("replica 0 state = %v, want suspect (errors=%d consecutive=%d)",
+			h[0].State, h[0].Errors, h[0].Consecutive)
+	}
+	if h[1].State != ReplicaHealthy {
+		t.Fatalf("replica 1 state = %v, want healthy", h[1].State)
+	}
+	if h[0].Name != "m-r0" || h[1].Name != "m-r1" {
+		t.Fatalf("replica names = %q, %q", h[0].Name, h[1].Name)
+	}
+	// Now r1 starts failing too: each read retries the suspect r0, whose
+	// consecutive-error count climbs past DeadAfter. Reads fail outright
+	// (that is what the retry layer above the mirror is for) but stay
+	// classified retryable.
+	m.reps[1].store = &flakyStore{MemStore: mems[1],
+		fail: func(int64) error { return ErrTransient }}
+	for i := 0; i < 2; i++ {
+		err := m.ReadAt(clock, buf, 0)
+		if err == nil || !errors.Is(err, ErrTransient) {
+			t.Fatalf("read with both replicas failing: err = %v, want transient", err)
+		}
+	}
+	if h := m.Health(); h[0].State != ReplicaDead {
+		t.Fatalf("replica 0 state = %v, want dead after %d more failures",
+			h[0].State, 2)
+	}
+	// r1 recovers; the mirror keeps serving from it and its one remaining
+	// live replica returns to healthy.
+	m.reps[1].store = mems[1]
+	if err := m.ReadAt(clock, buf, 0); err != nil {
+		t.Fatalf("read after r1 recovery: %v", err)
+	}
+	if h := m.Health(); h[1].State != ReplicaHealthy {
+		t.Fatalf("replica 1 state = %v, want healthy after recovery", h[1].State)
+	}
+}
+
+func TestMirrorSuspectRecovers(t *testing.T) {
+	mems := []*MemStore{
+		NewNamedMemStore("m-r0", NewDevice(mirrorProfile, 0), 0),
+		NewNamedMemStore("m-r1", NewDevice(mirrorProfile, 0), 0),
+	}
+	fails := 0
+	r0 := &flakyStore{MemStore: mems[0], fail: func(int64) error {
+		if fails > 0 {
+			fails--
+			return ErrTransient
+		}
+		return nil
+	}}
+	m, err := NewMirror("m", []Storage{r0, mems[1]}, DefaultChunkSize,
+		MirrorConfig{SuspectAfter: 2, DeadAfter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewClock(0)
+	if err := m.WriteAt(clock, pattern(DefaultChunkSize, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	fails = 3
+	for i := 0; i < 4; i++ {
+		if err := m.ReadAt(clock, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := m.Health(); h[0].State != ReplicaSuspect {
+		t.Fatalf("replica 0 state = %v, want suspect", h[0].State)
+	}
+	// A suspect replica is only read when healthy ones fail; force that by
+	// failing r1, and watch the successful r0 read restore it to healthy.
+	fails = 0
+	r1fail := &flakyStore{MemStore: mems[1], fail: func(int64) error { return ErrTransient }}
+	m.reps[1].store = r1fail
+	if err := m.ReadAt(clock, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.Health(); h[0].State != ReplicaHealthy {
+		t.Fatalf("replica 0 state = %v, want healthy after successful read", h[0].State)
+	}
+}
+
+func TestMirrorLeastLoadedSelection(t *testing.T) {
+	m, mems := newTestMirror(t, 2, MirrorConfig{})
+	setup := vtime.NewClock(0)
+	if err := m.WriteAt(setup, pattern(DefaultChunkSize, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, mem := range mems {
+		mem.Device().Reset()
+	}
+	buf := make([]byte, DefaultChunkSize)
+	// Worker A occupies replica 0's single channel...
+	clockA := vtime.NewClock(0)
+	if err := m.ReadAt(clockA, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// ...so worker B, still at time 0, must be routed to replica 1.
+	clockB := vtime.NewClock(0)
+	if err := m.ReadAt(clockB, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r0 := mems[0].Device().Snapshot().Reads; r0 != 1 {
+		t.Fatalf("device 0 served %d reads, want 1", r0)
+	}
+	if r1 := mems[1].Device().Snapshot().Reads; r1 != 1 {
+		t.Fatalf("device 1 served %d reads, want 1 (least-loaded failed)", r1)
+	}
+}
+
+func TestMirrorAllDeadReturnsDeviceDead(t *testing.T) {
+	mems := []*MemStore{
+		NewNamedMemStore("m-r0", NewDevice(mirrorProfile, 0), 0),
+		NewNamedMemStore("m-r1", NewDevice(mirrorProfile, 0), 0),
+	}
+	dead := func(int64) error { return &DeadError{Store: "m-r0"} }
+	m, err := NewMirror("m", []Storage{
+		&flakyStore{MemStore: mems[0], fail: dead},
+		&flakyStore{MemStore: mems[1], fail: func(int64) error { return &DeadError{Store: "m-r1"} }},
+	}, DefaultChunkSize, MirrorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewClock(0)
+	if err := m.WriteAt(clock, pattern(DefaultChunkSize, 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	// First read discovers both replicas dead (each attempt fails with a
+	// permanent error); it and every later read must wrap ErrDeviceDead.
+	for i := 0; i < 3; i++ {
+		err := m.ReadAt(clock, buf, 0)
+		if !errors.Is(err, ErrDeviceDead) {
+			t.Fatalf("read %d: err = %v, want ErrDeviceDead", i, err)
+		}
+	}
+	if st := m.Stats(); st.AllDeadReads == 0 {
+		t.Fatal("expected AllDeadReads > 0")
+	}
+	for i, h := range m.Health() {
+		if h.State != ReplicaDead {
+			t.Fatalf("replica %d state = %v, want dead", i, h.State)
+		}
+	}
+}
+
+// scrubScenario builds a 2-replica mirror with per-replica checksums,
+// corrupts one block of replica 0's media underneath its checksum layer,
+// and returns the mirror plus the raw media stores.
+func scrubScenario(t *testing.T, cfg MirrorConfig) (*MirrorStore, []*MemStore, []byte) {
+	t.Helper()
+	mems := make([]*MemStore, 2)
+	stores := make([]Storage, 2)
+	for i := range mems {
+		mems[i] = NewNamedMemStore(fmt.Sprintf("m-r%d", i), NewDevice(mirrorProfile, 0), 0)
+		cs, err := WrapChecksumNamed(mems[i], fmt.Sprintf("m-r%d", i), DefaultChunkSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = cs
+	}
+	m, err := NewMirror("m", stores, DefaultChunkSize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(4*DefaultChunkSize, 6)
+	if err := m.WriteAt(vtime.NewClock(0), data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in block 1 of replica 0's media, under the checksums —
+	// the injected corruption the scrubber must detect and repair.
+	corrupt := []byte{data[DefaultChunkSize+17] ^ 0x40}
+	if err := mems[0].WriteAt(nil, corrupt, int64(DefaultChunkSize)+17); err != nil {
+		t.Fatal(err)
+	}
+	return m, mems, data
+}
+
+func TestScrubPassRepairsCorruptBlock(t *testing.T) {
+	run := func() (MirrorStats, []ReplicaHealth, []byte) {
+		m, mems, data := scrubScenario(t, MirrorConfig{})
+		m.ScrubPass(vtime.NewClock(0))
+		got := make([]byte, len(data))
+		if err := mems[0].ReadAt(nil, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats(), m.Health(), got
+	}
+	st, h, got := run()
+	if st.ScrubbedBlocks != 4 {
+		t.Fatalf("ScrubbedBlocks = %d, want 4", st.ScrubbedBlocks)
+	}
+	if st.RepairedBlocks != 1 {
+		t.Fatalf("RepairedBlocks = %d, want 1", st.RepairedBlocks)
+	}
+	if st.ScrubErrors != 1 {
+		t.Fatalf("ScrubErrors = %d, want 1", st.ScrubErrors)
+	}
+	if st.RepairTime <= 0 {
+		t.Fatal("RepairTime not accounted")
+	}
+	if h[0].RepairedBlocks != 1 {
+		t.Fatalf("replica 0 RepairedBlocks = %d, want 1", h[0].RepairedBlocks)
+	}
+	// The repair rewrote replica 0's media back to the good copy...
+	want := pattern(4*DefaultChunkSize, 6)
+	if !bytes.Equal(got, want) {
+		t.Fatal("replica 0 media not repaired")
+	}
+	// ...and refreshed its checksums: a direct verified read succeeds.
+	m2, _, _ := scrubScenario(t, MirrorConfig{})
+	m2.ScrubPass(vtime.NewClock(0))
+	buf := make([]byte, DefaultChunkSize)
+	if err := m2.reps[0].store.ReadAt(vtime.NewClock(0), buf, DefaultChunkSize); err != nil {
+		t.Fatalf("verified read of repaired block: %v", err)
+	}
+	// Determinism: an identical scenario scrubs and repairs identically.
+	st2, _, got2 := run()
+	if st != st2 {
+		t.Fatalf("scrub stats differ across identical runs:\n%+v\n%+v", st, st2)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Fatal("repaired media differs across identical runs")
+	}
+}
+
+func TestBackgroundScrubPacing(t *testing.T) {
+	interval := 100 * vtime.Microsecond
+	m, _, _ := scrubScenario(t, MirrorConfig{ScrubInterval: interval, MaxScrubPerRead: 2})
+	buf := make([]byte, 64)
+	// A read before the first interval elapses triggers no scrubbing.
+	if err := m.ReadAt(vtime.NewClock(0), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.ScrubbedBlocks != 0 {
+		t.Fatalf("scrubbed %d blocks before the first interval", st.ScrubbedBlocks)
+	}
+	// A read far in the future catches up at most MaxScrubPerRead steps.
+	if err := m.ReadAt(vtime.NewClock(vtime.Second), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.ScrubbedBlocks != 2 {
+		t.Fatalf("ScrubbedBlocks = %d, want 2 (MaxScrubPerRead)", st.ScrubbedBlocks)
+	}
+	// Subsequent reads keep draining the backlog one batch at a time and
+	// eventually repair the corrupt block (block 1 is the second step).
+	if err := m.ReadAt(vtime.NewClock(vtime.Second), buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.ScrubbedBlocks != 4 {
+		t.Fatalf("ScrubbedBlocks = %d, want 4", st.ScrubbedBlocks)
+	}
+	if st.RepairedBlocks != 1 {
+		t.Fatalf("RepairedBlocks = %d, want 1", st.RepairedBlocks)
+	}
+}
+
+func TestMirrorRebuild(t *testing.T) {
+	mems := []*MemStore{
+		NewNamedMemStore("m-r0", NewDevice(mirrorProfile, 0), 0),
+		NewNamedMemStore("m-r1", NewDevice(mirrorProfile, 0), 0),
+	}
+	failing := true
+	r0 := &flakyStore{MemStore: mems[0], fail: func(int64) error {
+		if failing {
+			return &DeadError{Store: "m-r0"}
+		}
+		return nil
+	}}
+	m, err := NewMirror("m", []Storage{r0, mems[1]}, DefaultChunkSize, MirrorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewClock(0)
+	data := pattern(2*DefaultChunkSize+50, 7)
+	if err := m.WriteAt(clock, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if err := m.ReadAt(clock, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.Health(); h[0].State != ReplicaDead {
+		t.Fatalf("replica 0 state = %v, want dead", h[0].State)
+	}
+	// Writes while replica 0 is dead leave it stale.
+	update := pattern(100, 8)
+	if err := m.WriteAt(clock, update, 0); err != nil {
+		t.Fatal(err)
+	}
+	// "Replace the drive": media works again, then rebuild from replica 1.
+	failing = false
+	if err := m.Rebuild(clock, 0); err != nil {
+		t.Fatal(err)
+	}
+	h := m.Health()
+	if h[0].State != ReplicaRebuilt {
+		t.Fatalf("replica 0 state = %v, want rebuilt", h[0].State)
+	}
+	if st := m.Stats(); st.RebuiltBlocks != 3 {
+		t.Fatalf("RebuiltBlocks = %d, want 3", st.RebuiltBlocks)
+	}
+	got := make([]byte, 100)
+	if err := mems[0].ReadAt(nil, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, update) {
+		t.Fatal("rebuild did not copy the post-death writes")
+	}
+}
+
+func TestMirrorErrorNamesReplicaAndBlock(t *testing.T) {
+	mems := []*MemStore{NewNamedMemStore("fwd-node0-index-r0", nil, 0)}
+	r0 := &flakyStore{MemStore: mems[0], fail: func(int64) error { return ErrTransient }}
+	m, err := NewMirror("fwd-node0-index", []Storage{r0}, DefaultChunkSize, MirrorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAt(nil, pattern(2*DefaultChunkSize, 9), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	rerr := m.ReadAt(nil, buf, int64(DefaultChunkSize))
+	if rerr == nil {
+		t.Fatal("expected error")
+	}
+	msg := rerr.Error()
+	for _, want := range []string{"fwd-node0-index-r0", "block 1"} {
+		if !contains(msg, want) {
+			t.Fatalf("error %q does not name %q", msg, want)
+		}
+	}
+	if !errors.Is(rerr, ErrTransient) {
+		t.Fatal("wrapped error lost its ErrTransient classification")
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+func TestArrayStoreFactoryAndNaming(t *testing.T) {
+	var names []string
+	mk := func(name string, chunk int) (Storage, error) {
+		names = append(names, name)
+		return NewNamedMemStore(name, NewDevice(mirrorProfile, 0), chunk), nil
+	}
+	as, err := NewArrayStore("fwd-node1-value", 3, DefaultChunkSize, mk, MirrorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	want := []string{"fwd-node1-value-r0", "fwd-node1-value-r1", "fwd-node1-value-r2"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("factory names = %v, want %v", names, want)
+	}
+	if as.Replicas() != 3 {
+		t.Fatalf("Replicas = %d", as.Replicas())
+	}
+	// Factory errors close the replicas already created.
+	closed := 0
+	mkFail := func(name string, chunk int) (Storage, error) {
+		if len(name) > 0 && name[len(name)-1] == '1' {
+			return nil, fmt.Errorf("boom")
+		}
+		return &closeCounter{MemStore: NewMemStore(nil, chunk), n: &closed}, nil
+	}
+	if _, err := NewArrayStore("s", 2, 0, mkFail, MirrorConfig{}); err == nil {
+		t.Fatal("expected factory error")
+	}
+	if closed != 1 {
+		t.Fatalf("closed %d created replicas, want 1", closed)
+	}
+}
+
+type closeCounter struct {
+	*MemStore
+	n *int
+}
+
+func (c *closeCounter) Close() error { *c.n++; return c.MemStore.Close() }
+
+func TestReplicaIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"fwd-node0-index-r0", 0},
+		{"fwd-node3-value-r12", 12},
+		{"plain", -1},
+		{"fwd-node0-index", -1},
+		{"x-r", -1},
+		{"x-r1x", -1},
+	}
+	for _, c := range cases {
+		if got := ReplicaIndex(c.name); got != c.want {
+			t.Errorf("ReplicaIndex(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMergeReplicaHealth(t *testing.T) {
+	a := []ReplicaHealth{
+		{Name: "x-r0", State: ReplicaHealthy, Reads: 10, Errors: 1},
+		{Name: "x-r1", State: ReplicaSuspect, Reads: 5},
+	}
+	b := []ReplicaHealth{
+		{Name: "y-r0", State: ReplicaDead, Reads: 3, RepairedBlocks: 2},
+	}
+	m := MergeReplicaHealth(a, b)
+	if len(m) != 2 {
+		t.Fatalf("%d merged rows", len(m))
+	}
+	if m[0].Name != "r0" || m[0].State != ReplicaDead || m[0].Reads != 13 ||
+		m[0].Errors != 1 || m[0].RepairedBlocks != 2 {
+		t.Fatalf("r0 merge = %+v", m[0])
+	}
+	if m[1].State != ReplicaSuspect || m[1].Reads != 5 {
+		t.Fatalf("r1 merge = %+v", m[1])
+	}
+}

@@ -138,6 +138,7 @@ func (s *FileStore) Close() error { return s.f.Close() }
 type MemStore struct {
 	dev   *Device
 	chunk int
+	name  string
 
 	mu  sync.Mutex
 	buf []byte
@@ -149,7 +150,15 @@ func NewMemStore(dev *Device, chunk int) *MemStore {
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}
-	return &MemStore{dev: dev, chunk: chunk}
+	return &MemStore{dev: dev, chunk: chunk, name: "memstore"}
+}
+
+// NewNamedMemStore is NewMemStore with a store name carried into error
+// messages, so a failing replica of a mirrored array is identifiable.
+func NewNamedMemStore(name string, dev *Device, chunk int) *MemStore {
+	s := NewMemStore(dev, chunk)
+	s.name = name
+	return s
 }
 
 // Device returns the device model charged by this store (may be nil).
@@ -167,8 +176,8 @@ func (s *MemStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 	s.mu.Lock()
 	if off < 0 || off+int64(len(p)) > int64(len(s.buf)) {
 		s.mu.Unlock()
-		return fmt.Errorf("nvm: memstore read [%d,%d) out of range [0,%d)",
-			off, off+int64(len(p)), len(s.buf))
+		return fmt.Errorf("nvm: %s: read [%d,%d) out of range [0,%d)",
+			s.name, off, off+int64(len(p)), len(s.buf))
 	}
 	copy(p, s.buf[off:])
 	s.mu.Unlock()
@@ -188,7 +197,7 @@ func (s *MemStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 // WriteAt implements Storage.
 func (s *MemStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 	if off < 0 {
-		return fmt.Errorf("nvm: memstore write at negative offset %d", off)
+		return fmt.Errorf("nvm: %s: write at negative offset %d", s.name, off)
 	}
 	s.mu.Lock()
 	end := off + int64(len(p))

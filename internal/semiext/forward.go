@@ -65,6 +65,24 @@ type ForwardOptions struct {
 	// next frontier vertex on the same node usually lands in a
 	// prefetched block.
 	ReadaheadBlocks int
+	// Replicas, when > 1, mirrors every store across that many replicas
+	// created by the factory (names get a "-r<i>" suffix). Reads are
+	// served from the least-loaded healthy replica and fail over
+	// transparently; the mirror sits *under* the retry policy and page
+	// cache, so cached pages are replica-agnostic and a retry re-selects
+	// a replica.
+	Replicas int
+	// Mirror tunes the replica health thresholds and background scrubber
+	// when Replicas > 1 (zero value: library defaults, no scrubbing).
+	Mirror nvm.MirrorConfig
+}
+
+// replicas returns the effective replica count (always >= 1).
+func (o ForwardOptions) replicas() int {
+	if o.Replicas < 1 {
+		return 1
+	}
+	return o.Replicas
 }
 
 // chunkBytes returns the request size cap the options select.
@@ -88,6 +106,9 @@ type SemiForward struct {
 	// cache is the shared page cache all node stores read through, nil
 	// when Options.CacheBytes is zero.
 	cache *nvm.PageCache
+	// mirrors are the device arrays backing the stores when Replicas > 1
+	// (one per store), kept for health and scrub reporting.
+	mirrors []*nvm.MirrorStore
 }
 
 // ForwardNode is one NUMA node's slice of the offloaded forward graph.
@@ -127,13 +148,29 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		// global and hot index blocks compete with hot value blocks.
 		sf.cache = nvm.NewPageCache(opts.CacheBytes, chunk, numa.CostModel{})
 	}
+	// mkStore builds one logical store: the factory's store directly, or —
+	// when replication is on — a mirror over Replicas factory-made stores
+	// named "<name>-r<i>", each with its own fault/latency wrapping.
+	mkStore := func(name string) (nvm.Storage, error) {
+		if opts.replicas() == 1 {
+			return mk(name, chunk)
+		}
+		arr, err := nvm.NewArrayStore(name, opts.replicas(), chunk,
+			func(n string, c int) (nvm.Storage, error) { return mk(n, c) },
+			opts.Mirror)
+		if err != nil {
+			return nil, err
+		}
+		sf.mirrors = append(sf.mirrors, arr.MirrorStore)
+		return arr, nil
+	}
 	for k, g := range fg.PerNode {
-		idxStore, err := mk(fmt.Sprintf("fwd-node%d-index", k), chunk)
+		idxStore, err := mkStore(fmt.Sprintf("fwd-node%d-index", k))
 		if err != nil {
 			return fail(err)
 		}
 		created = append(created, idxStore)
-		valStore, err := mk(fmt.Sprintf("fwd-node%d-value", k), chunk)
+		valStore, err := mkStore(fmt.Sprintf("fwd-node%d-value", k))
 		if err != nil {
 			return fail(err)
 		}
@@ -164,13 +201,45 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 	return sf, nil
 }
 
-// NVMBytes returns the total bytes resident on NVM.
+// NVMBytes returns the total bytes resident on NVM, counting every mirror
+// replica's physical copy.
 func (sf *SemiForward) NVMBytes() int64 {
+	if len(sf.mirrors) > 0 {
+		var b int64
+		for _, m := range sf.mirrors {
+			b += m.PhysicalBytes()
+		}
+		return b
+	}
 	var b int64
 	for _, n := range sf.PerNode {
 		b += n.IndexStore.Size() + n.ValueStore.Size()
 	}
 	return b
+}
+
+// MirrorStats sums the mirror-layer counters over every device array, or
+// the zero value when replication is off.
+func (sf *SemiForward) MirrorStats() nvm.MirrorStats {
+	var t nvm.MirrorStats
+	for _, m := range sf.mirrors {
+		t = t.Add(m.Stats())
+	}
+	return t
+}
+
+// DeviceHealth merges per-replica health across every device array: entry
+// i aggregates replica i of all mirrored stores. Nil when replication is
+// off.
+func (sf *SemiForward) DeviceHealth() []nvm.ReplicaHealth {
+	if len(sf.mirrors) == 0 {
+		return nil
+	}
+	sets := make([][]nvm.ReplicaHealth, len(sf.mirrors))
+	for i, m := range sf.mirrors {
+		sets[i] = m.Health()
+	}
+	return nvm.MergeReplicaHealth(sets...)
 }
 
 // DRAMBytes returns the DRAM kept by the handle: the in-DRAM index copies

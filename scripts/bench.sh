@@ -1,9 +1,11 @@
 #!/bin/sh
 # Perf-trajectory recorder: runs the cache sweep (harmonic-mean TEPS with
 # and without the forward-graph page cache, PCIe and SATA profiles, hybrid
-# and pure top-down) at a fixed seed and writes the rows as JSON.
+# and pure top-down) and the failover sweep (TEPS and repair activity vs
+# per-device fault rate for 1/2/3-way mirrored arrays) at a fixed seed and
+# writes the rows as JSON.
 #
-# The output file name carries the PR number so successive PRs leave a
+# The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
 set -eu
 
@@ -12,7 +14,12 @@ cd "$(dirname "$0")/.."
 SCALE=${SCALE:-13}
 ROOTS=${ROOTS:-12}
 OUT=${OUT:-BENCH_PR2.json}
+FAILOVER_OUT=${FAILOVER_OUT:-BENCH_PR3.json}
 
 echo "==> cache sweep (scale $SCALE, $ROOTS roots) -> $OUT"
 go run ./cmd/analyze -exp cache -json -scale "$SCALE" -roots "$ROOTS" > "$OUT"
 echo "wrote $OUT"
+
+echo "==> failover sweep (scale $SCALE, $ROOTS roots) -> $FAILOVER_OUT"
+go run ./cmd/analyze -exp failover -json -scale "$SCALE" -roots "$ROOTS" > "$FAILOVER_OUT"
+echo "wrote $FAILOVER_OUT"
