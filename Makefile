@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json
+.PHONY: build test check lint bench bench-json
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,17 @@ test:
 # Fast gate: vet + build + race-enabled tests on the small test graphs.
 check:
 	sh scripts/check.sh
+
+# Static analysis: staticcheck when installed, falling back to go vet so
+# the target works in minimal toolchain-only environments (CI installs
+# staticcheck; see .github/workflows/ci.yml).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; running go vet ./..."; \
+		$(GO) vet ./...; \
+	fi
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

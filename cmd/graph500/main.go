@@ -56,6 +56,7 @@ func main() {
 		scrubRate  = flag.Float64("scrub-rate", 0, "background scrub pace in blocks per virtual second (0 = off; requires -replicas > 1)")
 		cacheSize  = flag.String("cache-bytes", "", "DRAM page-cache budget for the forward graph, e.g. 64M or 1G (empty = no cache)")
 		readahead  = flag.Int("readahead", 0, "value-store readahead depth in cache blocks (requires -cache-bytes)")
+		layers     = flag.Bool("layers", false, "print the per-layer storage-stack counter report")
 	)
 	flag.Parse()
 
@@ -191,6 +192,31 @@ func main() {
 		return
 	}
 	printReport(res, time.Since(start))
+	if *layers {
+		printLayers(res.Layers)
+	}
+}
+
+// printLayers renders the generic per-layer storage-stack counters
+// aggregated over all BFS iterations, outermost layer first. Gauges
+// (capacities, block sizes, limits) are marked to distinguish them from
+// accumulated activity.
+func printLayers(s nvm.StackStats) {
+	fmt.Println("\nstorage stack layers (outermost first):")
+	if len(s) == 0 {
+		fmt.Println("  (no NVM storage stacks; graphs are DRAM-resident)")
+		return
+	}
+	for _, l := range s {
+		fmt.Printf("  %s:\n", l.Kind)
+		for _, c := range l.Counters {
+			mark := ""
+			if c.Gauge {
+				mark = "  (gauge)"
+			}
+			fmt.Printf("    %-20s %12d%s\n", c.Name, c.Value, mark)
+		}
+	}
 }
 
 func scenarioByName(name string) (core.Scenario, error) {

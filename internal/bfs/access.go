@@ -65,26 +65,13 @@ type BackwardNVM interface {
 	OnNVM() bool
 }
 
-// HealthCounters is optionally implemented by cursors and scanners that
-// track cumulative retry/backoff health (the NVM-backed ones do).
-type HealthCounters interface {
-	Health() semiext.Health
-}
-
-// CacheStatsProvider is optionally implemented by ForwardAccess values
-// whose stores read through a DRAM page cache; the engine reports per-run
-// deltas of these cumulative counters in Result.Cache.
-type CacheStatsProvider interface {
-	CacheStats() nvm.CacheStats
-}
-
-// MirrorStatsProvider is optionally implemented by ForwardAccess values
-// whose stores are mirrored device arrays; the engine reports per-run
-// deltas of the failover/scrub counters and the end-of-run per-device
-// health in Result.Resilience.
-type MirrorStatsProvider interface {
-	MirrorStats() nvm.MirrorStats
-	DeviceHealth() []nvm.ReplicaHealth
+// StorageStacks is optionally implemented by ForwardAccess and
+// BackwardAccess values whose graphs live on NVM storage stacks. The
+// engine walks the returned stacks (see nvm.CollectStacks) to report
+// per-run, per-layer counters — retry/backoff, cache, mirror, checksum,
+// fault-injection — without knowing which layers a scenario enabled.
+type StorageStacks interface {
+	Stacks() []nvm.Storage
 }
 
 // DRAMForward adapts a DRAM-resident csr.ForwardGraph.
@@ -123,14 +110,8 @@ func (n NVMForward) NewCursor(clock *vtime.Clock) ForwardCursor {
 // OnNVM implements ForwardAccess.
 func (NVMForward) OnNVM() bool { return true }
 
-// CacheStats implements CacheStatsProvider.
-func (n NVMForward) CacheStats() nvm.CacheStats { return n.SF.CacheStats() }
-
-// MirrorStats implements MirrorStatsProvider.
-func (n NVMForward) MirrorStats() nvm.MirrorStats { return n.SF.MirrorStats() }
-
-// DeviceHealth implements MirrorStatsProvider.
-func (n NVMForward) DeviceHealth() []nvm.ReplicaHealth { return n.SF.DeviceHealth() }
+// Stacks implements StorageStacks.
+func (n NVMForward) Stacks() []nvm.Storage { return n.SF.Stacks() }
 
 type nvmForwardCursor struct {
 	r *semiext.ForwardReader
@@ -142,9 +123,6 @@ func (c *nvmForwardCursor) Neighbors(k int, v int64) ([]int64, bool, error) {
 }
 
 func (c *nvmForwardCursor) NVMEdges() int64 { return c.r.EdgesRead }
-
-// Health implements HealthCounters.
-func (c *nvmForwardCursor) Health() semiext.Health { return c.r.Health }
 
 // DRAMBackward adapts a DRAM-resident csr.BackwardGraph.
 type DRAMBackward struct {
@@ -202,6 +180,9 @@ func (h HybridBackwardAccess) OnNVM() bool {
 	return false
 }
 
+// Stacks implements StorageStacks.
+func (h HybridBackwardAccess) Stacks() []nvm.Storage { return h.HB.Stacks() }
+
 type hybridBackwardScan struct {
 	s *semiext.BackwardScanner
 }
@@ -218,6 +199,3 @@ func (s *hybridBackwardScan) Scan(k int, v int64, fn func(nb int64) bool) (int64
 func (s *hybridBackwardScan) Counters() (int64, int64) {
 	return s.s.DRAMEdgesScanned, s.s.NVMEdgesScanned
 }
-
-// Health implements HealthCounters.
-func (s *hybridBackwardScan) Health() semiext.Health { return s.s.Health }

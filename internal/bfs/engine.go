@@ -139,11 +139,16 @@ type Result struct {
 	ExaminedNVM int64
 	Switches    int
 	// Resilience summarizes the run's fault handling (zero for a healthy
-	// run over healthy devices).
+	// run over healthy devices). Its counters are views over Layers.
 	Resilience Resilience
-	// Cache summarizes the run's forward-graph page-cache activity (zero
-	// when no cache is configured).
+	// Cache summarizes the run's page-cache activity (zero when no cache
+	// is configured). It is a view over Layers.
 	Cache nvm.CacheStats
+	// Layers holds the per-run delta of every storage-stack layer's
+	// counters (retry, cache, mirror, checksum, fault injection, ...),
+	// aggregated across the forward and backward graphs' stacks. Nil for
+	// fully DRAM-resident graphs.
+	Layers nvm.StackStats
 }
 
 // CloneTree returns a copy of the parent array.
@@ -378,11 +383,9 @@ func (r *Runner) Run(root int64) (*Result, error) {
 		c.AdvanceTo(0)
 	}
 	r.pinned = false
-	// Cursor health and cache counters accumulate across runs; per-run
-	// figures are deltas against these snapshots.
-	health0 := r.healthTotals()
-	cache0 := r.cacheTotals()
-	mirror0 := r.mirrorTotals()
+	// Stack-layer counters accumulate across runs; per-run figures are
+	// deltas against this snapshot.
+	layers0 := r.layerTotals()
 	start := r.clocks[0].Now()
 
 	r.tree[root] = root
@@ -503,25 +506,16 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	}
 	res.Time = vtime.MaxOf(r.clocks) - start
 	res.Tree = r.tree
-	h := r.healthTotals().Sub(health0)
-	res.Resilience.Retries = h.Retries
-	res.Resilience.ReadErrors = h.Errors
-	res.Resilience.BackoffTime = h.Backoff
-	m := r.mirrorTotals().Sub(mirror0)
-	res.Resilience.Failovers = m.Failovers
-	res.Resilience.ScrubbedBlocks = m.ScrubbedBlocks
-	res.Resilience.RepairedBlocks = m.RepairedBlocks
-	res.Resilience.RepairTime = m.RepairTime
+	res.Layers = r.layerTotals().Sub(layers0)
+	// The legacy summary fields are views over the generic layer deltas.
+	res.Resilience.Retries = res.Layers.Get("retry", "retries")
+	res.Resilience.ReadErrors = res.Layers.Get("retry", "read_errors")
+	res.Resilience.BackoffTime = vtime.Duration(res.Layers.Get("retry", "backoff_ns"))
+	res.Resilience.Failovers = res.Layers.Get("mirror", "failovers")
+	res.Resilience.ScrubbedBlocks = res.Layers.Get("mirror", "scrubbed_blocks")
+	res.Resilience.RepairedBlocks = res.Layers.Get("mirror", "repaired_blocks")
+	res.Resilience.RepairTime = vtime.Duration(res.Layers.Get("mirror", "repair_ns"))
 	res.Resilience.Devices = r.deviceHealth()
-	res.Cache = r.cacheTotals().Sub(cache0)
+	res.Cache = res.Layers.CacheView()
 	return res, nil
-}
-
-// cacheTotals returns the forward graph's cumulative page-cache counters
-// (zero when the access has no cache).
-func (r *Runner) cacheTotals() nvm.CacheStats {
-	if c, ok := r.fwd.(CacheStatsProvider); ok {
-		return c.CacheStats()
-	}
-	return nvm.CacheStats{}
 }

@@ -4,7 +4,6 @@ import (
 	"math/bits"
 
 	"semibfs/internal/nvm"
-	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
 
@@ -62,38 +61,28 @@ func (r *Resilience) DeadDevices() int {
 	return n
 }
 
-// healthTotals sums the cumulative retry/backoff health of every worker's
-// cursor and scanner (zero when the graphs are fully DRAM-resident).
-func (r *Runner) healthTotals() semiext.Health {
-	var t semiext.Health
-	for _, c := range r.cursors {
-		if h, ok := c.(HealthCounters); ok {
-			t.Add(h.Health())
-		}
+// stacks returns every NVM storage stack behind the runner's graphs
+// (forward and backward), or nil when both are fully DRAM-resident.
+func (r *Runner) stacks() []nvm.Storage {
+	var out []nvm.Storage
+	if s, ok := r.fwd.(StorageStacks); ok {
+		out = append(out, s.Stacks()...)
 	}
-	for _, s := range r.scanners {
-		if h, ok := s.(HealthCounters); ok {
-			t.Add(h.Health())
-		}
+	if s, ok := r.bwd.(StorageStacks); ok {
+		out = append(out, s.Stacks()...)
 	}
-	return t
+	return out
 }
 
-// mirrorTotals returns the forward access's cumulative mirror counters
-// (zero when the forward graph is not a mirrored device array).
-func (r *Runner) mirrorTotals() nvm.MirrorStats {
-	if m, ok := r.fwd.(MirrorStatsProvider); ok {
-		return m.MirrorStats()
-	}
-	return nvm.MirrorStats{}
+// layerTotals collects the cumulative per-layer counters of every stack.
+func (r *Runner) layerTotals() nvm.StackStats {
+	return nvm.CollectStacks(r.stacks()...)
 }
 
-// deviceHealth returns the forward access's per-device health, or nil.
+// deviceHealth merges per-device replica health across every stack's
+// mirror layer, or nil without mirroring.
 func (r *Runner) deviceHealth() []nvm.ReplicaHealth {
-	if m, ok := r.fwd.(MirrorStatsProvider); ok {
-		return m.DeviceHealth()
-	}
-	return nil
+	return nvm.CollectReplicaHealth(r.stacks()...)
 }
 
 // backwardOnNVM reports whether the backward graph has NVM-resident data.

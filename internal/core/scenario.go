@@ -292,7 +292,8 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 
 	base := func(name string, chunk int) (nvm.Storage, error) {
 		// Replica stores ("...-r<i>") are routed onto device i; stores
-		// without a replica suffix (backward tails) use the first device.
+		// without a replica suffix (unmirrored stores) use the first
+		// device.
 		dev := (*nvm.Device)(nil)
 		if len(devs) > 0 {
 			dev = devs[0]
@@ -305,28 +306,14 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 		}
 		return nvm.CreateFileStore(filepath.Join(opts.Dir, name+".bin"), dev, chunk)
 	}
-	// Layering, bottom-up: base media, then fault injection, then checksum
-	// verification — so injected bit flips are below the checksums and get
-	// detected on read, exactly like real media corruption under DIF/DIX.
-	mkRaw := base
+	// The base factory produces the media plus fault injection; every layer
+	// above it — checksums, mirroring, cache, retry, metrics — is assembled
+	// declaratively by nvm.BuildStack from the options below, so forward
+	// stores and backward tails get the identical middleware pipeline.
+	mk := base
 	if sc.Faults.Enabled() {
 		sys.faultFactory = faults.NewFactory(base, sc.Faults)
-		mkRaw = sys.faultFactory.Make
-	}
-	mk := mkRaw
-	if sc.Checksums {
-		mk = func(name string, chunk int) (nvm.Storage, error) {
-			st, err := mkRaw(name, chunk)
-			if err != nil {
-				return nil, err
-			}
-			cs, err := nvm.WrapChecksumNamed(st, name, chunk)
-			if err != nil {
-				st.Close()
-				return nil, err
-			}
-			return cs, nil
-		}
+		mk = sys.faultFactory.Make
 	}
 
 	fg, err := csr.BuildForward(src, part)
@@ -341,6 +328,7 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 			ReadaheadBlocks: sc.ReadaheadBlocks,
 			Replicas:        sc.Replicas,
 			Mirror:          nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
+			Checksums:       sc.Checksums,
 		}
 		sf, err := semiext.OffloadForward(fg, mk, opts.ConstructClock, fwdOpts)
 		if err != nil {
@@ -362,7 +350,17 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 		return nil, fmt.Errorf("core: build backward graph: %w", err)
 	}
 	if sc.BackwardDRAMEdgeLimit > 0 {
-		hb, err := semiext.BuildHybridBackward(bg, sc.BackwardDRAMEdgeLimit, mk, opts.ConstructClock)
+		// Tails ride the same declarative stack as the forward graph —
+		// checksums, mirroring, retry — and share the forward graph's page
+		// cache (when one exists), so one DRAM budget serves both graphs.
+		bwdOpts := semiext.BackwardOptions{
+			KeepEdges: sc.BackwardDRAMEdgeLimit,
+			Checksums: sc.Checksums,
+			Replicas:  sc.Replicas,
+			Mirror:    nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
+			Cache:     sys.PageCache(),
+		}
+		hb, err := semiext.OffloadBackward(bg, mk, opts.ConstructClock, bwdOpts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
+	"semibfs/internal/generator"
+	"semibfs/internal/numa"
+)
+
+// treesFor builds a system under sc and returns the parent tree of each
+// root, with a single real worker so claim order is deterministic.
+func treesFor(t *testing.T, sc Scenario, roots []int64) [][]int64 {
+	t.Helper()
+	list, err := generator.Generate(generator.Config{Scale: 10, EdgeFactor: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	sys, err := Build(edgelist.ListSource{List: list}, topo, sc, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	r, err := sys.NewRunner(bfs.Config{Topology: topo, Alpha: 4, Beta: 40, RealWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trees [][]int64
+	for _, root := range roots {
+		res, err := r.Run(root)
+		if err != nil {
+			t.Fatalf("scenario %s root %d: %v", sc.Name, root, err)
+		}
+		trees = append(trees, res.CloneTree())
+	}
+	return trees
+}
+
+// TestStackLayersDoNotChangeParentTrees is the refactor's equivalence
+// criterion: the storage stack is a performance and resilience concern
+// only, so at a fixed seed the parent trees must be identical whether the
+// graphs live in DRAM, behind a bare NVM stack, behind the full stack
+// (checksums, mirroring, page cache, partial backward offload), or under
+// injected recoverable faults.
+func TestStackLayersDoNotChangeParentTrees(t *testing.T) {
+	roots := []int64{2, 77, 500}
+
+	full := ScenarioPCIeFlash
+	full.Name = "full-stack"
+	full.Checksums = true
+	full.Replicas = 2
+	full.CacheBytes = 1 << 20
+	full.BackwardDRAMEdgeLimit = 4
+
+	faulted := full
+	faulted.Name = "full-stack-faulted"
+	faulted.Faults = faults.Config{
+		Seed:          1234,
+		TransientRate: 0.05,
+		CorruptRate:   0.01,
+	}
+
+	want := treesFor(t, ScenarioDRAMOnly, roots)
+	for _, sc := range []Scenario{ScenarioPCIeFlash, full, faulted} {
+		got := treesFor(t, sc, roots)
+		for i := range roots {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("%s root %d: tree length %d, want %d",
+					sc.Name, roots[i], len(got[i]), len(want[i]))
+			}
+			for v := range want[i] {
+				if got[i][v] != want[i][v] {
+					t.Fatalf("%s root %d: tree diverges from DRAM-only at vertex %d (%d vs %d)",
+						sc.Name, roots[i], v, got[i][v], want[i][v])
+				}
+			}
+		}
+	}
+}

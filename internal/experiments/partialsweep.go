@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+	"semibfs/internal/stats"
+)
+
+// PartialLimits is the per-vertex DRAM edge cap grid of the partial
+// backward-offload sweep. 0 keeps the whole backward graph in DRAM (the
+// paper's default placement, the baseline row); the rest shrink the DRAM
+// prefix toward one neighbor per vertex, pushing ever more of the
+// bottom-up scan traffic onto the NVM tails.
+var PartialLimits = []int{0, 64, 16, 4, 1}
+
+// PartialSweepAlpha is the direction-switch threshold the sweep uses
+// (beta = 10*alpha), for the same reason as CacheSweepAlpha: the headline
+// alpha of 1e4 never leaves top-down at reproduction scales, and this
+// sweep is about the bottom-up levels' tail traffic.
+const PartialSweepAlpha = CacheSweepAlpha
+
+// PartialRow is one (scenario, mode, k) measurement of the partial
+// backward-offload sweep.
+type PartialRow struct {
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	// KeepEdges is the paper's k: DRAM neighbors per vertex of the
+	// backward graph (0 = whole graph in DRAM).
+	KeepEdges int     `json:"keep_edges"`
+	TEPS      float64 `json:"teps"`
+	// BwdDRAMReductionPct is the backward graph's DRAM savings relative
+	// to full residency.
+	BwdDRAMReductionPct float64 `json:"bwd_dram_reduction_pct"`
+	// NVMAccessPct is the fraction of bottom-up neighbor examinations
+	// served from the NVM tails.
+	NVMAccessPct float64 `json:"nvm_access_pct"`
+	BwdDRAMScans int64   `json:"bwd_dram_scans"`
+	BwdNVMScans  int64   `json:"bwd_nvm_scans"`
+	// BwdNVMBytes is the tails' physical NVM footprint.
+	BwdNVMBytes int64 `json:"bwd_nvm_bytes"`
+}
+
+// PartialSweep measures TEPS versus the backward graph's DRAM edge cap k
+// for both NVM device profiles, in hybrid and pure top-down modes — the
+// partial-offloading experiment of Section VI-E, run for real through the
+// same nvm.BuildStack pipeline the forward graph uses. TEPS is the
+// harmonic mean over roots, as in CacheSweep. No page cache is configured,
+// so every tail access pays device cost and the sensitivity to k is not
+// masked. Expected shape: hybrid degrades smoothly as k shrinks (its
+// bottom-up levels fetch more tails, but the degree-descending prefix
+// keeps the hot hub neighbors in DRAM), while top-down-only — already
+// paying NVM for every forward adjacency — is far slower throughout and
+// indifferent to k.
+func PartialSweep(opts Options) ([]PartialRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	var rows []PartialRow
+	for _, base := range []core.Scenario{core.ScenarioPCIeFlash, core.ScenarioSSD} {
+		sc := lab.scenario(base, true)
+		// Full-DRAM backward bytes anchor the reduction column.
+		fullSys, err := lab.System(sc, false)
+		if err != nil {
+			return nil, err
+		}
+		fullBwd := fullSys.DRAMBackwardBytes + fullSys.NVMBackwardBytes
+		for _, mode := range []bfs.Mode{bfs.ModeHybrid, bfs.ModeTopDownOnly} {
+			cfg := defaultBFSConfig(opts)
+			cfg.Mode = mode
+			cfg.Alpha = PartialSweepAlpha
+			cfg.Beta = 10 * PartialSweepAlpha
+			for _, k := range PartialLimits {
+				part := sc
+				part.BackwardDRAMEdgeLimit = k
+				res, err := lab.Run(part, cfg, false, false)
+				if err != nil {
+					return nil, fmt.Errorf("partial sweep %s %s k=%d: %w",
+						base.Name, mode, k, err)
+				}
+				sys, err := lab.System(part, false)
+				if err != nil {
+					return nil, err
+				}
+				row := PartialRow{
+					Scenario:     base.Name,
+					Mode:         mode.String(),
+					KeepEdges:    k,
+					TEPS:         res.TEPS.HarmonicMean,
+					BwdDRAMScans: res.BackwardDRAMScans,
+					BwdNVMScans:  res.BackwardNVMScans,
+					BwdNVMBytes:  sys.NVMBackwardBytes,
+				}
+				if fullBwd > 0 {
+					row.BwdDRAMReductionPct =
+						100 * (1 - float64(sys.DRAMBackwardBytes)/float64(fullBwd))
+				}
+				if total := row.BwdDRAMScans + row.BwdNVMScans; total > 0 {
+					row.NVMAccessPct = 100 * float64(row.BwdNVMScans) / float64(total)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatPartialSweep renders the sweep as a text table.
+func FormatPartialSweep(rows []PartialRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Partial backward-graph offload: harmonic-mean TEPS vs DRAM edge cap k")
+	fmt.Fprintln(&b, "(k = DRAM neighbors kept per vertex; 0 keeps the whole backward graph in DRAM)")
+	fmt.Fprintf(&b, "%-16s %-14s %6s %10s %14s %12s %12s\n",
+		"scenario", "mode", "k", "TEPS", "BG DRAM cut", "NVM access", "tail bytes")
+	for _, r := range rows {
+		kcol := "all"
+		if r.KeepEdges > 0 {
+			kcol = fmt.Sprintf("%d", r.KeepEdges)
+		}
+		fmt.Fprintf(&b, "%-16s %-14s %6s %10s %13.1f%% %11.2f%% %12s\n",
+			r.Scenario, r.Mode, kcol, shortTEPS(r.TEPS),
+			r.BwdDRAMReductionPct, r.NVMAccessPct, stats.FormatBytes(r.BwdNVMBytes))
+	}
+	return b.String()
+}
+
+// PartialSweepCSV renders the sweep as CSV for plotting.
+func PartialSweepCSV(rows []PartialRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "scenario,mode,keep_edges,teps,bwd_dram_reduction_pct,nvm_access_pct,bwd_dram_scans,bwd_nvm_scans,bwd_nvm_bytes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%.6g,%.2f,%.4f,%d,%d,%d\n",
+			r.Scenario, r.Mode, r.KeepEdges, r.TEPS,
+			r.BwdDRAMReductionPct, r.NVMAccessPct,
+			r.BwdDRAMScans, r.BwdNVMScans, r.BwdNVMBytes)
+	}
+	return b.String()
+}
+
+// PartialSweepJSON renders the sweep as indented JSON (the bench tooling
+// records it alongside the other sweeps).
+func PartialSweepJSON(rows []PartialRow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

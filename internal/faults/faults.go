@@ -143,6 +143,27 @@ func (s *Store) Size() int64 { return s.inner.Size() }
 // Close closes the inner store.
 func (s *Store) Close() error { return s.inner.Close() }
 
+// Kind implements nvm.Layer.
+func (s *Store) Kind() string { return "faults" }
+
+// Unwrap implements nvm.Layer.
+func (s *Store) Unwrap() nvm.Storage { return s.inner }
+
+// Stats implements nvm.Layer.
+func (s *Store) Stats() nvm.LayerStats {
+	var dead int64
+	if s.dead.Load() {
+		dead = 1
+	}
+	return nvm.LayerStats{Kind: "faults", Counters: []nvm.Counter{
+		{Name: "reads", Value: s.reads.Load()},
+		{Name: "transient_injected", Value: s.transient.Load()},
+		{Name: "spikes_injected", Value: s.spikes.Load()},
+		{Name: "corruptions_injected", Value: s.corrupted.Load()},
+		{Name: "dead", Value: dead},
+	}}
+}
+
 // Counters returns the store's injected-fault totals so far.
 func (s *Store) Counters() Counters {
 	return Counters{

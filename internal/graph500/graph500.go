@@ -94,6 +94,9 @@ type RootResult struct {
 	// Cache summarizes the run's forward-graph page-cache activity (zero
 	// when no cache is configured).
 	Cache nvm.CacheStats
+	// Layers is the run's per-layer storage-stack counter delta (nil for
+	// DRAM-resident graphs).
+	Layers nvm.StackStats
 	// Levels is retained only when Params.KeepLevelStats is set.
 	Levels []bfs.LevelStats
 }
@@ -157,6 +160,10 @@ type Result struct {
 	// CacheStats aggregates the forward-graph page cache's activity over
 	// all BFS iterations (zero when the scenario configures no cache).
 	CacheStats nvm.CacheStats
+	// Layers aggregates the per-layer storage-stack counters over all BFS
+	// iterations (nil for DRAM-resident graphs). Gauge counters keep their
+	// configured values instead of summing.
+	Layers nvm.StackStats
 }
 
 // MedianTEPS returns the benchmark score (the median over roots).
@@ -328,8 +335,10 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 			Switches:    out.Switches,
 			Resilience:  out.Resilience,
 			Cache:       out.Cache,
+			Layers:      out.Layers,
 		}
 		res.CacheStats = res.CacheStats.Add(out.Cache)
+		res.Layers = res.Layers.Add(out.Layers)
 		res.Resilience.Retries += out.Resilience.Retries
 		res.Resilience.ReadErrors += out.Resilience.ReadErrors
 		res.Resilience.BackoffTime += out.Resilience.BackoffTime

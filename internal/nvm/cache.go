@@ -520,6 +520,34 @@ func (s *CachedStore) Size() int64 { return s.inner.Size() }
 // owner resets it.
 func (s *CachedStore) Close() error { return s.inner.Close() }
 
+// Kind implements Layer.
+func (s *CachedStore) Kind() string { return "cache" }
+
+// Unwrap implements Layer.
+func (s *CachedStore) Unwrap() Storage { return s.inner }
+
+// StatsKey implements StatsKeyed: every CachedStore of one PageCache
+// reports the cache's shared counters, so collection must charge them
+// once per cache, not once per store.
+func (s *CachedStore) StatsKey() any { return s.cache }
+
+// Stats implements Layer.
+func (s *CachedStore) Stats() LayerStats {
+	st := s.cache.Stats()
+	return LayerStats{Kind: "cache", Counters: []Counter{
+		{Name: "hits", Value: st.Hits},
+		{Name: "misses", Value: st.Misses},
+		{Name: "hit_bytes", Value: st.HitBytes},
+		{Name: "fill_bytes", Value: st.FillBytes},
+		{Name: "evictions", Value: st.Evictions},
+		{Name: "prefetches", Value: st.Prefetches},
+		{Name: "prefetch_hits", Value: st.PrefetchHits},
+		{Name: "merged_fills", Value: st.MergedFills},
+		{Name: "capacity_bytes", Value: st.CapacityBytes, Gauge: true},
+		{Name: "block_bytes", Value: st.BlockBytes, Gauge: true},
+	}}
+}
+
 // ReadAt implements Storage: each covered block is served from the cache
 // (filled from the inner store on a miss) and copied out. The copy
 // charges the DRAM streaming cost; fills charge the device through the

@@ -96,6 +96,25 @@ func (s *ChecksumStore) Failures() int64 {
 // Close closes the inner store.
 func (s *ChecksumStore) Close() error { return s.inner.Close() }
 
+// Kind implements Layer.
+func (s *ChecksumStore) Kind() string { return "checksum" }
+
+// Unwrap implements Layer.
+func (s *ChecksumStore) Unwrap() Storage { return s.inner }
+
+// Stats implements Layer.
+func (s *ChecksumStore) Stats() LayerStats {
+	s.mu.Lock()
+	failures := s.failures
+	sumBytes := int64(len(s.sums)) * 4
+	s.mu.Unlock()
+	return LayerStats{Kind: "checksum", Counters: []Counter{
+		{Name: "corruptions_detected", Value: failures},
+		{Name: "block_bytes", Value: s.block, Gauge: true},
+		{Name: "checksum_bytes", Value: sumBytes, Gauge: true},
+	}}
+}
+
 func (s *ChecksumStore) scratch(n int64) (*[]byte, []byte) {
 	bp := s.pool.Get().(*[]byte)
 	if int64(cap(*bp)) < n {

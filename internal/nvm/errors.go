@@ -47,6 +47,32 @@ func (e *DeadError) Error() string {
 
 func (e *DeadError) Unwrap() error { return ErrDeviceDead }
 
+// BlockError is the uniform structured error the stack layers wrap read
+// and write failures in: whatever layer failed — a replica mid-failover,
+// the retry layer exhausting its attempts, a cache fill — callers can
+// errors.As a *BlockError out of the chain to learn which store and block
+// failed, and errors.Is still reaches the sentinel underneath.
+type BlockError struct {
+	// Store names the logical store (or replica) the failure occurred on.
+	Store string
+	// Block is the index of the failing block; Off the failing byte
+	// offset.
+	Block int64
+	Off   int64
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *BlockError) Error() string {
+	name := e.Store
+	if name == "" {
+		name = "store"
+	}
+	return fmt.Sprintf("nvm: %s: block %d @%d: %v", name, e.Block, e.Off, e.Err)
+}
+
+func (e *BlockError) Unwrap() error { return e.Err }
+
 // CorruptionError is the structured error a checksum-verifying store
 // returns when a block's CRC does not match. It wraps ErrCorrupt.
 type CorruptionError struct {

@@ -343,11 +343,48 @@ func (m *MirrorStore) Close() error {
 	return first
 }
 
-// Stats returns the mirror's cumulative failover/scrub counters.
-func (m *MirrorStore) Stats() MirrorStats {
+// MirrorStats returns the mirror's cumulative failover/scrub counters.
+func (m *MirrorStore) MirrorStats() MirrorStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// Kind implements Layer.
+func (m *MirrorStore) Kind() string { return "mirror" }
+
+// Unwrap implements Layer: the mirror fans out rather than wrapping one
+// layer; walkers descend through Inners.
+func (m *MirrorStore) Unwrap() Storage { return nil }
+
+// Inners implements FanOut, exposing every replica stack.
+func (m *MirrorStore) Inners() []Storage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Storage, len(m.reps))
+	for i, rep := range m.reps {
+		out[i] = rep.store
+	}
+	return out
+}
+
+// Stats implements Layer.
+func (m *MirrorStore) Stats() LayerStats {
+	st := m.MirrorStats()
+	m.mu.Lock()
+	replicas := int64(len(m.reps))
+	m.mu.Unlock()
+	return LayerStats{Kind: "mirror", Counters: []Counter{
+		{Name: "reads", Value: st.Reads},
+		{Name: "failovers", Value: st.Failovers},
+		{Name: "all_dead_reads", Value: st.AllDeadReads},
+		{Name: "scrubbed_blocks", Value: st.ScrubbedBlocks},
+		{Name: "scrub_errors", Value: st.ScrubErrors},
+		{Name: "repaired_blocks", Value: st.RepairedBlocks},
+		{Name: "rebuilt_blocks", Value: st.RebuiltBlocks},
+		{Name: "repair_ns", Value: int64(st.RepairTime)},
+		{Name: "replicas", Value: replicas, Gauge: true},
+	}}
 }
 
 // Health snapshots every replica's health state.
@@ -470,8 +507,8 @@ func (m *MirrorStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 			m.maybeScrub(clock)
 			return nil
 		}
-		lastErr = fmt.Errorf("nvm: mirror %s: replica %s: block %d @%d: %w",
-			m.name, rep.name, off/m.block, off, err)
+		lastErr = &BlockError{Store: rep.name, Block: off / m.block, Off: off,
+			Err: fmt.Errorf("nvm: mirror %s failover: %w", m.name, err)}
 	}
 	if lastErr != nil {
 		// Every live replica was tried and failed. If the failures were
@@ -513,8 +550,8 @@ func (m *MirrorStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 	}
 	for _, rep := range live {
 		if err := rep.store.WriteAt(clock, p, off); err != nil {
-			return fmt.Errorf("nvm: mirror %s: replica %s: block %d @%d: %w",
-				m.name, rep.name, off/m.block, off, err)
+			return &BlockError{Store: rep.name, Block: off / m.block, Off: off,
+				Err: fmt.Errorf("nvm: mirror %s write: %w", m.name, err)}
 		}
 	}
 	return nil

@@ -123,7 +123,7 @@ func TestMirrorFailoverAndStateMachine(t *testing.T) {
 			t.Fatalf("read %d returned wrong bytes", i)
 		}
 	}
-	st := m.Stats()
+	st := m.MirrorStats()
 	if st.Failovers == 0 {
 		t.Fatal("expected failovers > 0")
 	}
@@ -266,7 +266,7 @@ func TestMirrorAllDeadReturnsDeviceDead(t *testing.T) {
 			t.Fatalf("read %d: err = %v, want ErrDeviceDead", i, err)
 		}
 	}
-	if st := m.Stats(); st.AllDeadReads == 0 {
+	if st := m.MirrorStats(); st.AllDeadReads == 0 {
 		t.Fatal("expected AllDeadReads > 0")
 	}
 	for i, h := range m.Health() {
@@ -316,7 +316,7 @@ func TestScrubPassRepairsCorruptBlock(t *testing.T) {
 		if err := mems[0].ReadAt(nil, got, 0); err != nil {
 			t.Fatal(err)
 		}
-		return m.Stats(), m.Health(), got
+		return m.MirrorStats(), m.Health(), got
 	}
 	st, h, got := run()
 	if st.ScrubbedBlocks != 4 {
@@ -364,14 +364,14 @@ func TestBackgroundScrubPacing(t *testing.T) {
 	if err := m.ReadAt(vtime.NewClock(0), buf, 0); err != nil {
 		t.Fatal(err)
 	}
-	if st := m.Stats(); st.ScrubbedBlocks != 0 {
+	if st := m.MirrorStats(); st.ScrubbedBlocks != 0 {
 		t.Fatalf("scrubbed %d blocks before the first interval", st.ScrubbedBlocks)
 	}
 	// A read far in the future catches up at most MaxScrubPerRead steps.
 	if err := m.ReadAt(vtime.NewClock(vtime.Second), buf, 0); err != nil {
 		t.Fatal(err)
 	}
-	if st := m.Stats(); st.ScrubbedBlocks != 2 {
+	if st := m.MirrorStats(); st.ScrubbedBlocks != 2 {
 		t.Fatalf("ScrubbedBlocks = %d, want 2 (MaxScrubPerRead)", st.ScrubbedBlocks)
 	}
 	// Subsequent reads keep draining the backlog one batch at a time and
@@ -379,7 +379,7 @@ func TestBackgroundScrubPacing(t *testing.T) {
 	if err := m.ReadAt(vtime.NewClock(vtime.Second), buf, 0); err != nil {
 		t.Fatal(err)
 	}
-	st := m.Stats()
+	st := m.MirrorStats()
 	if st.ScrubbedBlocks != 4 {
 		t.Fatalf("ScrubbedBlocks = %d, want 4", st.ScrubbedBlocks)
 	}
@@ -430,7 +430,7 @@ func TestMirrorRebuild(t *testing.T) {
 	if h[0].State != ReplicaRebuilt {
 		t.Fatalf("replica 0 state = %v, want rebuilt", h[0].State)
 	}
-	if st := m.Stats(); st.RebuiltBlocks != 3 {
+	if st := m.MirrorStats(); st.RebuiltBlocks != 3 {
 		t.Fatalf("RebuiltBlocks = %d, want 3", st.RebuiltBlocks)
 	}
 	got := make([]byte, 100)

@@ -1,0 +1,115 @@
+package nvm
+
+import "fmt"
+
+// BaseFactory creates one base (media-level) store. BuildStack calls it
+// once per replica, with names suffixed "-r<i>" when mirroring so the
+// factory can route each replica onto its own simulated device (see
+// ReplicaIndex). Implementations typically return a MemStore or
+// FileStore, optionally wrapped in a fault injector.
+type BaseFactory func(name string, chunk int) (Storage, error)
+
+// StackSpec declares a storage stack: which concerns to enable and how.
+// BuildStack assembles the layers in the one fixed, correct order —
+//
+//	metrics → retry → cache → mirror → checksum (per replica) → base
+//
+// so callers state *what* they want, never how to wire it. Ordering
+// rationale: metrics observes logical traffic; retry must sit above the
+// mirror so a retry re-drives replica selection, and above the cache so
+// failed fills are re-read from media; the cache must sit above the
+// mirror so hits skip replica selection entirely; checksums verify each
+// replica's own media, so the scrubber can tell which copy is bad.
+type StackSpec struct {
+	// Name is the logical store name, carried into errors and replica
+	// names.
+	Name string
+	// Chunk is the request-size cap and block granularity of every layer
+	// (<= 0 selects DefaultChunkSize).
+	Chunk int
+	// Base creates the media stores.
+	Base BaseFactory
+	// Checksum enables per-replica CRC32-C verification.
+	Checksum bool
+	// Replicas > 1 mirrors the store across that many base stores, with
+	// Mirror parameterizing failover and scrubbing.
+	Replicas int
+	Mirror   MirrorConfig
+	// Cache, when non-nil, routes reads through the shared page cache.
+	Cache *PageCache
+	// Retry is the retry/backoff policy; the zero value selects
+	// DefaultRetryPolicy. A policy with MaxAttempts 1 disables retries.
+	Retry RetryPolicy
+	// Metrics disables the outermost metrics layer when true (the layer
+	// is on by default: it is free and every report wants it).
+	NoMetrics bool
+}
+
+func (s StackSpec) chunk() int {
+	if s.Chunk <= 0 {
+		return DefaultChunkSize
+	}
+	return s.Chunk
+}
+
+func (s StackSpec) retry() RetryPolicy {
+	if s.Retry == (RetryPolicy{}) {
+		return DefaultRetryPolicy
+	}
+	return s.Retry
+}
+
+// BuildStack assembles the declared stack and returns its outermost
+// layer. Closing the returned Storage closes every layer exactly once
+// (each layer propagates Close to what it wraps). If construction fails
+// mid-stack, every store already created is closed before returning.
+func BuildStack(spec StackSpec) (Storage, error) {
+	if spec.Base == nil {
+		return nil, fmt.Errorf("nvm: stack %s: no base factory", spec.Name)
+	}
+	chunk := spec.chunk()
+
+	// One leaf = base media, optionally checksum-verified. On checksum
+	// wrap failure the base is closed here, so callers above only ever
+	// see whole leaves.
+	mkLeaf := func(name string, chunk int) (Storage, error) {
+		base, err := spec.Base(name, chunk)
+		if err != nil {
+			return nil, err
+		}
+		if !spec.Checksum {
+			return base, nil
+		}
+		cs, err := WrapChecksumNamed(base, name, chunk)
+		if err != nil {
+			base.Close()
+			return nil, err
+		}
+		return cs, nil
+	}
+
+	var st Storage
+	if spec.Replicas > 1 {
+		// NewArrayStore closes already-created replicas on factory error.
+		arr, err := NewArrayStore(spec.Name, spec.Replicas, chunk, mkLeaf, spec.Mirror)
+		if err != nil {
+			return nil, err
+		}
+		st = arr
+	} else {
+		leaf, err := mkLeaf(spec.Name, chunk)
+		if err != nil {
+			return nil, err
+		}
+		st = leaf
+	}
+
+	if spec.Cache != nil {
+		st = spec.Cache.Wrap(st)
+	}
+	st = WrapRetry(st, spec.Name, chunk, spec.retry())
+	if !spec.NoMetrics {
+		st = WrapMetrics(st, spec.Name)
+	}
+	return st, nil
+}

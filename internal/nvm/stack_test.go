@@ -1,0 +1,194 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"semibfs/internal/numa"
+	"semibfs/internal/vtime"
+)
+
+// injectStore is a MemStore whose reads can be forced to fail after the
+// stack is built and populated, so wrapping tests can trigger each error
+// class underneath an arbitrary layer combination.
+type injectStore struct {
+	*MemStore
+	fail error
+}
+
+func (s *injectStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	return s.MemStore.ReadAt(clock, p, off)
+}
+
+// TestStackErrorWrapping drives every stack permutation (checksum on/off ×
+// mirror on/off × cache on/off) through each error class and requires the
+// uniform contract: errors.Is reaches the sentinel and errors.As extracts
+// both the structured cause and an outermost *BlockError naming the
+// logical store and failing block — no layer may swallow or flatten the
+// chain.
+func TestStackErrorWrapping(t *testing.T) {
+	const chunk = 256
+	data := make([]byte, 4*chunk)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+
+	shapes := []struct {
+		name     string
+		checksum bool
+		replicas int
+		cache    bool
+	}{
+		{"plain", false, 1, false},
+		{"checksum", true, 1, false},
+		{"mirror", false, 2, false},
+		{"cache", false, 1, true},
+		{"mirror+checksum", true, 2, false},
+		{"cache+checksum", true, 1, true},
+		{"cache+mirror", false, 2, true},
+		{"cache+mirror+checksum", true, 2, true},
+	}
+
+	faults := []struct {
+		name string
+		// needsChecksum skips the case on stacks that cannot detect it.
+		needsChecksum bool
+		inject        func(bases []*injectStore)
+		sentinel      error
+		structured    func(t *testing.T, err error)
+	}{
+		{
+			name: "transient",
+			inject: func(bases []*injectStore) {
+				for _, b := range bases {
+					b.fail = fmt.Errorf("injected media error: %w", ErrTransient)
+				}
+			},
+			sentinel: ErrTransient,
+			structured: func(t *testing.T, err error) {
+				var re *RetryExhaustedError
+				if !errors.As(err, &re) {
+					t.Errorf("no *RetryExhaustedError in chain: %v", err)
+				} else if re.Attempts < 2 {
+					t.Errorf("RetryExhaustedError.Attempts = %d, want >= 2", re.Attempts)
+				}
+			},
+		},
+		{
+			name: "dead",
+			inject: func(bases []*injectStore) {
+				for _, b := range bases {
+					b.fail = &DeadError{Store: "injected"}
+				}
+			},
+			sentinel: ErrDeviceDead,
+			structured: func(t *testing.T, err error) {
+				var de *DeadError
+				if !errors.As(err, &de) {
+					t.Errorf("no *DeadError in chain: %v", err)
+				}
+				// Dead devices must not be retried to exhaustion.
+				var re *RetryExhaustedError
+				if errors.As(err, &re) {
+					t.Errorf("dead device was retried to exhaustion: %v", err)
+				}
+			},
+		},
+		{
+			name:          "corrupt",
+			needsChecksum: true,
+			inject: func(bases []*injectStore) {
+				// Flip media bytes underneath the checksum layer on every
+				// replica, so failover cannot paper over the corruption.
+				junk := []byte("silent bitrot")
+				for _, b := range bases {
+					if err := b.MemStore.WriteAt(nil, junk, chunk+7); err != nil {
+						panic(err)
+					}
+				}
+			},
+			sentinel: ErrCorrupt,
+			structured: func(t *testing.T, err error) {
+				var ce *CorruptionError
+				if !errors.As(err, &ce) {
+					t.Errorf("no *CorruptionError in chain: %v", err)
+				} else if ce.Block != 1 {
+					t.Errorf("CorruptionError.Block = %d, want 1", ce.Block)
+				}
+			},
+		},
+	}
+
+	for _, shape := range shapes {
+		for _, fc := range faults {
+			if fc.needsChecksum && !shape.checksum {
+				continue
+			}
+			t.Run(shape.name+"/"+fc.name, func(t *testing.T) {
+				var bases []*injectStore
+				spec := StackSpec{
+					Name:  "wraptest",
+					Chunk: chunk,
+					Base: func(name string, chunk int) (Storage, error) {
+						st := &injectStore{MemStore: NewNamedMemStore(name, nil, chunk)}
+						bases = append(bases, st)
+						return st, nil
+					},
+					Checksum: shape.checksum,
+					Replicas: shape.replicas,
+					Retry:    RetryPolicy{MaxAttempts: 3},
+				}
+				if shape.cache {
+					spec.Cache = NewPageCache(int64(len(data)), chunk, numa.CostModel{})
+				}
+				st, err := BuildStack(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer st.Close()
+				if err := st.WriteAt(nil, data, 0); err != nil {
+					t.Fatal(err)
+				}
+
+				// Sanity: the healthy stack round-trips a block the fault
+				// read will not touch (so cached shapes stay cold there).
+				got := make([]byte, chunk)
+				if err := st.ReadAt(nil, got, 3*chunk); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, data[3*chunk:]) {
+					t.Fatal("healthy round-trip mismatch")
+				}
+
+				fc.inject(bases)
+				off := int64(chunk + 32)
+				err = st.ReadAt(nil, got, off)
+				if err == nil {
+					t.Fatal("read succeeded despite injected fault")
+				}
+				if !errors.Is(err, fc.sentinel) {
+					t.Fatalf("errors.Is(err, %v) = false for %v", fc.sentinel, err)
+				}
+				var be *BlockError
+				if !errors.As(err, &be) {
+					t.Fatalf("no *BlockError in chain: %v", err)
+				}
+				if be.Store != "wraptest" {
+					t.Errorf("outermost BlockError names %q, want %q", be.Store, "wraptest")
+				}
+				if be.Off != off {
+					t.Errorf("BlockError.Off = %d, want %d", be.Off, off)
+				}
+				if want := off / chunk; be.Block != want {
+					t.Errorf("BlockError.Block = %d, want %d", be.Block, want)
+				}
+				fc.structured(t, err)
+			})
+		}
+	}
+}

@@ -132,6 +132,19 @@ func (s *FileStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 // Close closes the backing file.
 func (s *FileStore) Close() error { return s.f.Close() }
 
+// Kind implements Layer.
+func (s *FileStore) Kind() string { return "file" }
+
+// Unwrap implements Layer: a base store wraps nothing.
+func (s *FileStore) Unwrap() Storage { return nil }
+
+// Stats implements Layer.
+func (s *FileStore) Stats() LayerStats {
+	return LayerStats{Kind: "file", Counters: []Counter{
+		{Name: "bytes", Value: s.Size(), Gauge: true},
+	}}
+}
+
 // MemStore is a Storage backed by an in-memory byte slice. It charges the
 // same device model as FileStore and is used by tests and by callers that
 // want the timing model without filesystem traffic.
@@ -223,3 +236,16 @@ func (s *MemStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 
 // Close implements Storage; it is a no-op for MemStore.
 func (s *MemStore) Close() error { return nil }
+
+// Kind implements Layer.
+func (s *MemStore) Kind() string { return "mem" }
+
+// Unwrap implements Layer: a base store wraps nothing.
+func (s *MemStore) Unwrap() Storage { return nil }
+
+// Stats implements Layer.
+func (s *MemStore) Stats() LayerStats {
+	return LayerStats{Kind: "mem", Counters: []Counter{
+		{Name: "bytes", Value: s.Size(), Gauge: true},
+	}}
+}

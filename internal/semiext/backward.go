@@ -9,6 +9,32 @@ import (
 	"semibfs/internal/vtime"
 )
 
+// BackwardOptions configure a partially offloaded backward graph. The
+// zero value keeps the whole graph in DRAM.
+type BackwardOptions struct {
+	// KeepEdges is the paper's k (Section VI-E): each vertex keeps its
+	// first KeepEdges neighbors in DRAM and offloads the remainder ("the
+	// tail") to NVM. <= 0 keeps everything in DRAM and creates no
+	// stores.
+	KeepEdges int
+	// Checksums enables per-block CRC32-C verification on the tail
+	// stores (per replica when mirrored).
+	Checksums bool
+	// Replicas, when > 1, mirrors every tail store across that many
+	// replicas created by the factory (names get a "-r<i>" suffix).
+	Replicas int
+	// Mirror tunes replica health thresholds and the background scrubber
+	// when Replicas > 1.
+	Mirror nvm.MirrorConfig
+	// Cache, when non-nil, routes tail reads through the given shared
+	// page cache — typically the forward graph's, so one DRAM budget
+	// serves the whole offloaded graph (the FlashGraph/SAFS layering).
+	Cache *nvm.PageCache
+	// Retry is the stack's retry/backoff policy; the zero value selects
+	// nvm.DefaultRetryPolicy.
+	Retry RetryPolicy
+}
+
 // HybridBackward is the backward (bottom-up) graph with a bounded DRAM
 // footprint: each vertex keeps its first Limit neighbors in DRAM and the
 // remainder ("the tail") on NVM (Section VI-E). Limit <= 0 keeps the whole
@@ -25,10 +51,8 @@ type HybridBackward struct {
 	Limit int
 	// PerNode[k] holds node k's vertex range.
 	PerNode []*BackwardNode
-	// Retry bounds per-read retries with virtual-time backoff; scanners
-	// snapshot it at creation. BuildHybridBackward sets
-	// DefaultRetryPolicy.
-	Retry RetryPolicy
+	// Options are the options the graph was built with.
+	Options BackwardOptions
 }
 
 // BackwardNode is one NUMA node's slice of a HybridBackward graph.
@@ -40,8 +64,9 @@ type BackwardNode struct {
 	DRAMIndex []int64
 	DRAMValue []int64
 	// TailIndex is the CSR index of the offloaded tails; TailStore
-	// holds the concatenated tail neighbor IDs. TailStore is nil when
-	// nothing was offloaded from this node.
+	// holds the concatenated tail neighbor IDs behind the full storage
+	// stack built by nvm.BuildStack. TailStore is nil when nothing was
+	// offloaded from this node.
 	TailIndex []int64
 	TailStore nvm.Storage
 }
@@ -57,18 +82,20 @@ func (n *BackwardNode) Degree(v int64) int64 {
 	return d
 }
 
-// BuildHybridBackward splits bg into DRAM prefixes of at most limit
-// neighbors per vertex plus NVM tails written to stores created by mk
-// (one per NUMA node, named "bwd-node<k>-tail"). limit <= 0 keeps
-// everything in DRAM and creates no stores.
-func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, clock *vtime.Clock) (*HybridBackward, error) {
+// OffloadBackward splits bg into DRAM prefixes of at most opts.KeepEdges
+// neighbors per vertex plus NVM tails written to storage stacks built
+// over mk (one per NUMA node, named "bwd-node<k>-tail"). The stacks are
+// declared through the same nvm.BuildStack pipeline the forward graph
+// uses, so the tail stores carry the identical middleware — retry,
+// optional cache, mirroring, and checksums.
+func OffloadBackward(bg *csr.BackwardGraph, mk StoreFactory, clock *vtime.Clock, opts BackwardOptions) (*HybridBackward, error) {
 	hb := &HybridBackward{
 		Part:    bg.Part,
-		Limit:   limit,
+		Limit:   opts.KeepEdges,
 		PerNode: make([]*BackwardNode, len(bg.PerNode)),
-		Retry:   DefaultRetryPolicy,
+		Options: opts,
 	}
-	// Close every store created so far on any error (same close-on-error
+	// Close every stack created so far on any error (same close-on-error
 	// discipline as OffloadForward), so a failed build leaks nothing.
 	var created []nvm.Storage
 	fail := func(err error) (*HybridBackward, error) {
@@ -77,16 +104,20 @@ func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, cloc
 		}
 		return nil, err
 	}
+	replicas := opts.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
 	for k, g := range bg.PerNode {
 		node := &BackwardNode{Base: g.Base, Len: g.Len}
-		if limit <= 0 {
+		if opts.KeepEdges <= 0 {
 			// Whole graph in DRAM: share the source arrays.
 			node.DRAMIndex = g.Index
 			node.DRAMValue = g.Value
 			hb.PerNode[k] = node
 			continue
 		}
-		lim := int64(limit)
+		lim := int64(opts.KeepEdges)
 		node.DRAMIndex = make([]int64, g.Len+1)
 		node.TailIndex = make([]int64, g.Len+1)
 		for i := int64(0); i < g.Len; i++ {
@@ -107,7 +138,16 @@ func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, cloc
 			copy(tail[node.TailIndex[i]:], nb[keep:])
 		}
 		if len(tail) > 0 {
-			store, err := mk(fmt.Sprintf("bwd-node%d-tail", k), nvm.DefaultChunkSize)
+			store, err := nvm.BuildStack(nvm.StackSpec{
+				Name:     fmt.Sprintf("bwd-node%d-tail", k),
+				Chunk:    nvm.DefaultChunkSize,
+				Base:     nvm.BaseFactory(mk),
+				Checksum: opts.Checksums,
+				Replicas: replicas,
+				Mirror:   opts.Mirror,
+				Cache:    opts.Cache,
+				Retry:    opts.Retry,
+			})
 			if err != nil {
 				return fail(err)
 			}
@@ -124,6 +164,30 @@ func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, cloc
 	return hb, nil
 }
 
+// BuildHybridBackward is OffloadBackward with only the DRAM edge limit
+// set — the historical entry point, kept for its many call sites.
+func BuildHybridBackward(bg *csr.BackwardGraph, limit int, mk StoreFactory, clock *vtime.Clock) (*HybridBackward, error) {
+	return OffloadBackward(bg, mk, clock, BackwardOptions{KeepEdges: limit})
+}
+
+// Stacks returns every tail storage stack (nil-free; empty when the graph
+// is fully DRAM-resident). The BFS engine walks these to collect
+// per-layer statistics.
+func (hb *HybridBackward) Stacks() []nvm.Storage {
+	var out []nvm.Storage
+	for _, n := range hb.PerNode {
+		if n.TailStore != nil {
+			out = append(out, n.TailStore)
+		}
+	}
+	return out
+}
+
+// LayerStats collects the per-layer counters of every tail stack.
+func (hb *HybridBackward) LayerStats() nvm.StackStats {
+	return nvm.CollectStacks(hb.Stacks()...)
+}
+
 // DRAMBytes returns the graph's DRAM-resident footprint.
 func (hb *HybridBackward) DRAMBytes() int64 {
 	var b int64
@@ -134,13 +198,12 @@ func (hb *HybridBackward) DRAMBytes() int64 {
 	return b
 }
 
-// NVMBytes returns the bytes offloaded to NVM.
+// NVMBytes returns the bytes offloaded to NVM, counting every mirror
+// replica's physical copy.
 func (hb *HybridBackward) NVMBytes() int64 {
 	var b int64
-	for _, n := range hb.PerNode {
-		if n.TailStore != nil {
-			b += n.TailStore.Size()
-		}
+	for _, st := range hb.Stacks() {
+		b += nvm.StackPhysicalBytes(st)
 	}
 	return b
 }
@@ -165,7 +228,7 @@ func (hb *HybridBackward) TailEdges() int64 {
 	return e
 }
 
-// Close closes all tail stores.
+// Close closes all tail stacks.
 func (hb *HybridBackward) Close() error {
 	var first error
 	for _, n := range hb.PerNode {
@@ -180,15 +243,12 @@ func (hb *HybridBackward) Close() error {
 
 // BackwardScanner is a per-worker cursor over a HybridBackward graph. It
 // owns scratch buffers and per-worker access counters; device time goes to
-// the owning worker's clock.
+// the owning worker's clock. Resilience lives in the tail stores' stacks.
 type BackwardScanner struct {
 	hb      *HybridBackward
 	clock   *vtime.Clock
-	retry   RetryPolicy
 	byteBuf []byte
 	valBuf  []int64
-	// Health accumulates the scanner's retry/backoff accounting.
-	Health Health
 	// DRAMEdgesScanned / NVMEdgesScanned count neighbor entries
 	// examined from each tier — the quantities behind Figure 14's
 	// access ratio.
@@ -203,7 +263,6 @@ func NewBackwardScanner(hb *HybridBackward, clock *vtime.Clock) *BackwardScanner
 	return &BackwardScanner{
 		hb:      hb,
 		clock:   clock,
-		retry:   hb.Retry,
 		byteBuf: make([]byte, nvm.DefaultChunkSize),
 	}
 }
@@ -243,7 +302,7 @@ func (s *BackwardScanner) Scan(k int, v int64, fn func(nb int64) bool) (examined
 			count = idsPerChunk
 		}
 		chunk := s.valBuf[:count]
-		if err := readInt64s(node.TailStore, s.clock, s.retry, &s.Health, off, count, chunk, s.byteBuf); err != nil {
+		if err := readInt64s(node.TailStore, s.clock, off, count, chunk, s.byteBuf); err != nil {
 			return examined, err
 		}
 		for _, nb := range chunk {

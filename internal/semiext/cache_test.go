@@ -158,18 +158,18 @@ func TestCachedForwardChecksumRecovery(t *testing.T) {
 			}
 		}
 	}
-	if r.Health.Retries == 0 {
+	if sf.LayerStats().Get("retry", "retries") == 0 {
 		t.Fatal("expected retries from first-read corruption")
 	}
 	// Second pass: everything is cached clean; no new retries may occur.
-	retries := r.Health.Retries
+	retries := sf.LayerStats().Get("retry", "retries")
 	for v := int64(0); v < g.NumVertices; v++ {
 		if _, err := r.Neighbors(0, v); err != nil {
 			t.Fatalf("warm vertex %d: %v", v, err)
 		}
 	}
-	if r.Health.Retries != retries {
+	if got := sf.LayerStats().Get("retry", "retries"); got != retries {
 		t.Fatalf("warm pass retried (%d -> %d): corrupt data must not be cached",
-			retries, r.Health.Retries)
+			retries, got)
 	}
 }

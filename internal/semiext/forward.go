@@ -18,6 +18,11 @@
 //     parent. Because NETAL orders neighbors by descending degree, the
 //     DRAM prefix holds the hubs, which answer the vast majority of
 //     bottom-up searches.
+//
+// Both structures build their stores through nvm.BuildStack, so every
+// resilience concern — retry/backoff, page caching, mirroring, checksums
+// — is a declarative stack layer rather than wiring baked into this
+// package.
 package semiext
 
 import (
@@ -30,10 +35,12 @@ import (
 	"semibfs/internal/vtime"
 )
 
-// StoreFactory creates a named store on the NVM device backing an offload,
-// issuing device requests of at most chunk bytes (chunk <= 0 selects the
-// 4 KiB default). Implementations decide where files live (a temp
-// directory, a RAM-backed MemStore for tests, ...).
+// StoreFactory creates a named base store on the NVM device backing an
+// offload, issuing device requests of at most chunk bytes (chunk <= 0
+// selects the 4 KiB default). Implementations decide where files live (a
+// temp directory, a RAM-backed MemStore for tests, ...). The factory is
+// handed to nvm.BuildStack as the stack's base layer, so mirrored
+// configurations call it once per replica with "-r<i>"-suffixed names.
 type StoreFactory func(name string, chunk int) (nvm.Storage, error)
 
 // AggregatedChunk is the request size used when I/O aggregation is
@@ -53,11 +60,14 @@ type ForwardOptions struct {
 	// AggregateIO raises the request size cap from the paper's 4 KiB
 	// to AggregatedChunk (the libaio-style aggregation of §VI-D).
 	AggregateIO bool
+	// Checksums enables per-block CRC32-C verification on every store
+	// (per replica when mirrored).
+	Checksums bool
 	// CacheBytes, when positive, puts a shared DRAM page cache of that
-	// budget between the readers' retry policy and the index/value
-	// stores (FlashGraph's SAFS-style cache applied to the forward
-	// graph). Pages are chunkBytes()-sized so a fill is exactly one
-	// device request and aligns with checksum verification blocks.
+	// budget into every store's stack (FlashGraph's SAFS-style cache
+	// applied to the forward graph). Pages are chunkBytes()-sized so a
+	// fill is exactly one device request and aligns with checksum
+	// verification blocks.
 	CacheBytes int64
 	// ReadaheadBlocks, when positive with CacheBytes set, prefetches
 	// that many value blocks past each adjacency read. Neighbor lists
@@ -68,13 +78,16 @@ type ForwardOptions struct {
 	// Replicas, when > 1, mirrors every store across that many replicas
 	// created by the factory (names get a "-r<i>" suffix). Reads are
 	// served from the least-loaded healthy replica and fail over
-	// transparently; the mirror sits *under* the retry policy and page
+	// transparently; the mirror sits *under* the retry layer and page
 	// cache, so cached pages are replica-agnostic and a retry re-selects
 	// a replica.
 	Replicas int
 	// Mirror tunes the replica health thresholds and background scrubber
 	// when Replicas > 1 (zero value: library defaults, no scrubbing).
 	Mirror nvm.MirrorConfig
+	// Retry is the stack's retry/backoff policy; the zero value selects
+	// nvm.DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // replicas returns the effective replica count (always >= 1).
@@ -100,41 +113,39 @@ type SemiForward struct {
 	Part    *numa.Partition
 	PerNode []*ForwardNode
 	Options ForwardOptions
-	// Retry bounds per-read retries with virtual-time backoff; readers
-	// snapshot it at creation. OffloadForward sets DefaultRetryPolicy.
-	Retry RetryPolicy
 	// cache is the shared page cache all node stores read through, nil
 	// when Options.CacheBytes is zero.
 	cache *nvm.PageCache
-	// mirrors are the device arrays backing the stores when Replicas > 1
-	// (one per store), kept for health and scrub reporting.
-	mirrors []*nvm.MirrorStore
 }
 
 // ForwardNode is one NUMA node's slice of the offloaded forward graph.
 type ForwardNode struct {
-	N          int64
+	N int64
+	// IndexStore / ValueStore are the full storage stacks built by
+	// nvm.BuildStack (metrics → retry → cache → mirror → checksum →
+	// base, with layers the options left off elided).
 	IndexStore nvm.Storage
 	ValueStore nvm.Storage
 	// dramIndex is populated only when IndexInDRAM is enabled.
 	dramIndex []int64
-	// valueCache is ValueStore's cached view when a page cache is
+	// valueCache is ValueStore's cache layer when a page cache is
 	// configured; readers use it for readahead prefetch.
 	valueCache *nvm.CachedStore
 }
 
-// OffloadForward writes fg to stores created by mk (two per NUMA node,
-// named "fwd-node<k>-index" / "fwd-node<k>-value") and returns the
+// OffloadForward writes fg to storage stacks built over mk (two per NUMA
+// node, named "fwd-node<k>-index" / "fwd-node<k>-value") and returns the
 // semi-external handle. Device time for the writes is charged to clock.
 func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, opts ForwardOptions) (*SemiForward, error) {
 	sf := &SemiForward{
 		Part:    fg.Part,
 		PerNode: make([]*ForwardNode, len(fg.PerNode)),
 		Options: opts,
-		Retry:   DefaultRetryPolicy,
 	}
-	// On any error, close every store created so far — including the
+	// On any error, close every stack created so far — including the
 	// current and previous nodes' — so a failed offload leaks nothing.
+	// BuildStack itself closes the partial stack it was assembling, so
+	// each entry here is a whole stack closed exactly once.
 	var created []nvm.Storage
 	fail := func(err error) (*SemiForward, error) {
 		for _, st := range created {
@@ -148,33 +159,32 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		// global and hot index blocks compete with hot value blocks.
 		sf.cache = nvm.NewPageCache(opts.CacheBytes, chunk, numa.CostModel{})
 	}
-	// mkStore builds one logical store: the factory's store directly, or —
-	// when replication is on — a mirror over Replicas factory-made stores
-	// named "<name>-r<i>", each with its own fault/latency wrapping.
-	mkStore := func(name string) (nvm.Storage, error) {
-		if opts.replicas() == 1 {
-			return mk(name, chunk)
-		}
-		arr, err := nvm.NewArrayStore(name, opts.replicas(), chunk,
-			func(n string, c int) (nvm.Storage, error) { return mk(n, c) },
-			opts.Mirror)
-		if err != nil {
-			return nil, err
-		}
-		sf.mirrors = append(sf.mirrors, arr.MirrorStore)
-		return arr, nil
+	mkStack := func(name string) (nvm.Storage, error) {
+		return nvm.BuildStack(nvm.StackSpec{
+			Name:     name,
+			Chunk:    chunk,
+			Base:     nvm.BaseFactory(mk),
+			Checksum: opts.Checksums,
+			Replicas: opts.replicas(),
+			Mirror:   opts.Mirror,
+			Cache:    sf.cache,
+			Retry:    opts.Retry,
+		})
 	}
 	for k, g := range fg.PerNode {
-		idxStore, err := mkStore(fmt.Sprintf("fwd-node%d-index", k))
+		idxStore, err := mkStack(fmt.Sprintf("fwd-node%d-index", k))
 		if err != nil {
 			return fail(err)
 		}
 		created = append(created, idxStore)
-		valStore, err := mkStore(fmt.Sprintf("fwd-node%d-value", k))
+		valStore, err := mkStack(fmt.Sprintf("fwd-node%d-value", k))
 		if err != nil {
 			return fail(err)
 		}
 		created = append(created, valStore)
+		// Offload writes go through the full stack: the cache layer is
+		// write-through with invalidation, so it stays cold and
+		// traversal-time fills are the only pages it ever holds.
 		if err := writeInt64s(idxStore, clock, g.Index); err != nil {
 			return fail(fmt.Errorf("semiext: offload index node %d: %w", k, err))
 		}
@@ -185,13 +195,7 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 			N:          g.NumVertices,
 			IndexStore: idxStore,
 			ValueStore: valStore,
-		}
-		if sf.cache != nil {
-			// Wrap after the offload writes so the cache starts cold and
-			// traversal-time fills are the only pages it ever holds.
-			node.IndexStore = sf.cache.Wrap(idxStore)
-			node.valueCache = sf.cache.Wrap(valStore)
-			node.ValueStore = node.valueCache
+			valueCache: nvm.StackCache(valStore),
 		}
 		if opts.IndexInDRAM {
 			node.dramIndex = append([]int64(nil), g.Index...)
@@ -201,45 +205,30 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 	return sf, nil
 }
 
+// Stacks returns every storage stack backing the graph (index and value
+// store per node), outermost layer first. The BFS engine walks these to
+// collect per-layer statistics.
+func (sf *SemiForward) Stacks() []nvm.Storage {
+	out := make([]nvm.Storage, 0, 2*len(sf.PerNode))
+	for _, n := range sf.PerNode {
+		out = append(out, n.IndexStore, n.ValueStore)
+	}
+	return out
+}
+
+// LayerStats collects the per-layer counters of every backing stack.
+func (sf *SemiForward) LayerStats() nvm.StackStats {
+	return nvm.CollectStacks(sf.Stacks()...)
+}
+
 // NVMBytes returns the total bytes resident on NVM, counting every mirror
 // replica's physical copy.
 func (sf *SemiForward) NVMBytes() int64 {
-	if len(sf.mirrors) > 0 {
-		var b int64
-		for _, m := range sf.mirrors {
-			b += m.PhysicalBytes()
-		}
-		return b
-	}
 	var b int64
-	for _, n := range sf.PerNode {
-		b += n.IndexStore.Size() + n.ValueStore.Size()
+	for _, st := range sf.Stacks() {
+		b += nvm.StackPhysicalBytes(st)
 	}
 	return b
-}
-
-// MirrorStats sums the mirror-layer counters over every device array, or
-// the zero value when replication is off.
-func (sf *SemiForward) MirrorStats() nvm.MirrorStats {
-	var t nvm.MirrorStats
-	for _, m := range sf.mirrors {
-		t = t.Add(m.Stats())
-	}
-	return t
-}
-
-// DeviceHealth merges per-replica health across every device array: entry
-// i aggregates replica i of all mirrored stores. Nil when replication is
-// off.
-func (sf *SemiForward) DeviceHealth() []nvm.ReplicaHealth {
-	if len(sf.mirrors) == 0 {
-		return nil
-	}
-	sets := make([][]nvm.ReplicaHealth, len(sf.mirrors))
-	for i, m := range sf.mirrors {
-		sets[i] = m.Health()
-	}
-	return nvm.MergeReplicaHealth(sets...)
 }
 
 // DRAMBytes returns the DRAM kept by the handle: the in-DRAM index copies
@@ -266,7 +255,8 @@ func (sf *SemiForward) CacheStats() nvm.CacheStats {
 	return sf.cache.Stats()
 }
 
-// Close closes all backing stores.
+// Close closes all backing stacks (each stack closes its layers down to
+// the base store exactly once).
 func (sf *SemiForward) Close() error {
 	var first error
 	for _, n := range sf.PerNode {
@@ -282,19 +272,17 @@ func (sf *SemiForward) Close() error {
 
 // ForwardReader is a per-worker cursor over one SemiForward. It owns the
 // scratch buffers so concurrent workers never contend, and charges all
-// device time to the owning worker's clock.
+// device time to the owning worker's clock. Retry/backoff and caching
+// happen inside the storage stack; the reader just reads.
 type ForwardReader struct {
 	sf      *SemiForward
 	clock   *vtime.Clock
-	retry   RetryPolicy
 	byteBuf []byte
 	valBuf  []int64
 	// EdgesRead counts neighbor IDs delivered from NVM.
 	EdgesRead int64
 	// IndexReads counts index-entry fetches that went to NVM.
 	IndexReads int64
-	// Health accumulates the reader's retry/backoff accounting.
-	Health Health
 }
 
 // NewForwardReader returns a reader charging device time to clock. The
@@ -304,7 +292,6 @@ func NewForwardReader(sf *SemiForward, clock *vtime.Clock) *ForwardReader {
 	return &ForwardReader{
 		sf:      sf,
 		clock:   clock,
-		retry:   sf.Retry,
 		byteBuf: make([]byte, sf.Options.chunkBytes()),
 	}
 }
@@ -318,7 +305,7 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 		lo, hi = node.dramIndex[v], node.dramIndex[v+1]
 	} else {
 		// One request covering both bracketing index entries.
-		if err := r.retry.readAt(node.IndexStore, r.clock, &r.Health, r.byteBuf[:16], v*8); err != nil {
+		if err := node.IndexStore.ReadAt(r.clock, r.byteBuf[:16], v*8); err != nil {
 			return nil, err
 		}
 		lo = int64(binary.LittleEndian.Uint64(r.byteBuf[0:8]))
@@ -334,7 +321,7 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 	}
 	out := r.valBuf[:deg]
 	// Read the value range in chunk-sized requests, decoding as we go.
-	if err := readInt64s(node.ValueStore, r.clock, r.retry, &r.Health, lo, deg, out, r.byteBuf); err != nil {
+	if err := readInt64s(node.ValueStore, r.clock, lo, deg, out, r.byteBuf); err != nil {
 		return nil, err
 	}
 	if ra := r.sf.Options.ReadaheadBlocks; ra > 0 && node.valueCache != nil {
@@ -377,9 +364,10 @@ func writeInt64s(store nvm.Storage, clock *vtime.Clock, vals []int64) error {
 	return nil
 }
 
-// readInt64s reads count int64 values starting at element offset elemOff,
-// retrying each chunk under policy and accounting into h.
-func readInt64s(store nvm.Storage, clock *vtime.Clock, policy RetryPolicy, h *Health, elemOff, count int64, out []int64, scratch []byte) error {
+// readInt64s reads count int64 values starting at element offset elemOff
+// in scratch-sized chunks. Resilience (retry, failover, verification) is
+// the store stack's job, not the decoder's.
+func readInt64s(store nvm.Storage, clock *vtime.Clock, elemOff, count int64, out []int64, scratch []byte) error {
 	byteLo := elemOff * 8
 	byteHi := byteLo + count*8
 	pos := 0
@@ -388,7 +376,7 @@ func readInt64s(store nvm.Storage, clock *vtime.Clock, policy RetryPolicy, h *He
 		if off+n > byteHi {
 			n = byteHi - off
 		}
-		if err := policy.readAt(store, clock, h, scratch[:n], off); err != nil {
+		if err := store.ReadAt(clock, scratch[:n], off); err != nil {
 			return err
 		}
 		for b := int64(0); b < n; b += 8 {

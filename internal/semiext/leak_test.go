@@ -13,10 +13,10 @@ import (
 	"semibfs/internal/vtime"
 )
 
-// closeTrackingStore records Close calls and can be made to fail writes.
+// closeTrackingStore counts Close calls and can be made to fail writes.
 type closeTrackingStore struct {
 	nvm.Storage
-	closed    atomic.Bool
+	closes    atomic.Int32
 	failWrite bool
 }
 
@@ -30,8 +30,20 @@ func (s *closeTrackingStore) WriteAt(clock *vtime.Clock, p []byte, off int64) er
 }
 
 func (s *closeTrackingStore) Close() error {
-	s.closed.Store(true)
+	s.closes.Add(1)
 	return s.Storage.Close()
+}
+
+// assertClosedOnce fails unless every tracked store was closed exactly
+// once: zero is a leak, more than one a double close (a real file store
+// would error or worse).
+func assertClosedOnce(t *testing.T, created []*closeTrackingStore) {
+	t.Helper()
+	for i, st := range created {
+		if n := st.closes.Load(); n != 1 {
+			t.Fatalf("store %d closed %d times, want exactly 1", i, n)
+		}
+	}
 }
 
 func buildLeakTestGraphs(t *testing.T) (*csr.ForwardGraph, *csr.BackwardGraph) {
@@ -71,11 +83,36 @@ func TestOffloadForwardClosesStoresOnError(t *testing.T) {
 	if len(created) < 3 {
 		t.Fatalf("test needs >= 3 stores created, got %d", len(created))
 	}
-	for i, st := range created {
-		if !st.closed.Load() {
-			t.Fatalf("store %d leaked (not closed) after failed offload", i)
+	assertClosedOnce(t, created)
+}
+
+// TestOffloadForwardClosesStoresOnMidStackError fails construction in the
+// middle of one store's stack — the second replica of a mirrored,
+// checksummed, cached spec — and requires the bases already created
+// (including the first replica, wrapped and working) to be closed exactly
+// once each.
+func TestOffloadForwardClosesStoresOnMidStackError(t *testing.T) {
+	fg, _ := buildLeakTestGraphs(t)
+	var created []*closeTrackingStore
+	fail := errors.New("factory refused")
+	mk := func(name string, chunk int) (nvm.Storage, error) {
+		if nvm.ReplicaIndex(name) == 1 && len(created) >= 1 {
+			return nil, fail
 		}
+		st := &closeTrackingStore{Storage: nvm.NewNamedMemStore(name, nil, chunk)}
+		created = append(created, st)
+		return st, nil
 	}
+	_, err := OffloadForward(fg, mk, nil, ForwardOptions{
+		Checksums: true, Replicas: 2, CacheBytes: 1 << 20,
+	})
+	if !errors.Is(err, fail) {
+		t.Fatalf("offload did not surface the factory failure: %v", err)
+	}
+	if len(created) == 0 {
+		t.Fatal("factory never ran")
+	}
+	assertClosedOnce(t, created)
 }
 
 func TestBuildHybridBackwardClosesStoresOnError(t *testing.T) {
@@ -93,9 +130,73 @@ func TestBuildHybridBackwardClosesStoresOnError(t *testing.T) {
 	if len(created) < 2 {
 		t.Fatalf("test needs >= 2 stores created, got %d", len(created))
 	}
-	for i, st := range created {
-		if !st.closed.Load() {
-			t.Fatalf("store %d leaked (not closed) after failed build", i)
+	assertClosedOnce(t, created)
+}
+
+// TestCloseWalksEveryLayerExactlyOnce builds a full-option forward stack,
+// verifies the Unwrap()/Inners() chain exposes every declared layer, then
+// closes the SemiForward and requires every base store closed exactly once
+// — Close must propagate down the chain without skipping or repeating.
+func TestCloseWalksEveryLayerExactlyOnce(t *testing.T) {
+	fg, _ := buildLeakTestGraphs(t)
+	var created []*closeTrackingStore
+	mk := func(name string, chunk int) (nvm.Storage, error) {
+		st := &closeTrackingStore{Storage: nvm.NewNamedMemStore(name, nil, chunk)}
+		created = append(created, st)
+		return st, nil
+	}
+	sf, err := OffloadForward(fg, mk, nil, ForwardOptions{
+		Checksums: true, Replicas: 2, CacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks := sf.Stacks()
+	if len(stacks) == 0 {
+		t.Fatal("no stacks exposed")
+	}
+	for _, root := range stacks {
+		// Each stack must expose, outermost first: metrics -> retry ->
+		// cache -> mirror, then one checksum per replica.
+		counts := map[string]int{}
+		nvm.WalkStack(root, func(s nvm.Storage) {
+			if l, ok := s.(nvm.Layer); ok {
+				counts[l.Kind()]++
+			}
+		})
+		for kind, want := range map[string]int{
+			"metrics": 1, "retry": 1, "cache": 1, "mirror": 1, "checksum": 2,
+		} {
+			if counts[kind] != want {
+				t.Fatalf("stack exposes %d %q layers, want %d (walk saw %v)",
+					counts[kind], kind, want, counts)
+			}
+		}
+		// The Unwrap chain from the top reaches the mirror without a gap.
+		kinds := []string{}
+		for s := root; s != nil; {
+			l, ok := s.(nvm.Layer)
+			if !ok {
+				break
+			}
+			kinds = append(kinds, l.Kind())
+			s = l.Unwrap()
+		}
+		want := []string{"metrics", "retry", "cache", "mirror"}
+		if len(kinds) != len(want) {
+			t.Fatalf("Unwrap chain %v, want %v", kinds, want)
+		}
+		for i := range want {
+			if kinds[i] != want[i] {
+				t.Fatalf("Unwrap chain %v, want %v", kinds, want)
+			}
 		}
 	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(created) == 0 {
+		t.Fatal("factory never ran")
+	}
+	assertClosedOnce(t, created)
 }

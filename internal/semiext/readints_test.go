@@ -1,0 +1,99 @@
+package semiext
+
+import (
+	"fmt"
+	"testing"
+
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+)
+
+// buildInt64Stack assembles one BuildStack permutation over an in-memory
+// base, populated with vals via writeInt64s.
+func buildInt64Stack(t *testing.T, chunk, replicas int, cached bool, vals []int64) nvm.Storage {
+	t.Helper()
+	spec := nvm.StackSpec{
+		Name:  "readints",
+		Chunk: chunk,
+		Base: func(name string, chunk int) (nvm.Storage, error) {
+			return nvm.NewNamedMemStore(name, nil, chunk), nil
+		},
+		Checksum: true,
+		Replicas: replicas,
+	}
+	if cached {
+		spec.Cache = nvm.NewPageCache(int64(64*chunk), chunk, numa.CostModel{})
+	}
+	st, err := nvm.BuildStack(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := writeInt64s(st, nil, vals); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestReadInt64sEdgeCases exercises the decoder's boundary behavior — a
+// read whose byte range straddles chunk boundaries at unaligned offsets,
+// a tail shorter than the scratch buffer, the final element alone, and a
+// range past the end of the store — against every stack permutation
+// (mirror on/off × cache on/off, checksums always on so block rounding is
+// in play).
+func TestReadInt64sEdgeCases(t *testing.T) {
+	// chunk = 8 elements; 37 elements = 296 bytes, deliberately not a
+	// multiple of the chunk so the last read is short.
+	const chunk = 64
+	const n = 37
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)*1_000_003 - 500 // spread over negatives too
+	}
+
+	cases := []struct {
+		name    string
+		elemOff int64
+		count   int64
+		wantErr bool
+	}{
+		// [40, 200): crosses chunk boundaries 64, 128, 192 mid-element
+		// stride, so every inner read is offset-unaligned.
+		{"straddles-chunks", 5, 20, false},
+		// Whole store: the final read covers only 296-256 = 40 bytes,
+		// shorter than the scratch buffer.
+		{"short-tail", 0, n, false},
+		{"exact-last-element", n - 1, 1, false},
+		{"single-mid-element", 9, 1, false},
+		{"past-end", n - 2, 4, true},
+		{"empty-range", 3, 0, false},
+	}
+
+	for _, replicas := range []int{1, 2} {
+		for _, cached := range []bool{false, true} {
+			st := buildInt64Stack(t, chunk, replicas, cached, vals)
+			for _, tc := range cases {
+				name := fmt.Sprintf("mirror=%d/cache=%v/%s", replicas, cached, tc.name)
+				t.Run(name, func(t *testing.T) {
+					out := make([]int64, tc.count)
+					scratch := make([]byte, chunk)
+					err := readInt64s(st, nil, tc.elemOff, tc.count, out, scratch)
+					if tc.wantErr {
+						if err == nil {
+							t.Fatal("read past end succeeded")
+						}
+						return
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, got := range out {
+						if want := vals[tc.elemOff+int64(i)]; got != want {
+							t.Fatalf("element %d = %d, want %d", tc.elemOff+int64(i), got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,116 +1,19 @@
 package semiext
 
-import (
-	"errors"
-	"fmt"
+import "semibfs/internal/nvm"
 
-	"semibfs/internal/nvm"
-	"semibfs/internal/vtime"
-)
+// The retry/backoff machinery moved into the storage stack: it is now the
+// nvm.RetryStore middleware that nvm.BuildStack layers over every store
+// (see internal/nvm/retry.go). These aliases keep the established names
+// working for callers and tests that grew up with the semiext spelling.
 
-// RetryPolicy bounds the retries the semi-external readers apply to failed
-// NVM reads. Backoff is exponential (doubling from BaseBackoff, capped at
-// MaxBackoff) and is charged to the worker's *virtual* clock, so retry
-// storms show up in the run's reported time exactly like device stalls do.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of attempts including the first
-	// (<= 1 disables retries).
-	MaxAttempts int
-	// BaseBackoff is the virtual sleep before the first retry.
-	BaseBackoff vtime.Duration
-	// MaxBackoff caps the exponential backoff (0 = uncapped).
-	MaxBackoff vtime.Duration
-}
-
-// DefaultRetryPolicy mirrors the commodity-flash guidance of the
-// semi-external systems in PAPERS.md: a handful of quick retries absorbs
-// transient media errors without letting a dead device stall traversal.
-var DefaultRetryPolicy = RetryPolicy{
-	MaxAttempts: 4,
-	BaseBackoff: 50 * vtime.Microsecond,
-	MaxBackoff:  5 * vtime.Millisecond,
-}
-
-// Health accumulates one reader's resilience counters. Readers are
-// per-worker, so no locking is needed; the BFS engine sums them across
-// workers when reporting.
-type Health struct {
-	// Retries counts reissued reads; Errors counts failed attempts.
-	Retries int64
-	Errors  int64
-	// Backoff is the total virtual time spent backing off before
-	// retries.
-	Backoff vtime.Duration
-}
-
-// Add accumulates o into h.
-func (h *Health) Add(o Health) {
-	h.Retries += o.Retries
-	h.Errors += o.Errors
-	h.Backoff += o.Backoff
-}
-
-// Sub returns h minus o (for per-run deltas over cumulative counters).
-func (h Health) Sub(o Health) Health {
-	return Health{
-		Retries: h.Retries - o.Retries,
-		Errors:  h.Errors - o.Errors,
-		Backoff: h.Backoff - o.Backoff,
-	}
-}
+// RetryPolicy bounds the retries the storage stack applies to failed NVM
+// reads.
+type RetryPolicy = nvm.RetryPolicy
 
 // RetryExhaustedError reports a read that kept failing after the policy's
-// final attempt. It wraps the last failure, so errors.Is sees through to
-// the root cause (e.g. nvm.ErrTransient or nvm.ErrCorrupt).
-type RetryExhaustedError struct {
-	Attempts int
-	Off      int64
-	Err      error
-}
+// final attempt.
+type RetryExhaustedError = nvm.RetryExhaustedError
 
-func (e *RetryExhaustedError) Error() string {
-	return fmt.Sprintf("semiext: read @%d failed after %d attempts: %v",
-		e.Off, e.Attempts, e.Err)
-}
-
-func (e *RetryExhaustedError) Unwrap() error { return e.Err }
-
-// readAt issues one storage read under the policy: transient failures are
-// retried with exponential virtual-time backoff, permanent device death is
-// returned immediately, and exhaustion returns a *RetryExhaustedError.
-// Retries and backoff are recorded in h and in the store's device health.
-func (p RetryPolicy) readAt(store nvm.Storage, clock *vtime.Clock, h *Health, buf []byte, off int64) error {
-	attempts := p.MaxAttempts
-	if attempts <= 0 {
-		attempts = 1
-	}
-	backoff := p.BaseBackoff
-	var err error
-	for a := 0; a < attempts; a++ {
-		if a > 0 {
-			h.Retries++
-			if backoff > 0 {
-				if clock != nil {
-					clock.Advance(backoff)
-				}
-				h.Backoff += backoff
-			}
-			if dev := store.Device(); dev != nil {
-				dev.NoteRetry(backoff)
-			}
-			backoff *= 2
-			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
-				backoff = p.MaxBackoff
-			}
-		}
-		err = store.ReadAt(clock, buf, off)
-		if err == nil {
-			return nil
-		}
-		h.Errors++
-		if errors.Is(err, nvm.ErrDeviceDead) {
-			return err
-		}
-	}
-	return &RetryExhaustedError{Attempts: attempts, Off: off, Err: err}
-}
+// DefaultRetryPolicy is the stack's default retry policy.
+var DefaultRetryPolicy = nvm.DefaultRetryPolicy

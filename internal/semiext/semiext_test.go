@@ -345,8 +345,7 @@ func TestWriteReadInt64Helpers(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]int64, 100)
-	var h Health
-	if err := readInt64s(store, nil, DefaultRetryPolicy, &h, 700, 100, got, make([]byte, nvm.DefaultChunkSize)); err != nil {
+	if err := readInt64s(store, nil, 700, 100, got, make([]byte, nvm.DefaultChunkSize)); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {

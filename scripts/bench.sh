@@ -1,9 +1,10 @@
 #!/bin/sh
 # Perf-trajectory recorder: runs the cache sweep (harmonic-mean TEPS with
 # and without the forward-graph page cache, PCIe and SATA profiles, hybrid
-# and pure top-down) and the failover sweep (TEPS and repair activity vs
-# per-device fault rate for 1/2/3-way mirrored arrays) at a fixed seed and
-# writes the rows as JSON.
+# and pure top-down), the failover sweep (TEPS and repair activity vs
+# per-device fault rate for 1/2/3-way mirrored arrays), and the partial
+# backward-offload sweep (TEPS vs DRAM edge cap k through the layered
+# storage stack) at a fixed seed and writes the rows as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -15,6 +16,7 @@ SCALE=${SCALE:-13}
 ROOTS=${ROOTS:-12}
 OUT=${OUT:-BENCH_PR2.json}
 FAILOVER_OUT=${FAILOVER_OUT:-BENCH_PR3.json}
+PARTIAL_OUT=${PARTIAL_OUT:-BENCH_PR4.json}
 
 echo "==> cache sweep (scale $SCALE, $ROOTS roots) -> $OUT"
 go run ./cmd/analyze -exp cache -json -scale "$SCALE" -roots "$ROOTS" > "$OUT"
@@ -23,3 +25,7 @@ echo "wrote $OUT"
 echo "==> failover sweep (scale $SCALE, $ROOTS roots) -> $FAILOVER_OUT"
 go run ./cmd/analyze -exp failover -json -scale "$SCALE" -roots "$ROOTS" > "$FAILOVER_OUT"
 echo "wrote $FAILOVER_OUT"
+
+echo "==> partial backward-offload sweep (scale $SCALE, $ROOTS roots) -> $PARTIAL_OUT"
+go run ./cmd/analyze -exp partial -json -scale "$SCALE" -roots "$ROOTS" > "$PARTIAL_OUT"
+echo "wrote $PARTIAL_OUT"
