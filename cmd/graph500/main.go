@@ -21,9 +21,11 @@ import (
 	"semibfs/internal/core"
 	"semibfs/internal/edgelist"
 	"semibfs/internal/faults"
+	"semibfs/internal/generator"
 	"semibfs/internal/graph500"
 	"semibfs/internal/nvm"
 	"semibfs/internal/stats"
+	"semibfs/internal/validate"
 	"semibfs/internal/vtime"
 )
 
@@ -57,6 +59,8 @@ func main() {
 		cacheSize  = flag.String("cache-bytes", "", "DRAM page-cache budget for the forward graph, e.g. 64M or 1G (empty = no cache)")
 		readahead  = flag.Int("readahead", 0, "value-store readahead depth in cache blocks (requires -cache-bytes)")
 		layers     = flag.Bool("layers", false, "print the per-layer storage-stack counter report")
+		batch      = flag.Int("batch", 0, "batched multi-source mode: BFS lanes per batch, 1-64 (0 = classic per-root protocol)")
+		queries    = flag.Int("queries", 0, "query-stream length in batched mode (0 = -roots; requires -batch)")
 	)
 	flag.Parse()
 
@@ -166,6 +170,34 @@ func main() {
 			Beta:  *betaMult * *alpha,
 			Mode:  bfsMode,
 		},
+	}
+
+	if *queries != 0 && *batch == 0 {
+		fatal(fmt.Errorf("-queries requires -batch"))
+	}
+	if *batch > 0 {
+		if isRef {
+			fatal(fmt.Errorf("-batch does not apply to the reference mode"))
+		}
+		var list *edgelist.List
+		if *edgesFile != "" {
+			list, err = edgelist.LoadFile(*edgesFile)
+		} else {
+			list, err = generator.Generate(generator.Config{
+				Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed,
+			})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		nq := *queries
+		if nq == 0 {
+			nq = *roots
+		}
+		if err := runBatched(list, p, *batch, nq); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -349,6 +381,109 @@ func printReport(res *graph500.Result, wall time.Duration) {
 				l.ExaminedDRAM, l.ExaminedNVM, l.Time.ToTime())
 		}
 	}
+}
+
+// runBatched serves a sampled query stream through the batched
+// multi-source engine instead of the per-root Graph500 protocol: queries
+// are packed into batches of up to `lanes` roots, each batch advances all
+// of its searches in one sweep of the shared stores, and the report prices
+// every query at its amortized share of its batch's virtual time.
+func runBatched(list *edgelist.List, p graph500.Params, lanes, queries int) error {
+	p = p.WithDefaults()
+	start := time.Now()
+	src := edgelist.ListSource{List: list}
+	sys, err := core.Build(src, p.BFS.Topology, p.Scenario, core.BuildOptions{Dir: p.Dir})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	roots, err := graph500.SampleRoots(src.NumVertices(), queries, p.Seed, sys.Backward.Degree)
+	if err != nil {
+		return err
+	}
+	br, err := sys.NewBatchRunner(lanes, p.BFS)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("SCALE:                %d\n", p.Scale)
+	fmt.Printf("edgefactor:           %d\n", p.EdgeFactor)
+	fmt.Printf("scenario:             %s\n", p.Scenario.Name)
+	fmt.Printf("mode:                 %s  alpha=%g beta=%g\n", p.BFS.Mode, p.BFS.Alpha, p.BFS.Beta)
+	fmt.Printf("batch width:          %d lanes\n", lanes)
+	fmt.Printf("queries:              %d\n", len(roots))
+	fmt.Printf("BFS status bytes:     %s\n", stats.FormatBytes(br.StatusBytes()))
+	fmt.Println("\nbatch   size  levels  switches        vtime   amortized s/query")
+	var totalSec, invSum float64
+	var traversed, hits, misses, readErrors, retries int64
+	validated, nb, degradedBatches, degradedLevels := 0, 0, 0, 0
+	for lo := 0; lo < len(roots); lo += lanes {
+		hi := lo + lanes
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		b := roots[lo:hi]
+		res, err := br.RunBatch(b)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", nb, err)
+		}
+		sec := res.Time.Seconds()
+		totalSec += sec
+		hits += res.Cache.Hits
+		misses += res.Cache.Misses
+		readErrors += res.Resilience.ReadErrors
+		retries += res.Resilience.Retries
+		if n := res.Resilience.DegradedLevels(); n > 0 {
+			degradedBatches++
+			degradedLevels += n
+		}
+		amort := sec / float64(len(b))
+		fmt.Printf("%5d  %5d  %6d  %8d  %11v  %18.4g\n",
+			nb, len(b), len(res.Levels), res.Switches, res.Time.ToTime(), amort)
+		for l, root := range b {
+			var sum int64
+			for v, par := range res.Trees[l] {
+				if par != -1 {
+					sum += sys.Backward.Degree(int64(v))
+				}
+			}
+			te := sum / 2
+			traversed += te
+			if te > 0 {
+				invSum += amort / float64(te)
+			}
+			if p.ValidateRoots == 0 || validated < p.ValidateRoots {
+				if _, err := validate.Run(res.Trees[l], root, src); err != nil {
+					return fmt.Errorf("query %d (root %d): %w", lo+l, root, err)
+				}
+				validated++
+			}
+		}
+		nb++
+	}
+	fmt.Printf("\nvalidated queries:    %d of %d\n", validated, len(roots))
+	fmt.Printf("total vtime:          %.6g s\n", totalSec)
+	fmt.Printf("amortized s/query:    %.6g\n", totalSec/float64(len(roots)))
+	if invSum > 0 {
+		fmt.Printf("harmonic_mean_TEPS:   %s (amortized per query)\n",
+			stats.FormatTEPS(float64(len(roots))/invSum))
+	}
+	if totalSec > 0 {
+		fmt.Printf("aggregate_TEPS:       %s\n", stats.FormatTEPS(float64(traversed)/totalSec))
+	}
+	if hits+misses > 0 {
+		fmt.Printf("cache hits:           %d of %d lookups (%.1f%%)\n",
+			hits, hits+misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if readErrors > 0 || degradedLevels > 0 {
+		fmt.Printf("NVM read errors:      %d (%d retried)\n", readErrors, retries)
+		if degradedLevels > 0 {
+			fmt.Printf("degraded batches:     %d (%d levels rescued)\n",
+				degradedBatches, degradedLevels)
+		}
+	}
+	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func fatal(err error) {

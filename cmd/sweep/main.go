@@ -20,6 +20,7 @@ import (
 func main() {
 	var (
 		fig   = flag.Int("fig", 7, "figure to regenerate: 7, 8, or 9")
+		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep)")
 		scale = flag.Int("scale", 18, "large instance scale (fig 9 uses scale-1)")
 		ef    = flag.Int("edgefactor", 16, "edges per vertex")
 		seed  = flag.Uint64("seed", 12345, "generator seed")
@@ -61,6 +62,25 @@ func main() {
 	}
 
 	var err error
+	if *exp == "query" {
+		var rows []experiments.QueryRow
+		rows, err = experiments.QuerySweep(opts)
+		if err == nil {
+			if *csv {
+				fmt.Print(experiments.QuerySweepCSV(rows))
+			} else {
+				fmt.Println(experiments.FormatQuerySweep(rows))
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
+	} else if *exp != "" {
+		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query)\n", *exp)
+		os.Exit(1)
+	}
 	switch *fig {
 	case 7:
 		var sweeps []experiments.ScenarioSweep

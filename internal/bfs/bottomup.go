@@ -3,6 +3,7 @@ package bfs
 import (
 	"math/bits"
 
+	"semibfs/internal/numa"
 	"semibfs/internal/vtime"
 )
 
@@ -13,7 +14,13 @@ import (
 // (the scanners accept any node index), so every vertex is examined by
 // exactly one worker and all next/visited word writes stay word-exclusive.
 func (r *Runner) wordRangeOfNode(k int) (lo, hi int) {
-	sLo, sHi := r.part.Range(k)
+	return wordRangeOf(r.part, k)
+}
+
+// wordRangeOf is wordRangeOfNode for any partition; BatchRunner uses the
+// same word-block ownership so batched bottom-up writes stay word-exclusive.
+func wordRangeOf(part *numa.Partition, k int) (lo, hi int) {
+	sLo, sHi := part.Range(k)
 	lo = (sLo + 63) / 64
 	if k == 0 {
 		lo = 0

@@ -295,12 +295,20 @@ func (r *Runner) BackwardScanTotals() (dram, nvmEdges int64) {
 // configured number of real goroutines. Errors are collected; the first
 // non-nil one is returned.
 func (r *Runner) parallel(fn func(w int) error) error {
-	real := r.cfg.RealWorkers
-	if real > r.nWorkers {
-		real = r.nWorkers
+	return runParallel(r.nWorkers, r.cfg.RealWorkers, fn)
+}
+
+// runParallel multiplexes nWorkers simulated workers over at most
+// realWorkers goroutines, assigning worker w to goroutine w % real so the
+// simulated-worker -> work mapping (and thus every virtual clock) is
+// independent of the real parallelism. Shared by Runner and BatchRunner.
+func runParallel(nWorkers, realWorkers int, fn func(w int) error) error {
+	real := realWorkers
+	if real > nWorkers {
+		real = nWorkers
 	}
 	if real <= 1 {
-		for w := 0; w < r.nWorkers; w++ {
+		for w := 0; w < nWorkers; w++ {
 			if err := fn(w); err != nil {
 				return err
 			}
@@ -313,7 +321,7 @@ func (r *Runner) parallel(fn func(w int) error) error {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for w := g; w < r.nWorkers; w += real {
+			for w := g; w < nWorkers; w += real {
 				if err := fn(w); err != nil {
 					errs[g] = err
 					return
@@ -508,13 +516,7 @@ func (r *Runner) Run(root int64) (*Result, error) {
 	res.Tree = r.tree
 	res.Layers = r.layerTotals().Sub(layers0)
 	// The legacy summary fields are views over the generic layer deltas.
-	res.Resilience.Retries = res.Layers.Get("retry", "retries")
-	res.Resilience.ReadErrors = res.Layers.Get("retry", "read_errors")
-	res.Resilience.BackoffTime = vtime.Duration(res.Layers.Get("retry", "backoff_ns"))
-	res.Resilience.Failovers = res.Layers.Get("mirror", "failovers")
-	res.Resilience.ScrubbedBlocks = res.Layers.Get("mirror", "scrubbed_blocks")
-	res.Resilience.RepairedBlocks = res.Layers.Get("mirror", "repaired_blocks")
-	res.Resilience.RepairTime = vtime.Duration(res.Layers.Get("mirror", "repair_ns"))
+	res.Resilience.fromLayers(res.Layers)
 	res.Resilience.Devices = r.deviceHealth()
 	res.Cache = res.Layers.CacheView()
 	return res, nil

@@ -61,18 +61,45 @@ func (r *Resilience) DeadDevices() int {
 	return n
 }
 
-// stacks returns every NVM storage stack behind the runner's graphs
-// (forward and backward), or nil when both are fully DRAM-resident.
-func (r *Runner) stacks() []nvm.Storage {
+// stacksOf returns every NVM storage stack behind a forward/backward graph
+// pair, or nil when both are fully DRAM-resident. Shared by Runner and
+// BatchRunner.
+func stacksOf(fwd ForwardAccess, bwd BackwardAccess) []nvm.Storage {
 	var out []nvm.Storage
-	if s, ok := r.fwd.(StorageStacks); ok {
+	if s, ok := fwd.(StorageStacks); ok {
 		out = append(out, s.Stacks()...)
 	}
-	if s, ok := r.bwd.(StorageStacks); ok {
+	if s, ok := bwd.(StorageStacks); ok {
 		out = append(out, s.Stacks()...)
 	}
 	return out
 }
+
+// backwardNVMOf reports whether a backward graph has NVM-resident data.
+// Unknown placements count as NVM so the engine never degrades into a
+// direction it cannot prove is DRAM-resident.
+func backwardNVMOf(bwd BackwardAccess) bool {
+	if b, ok := bwd.(BackwardNVM); ok {
+		return b.OnNVM()
+	}
+	return true
+}
+
+// fromLayers fills the legacy Resilience summary counters as views over the
+// generic per-layer deltas.
+func (r *Resilience) fromLayers(layers nvm.StackStats) {
+	r.Retries = layers.Get("retry", "retries")
+	r.ReadErrors = layers.Get("retry", "read_errors")
+	r.BackoffTime = vtime.Duration(layers.Get("retry", "backoff_ns"))
+	r.Failovers = layers.Get("mirror", "failovers")
+	r.ScrubbedBlocks = layers.Get("mirror", "scrubbed_blocks")
+	r.RepairedBlocks = layers.Get("mirror", "repaired_blocks")
+	r.RepairTime = vtime.Duration(layers.Get("mirror", "repair_ns"))
+}
+
+// stacks returns every NVM storage stack behind the runner's graphs
+// (forward and backward), or nil when both are fully DRAM-resident.
+func (r *Runner) stacks() []nvm.Storage { return stacksOf(r.fwd, r.bwd) }
 
 // layerTotals collects the cumulative per-layer counters of every stack.
 func (r *Runner) layerTotals() nvm.StackStats {
@@ -86,14 +113,7 @@ func (r *Runner) deviceHealth() []nvm.ReplicaHealth {
 }
 
 // backwardOnNVM reports whether the backward graph has NVM-resident data.
-// Unknown placements count as NVM so the engine never degrades into a
-// direction it cannot prove is DRAM-resident.
-func (r *Runner) backwardOnNVM() bool {
-	if b, ok := r.bwd.(BackwardNVM); ok {
-		return b.OnNVM()
-	}
-	return true
-}
+func (r *Runner) backwardOnNVM() bool { return backwardNVMOf(r.bwd) }
 
 // degradeTarget decides whether a failed level can be rescued by switching
 // to the other direction: only in hybrid mode (a forced single-direction

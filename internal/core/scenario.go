@@ -254,6 +254,13 @@ func (s *System) NewRunner(cfg bfs.Config) (*bfs.Runner, error) {
 	return bfs.NewRunner(s.Forward, s.Backward, s.Part, cfg)
 }
 
+// NewBatchRunner returns a batched multi-source BFS runner over the
+// system's graphs, traversing up to lanes sources per batch through the
+// same shared store pair (and page cache) as the single-source runner.
+func (s *System) NewBatchRunner(lanes int, cfg bfs.Config) (*bfs.BatchRunner, error) {
+	return bfs.NewBatchRunner(s.Forward, s.Backward, s.Part, lanes, cfg)
+}
+
 // Build constructs the forward and backward graphs from src and places
 // them according to sc. Construction itself follows the paper's Step 2:
 // both graphs are built in DRAM from the (possibly NVM-resident) edge

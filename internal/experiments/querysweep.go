@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+	"semibfs/internal/graph500"
+	"semibfs/internal/validate"
+)
+
+// QueryBatchWidths is the batch-size grid of the query sweep: B BFS roots
+// served per batched sweep, from the single-source baseline up to the full
+// 64-lane word.
+var QueryBatchWidths = []int{1, 4, 16, 32, 64}
+
+// QuerySweepSeed fixes the sampled query stream, so every batch width (and
+// every run) serves the identical roots in the identical arrival order.
+const QuerySweepSeed = 0xB5F5
+
+// QuerySweepCacheFraction is the shared page-cache budget of the sweep, as
+// a fraction of the forward graph's NVM footprint. The batching argument is
+// strongest when the graph does not fit: lanes share both the single pass
+// of NVM reads and whatever block reuse the small cache can hold.
+const QuerySweepCacheFraction = 1.0 / 8
+
+// QueryRow is one (scenario, batch width) measurement of the query sweep.
+type QueryRow struct {
+	Scenario string `json:"scenario"`
+	// Lanes is the batch width B; Queries the stream length; Batches the
+	// number of batched sweeps that served it (ceil(Queries/Lanes)).
+	Lanes   int `json:"lanes"`
+	Queries int `json:"queries"`
+	Batches int `json:"batches"`
+	// Seconds is the stream's total virtual time; AmortizedSeconds is the
+	// mean per-query share of it (Seconds/Queries) — the serving-layer
+	// latency cost batching buys down.
+	Seconds          float64 `json:"seconds"`
+	AmortizedSeconds float64 `json:"amortized_seconds"`
+	// TEPS is the harmonic mean over queries of amortized per-query TEPS
+	// (traversed edges over the query's share of its batch's time) — the
+	// Graph500 aggregate, applied to the batched serving cost.
+	TEPS float64 `json:"teps"`
+	// AggregateTEPS is total traversed edges over total time: the stream
+	// throughput of the whole pool.
+	AggregateTEPS float64 `json:"aggregate_teps"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// NVMEdges counts adjacency edges read from NVM across the stream —
+	// the traffic the lane sharing collapses as B grows.
+	NVMEdges int64 `json:"nvm_edges"`
+	Switches int   `json:"switches"`
+	Levels   int   `json:"levels"`
+}
+
+// QuerySweep measures amortized per-query BFS cost versus batch width on
+// both NVM device profiles. A width-B batch advances B searches through a
+// single sweep of the graph: one pass of top-down NVM reads (and one warm
+// page cache) serves every lane, so the per-query amortized time falls as
+// B grows even though the batch itself takes longer than any single
+// search. Every lane of every batch is validated against the Graph500
+// rules. Each width runs on a freshly built system so no page-cache warmth
+// leaks between rows; device profiles are unscaled like the other
+// device-behaviour experiments.
+func QuerySweep(opts Options) ([]QueryRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	cfg := defaultBFSConfig(opts)
+	cfg.Alpha = CacheSweepAlpha
+	cfg.Beta = 10 * CacheSweepAlpha
+
+	var rows []QueryRow
+	for _, base := range []core.Scenario{core.ScenarioPCIeFlash, core.ScenarioSSD} {
+		sc := lab.scenario(base, true)
+		// Probe build: measure the forward footprint for the cache budget
+		// and sample the fixed query stream off the degree distribution.
+		probe, err := core.Build(lab.Src, topology(), sc, core.BuildOptions{Dir: opts.Dir})
+		if err != nil {
+			return nil, err
+		}
+		deg := probe.Backward.Degree
+		roots, err := graph500.SampleRoots(lab.Src.NumVertices(), opts.Roots, QuerySweepSeed, deg)
+		if err != nil {
+			probe.Close()
+			return nil, err
+		}
+		cached := sc.WithCache(int64(QuerySweepCacheFraction*float64(probe.NVMForwardBytes)), CacheReadahead)
+		if err := probe.Close(); err != nil {
+			return nil, err
+		}
+
+		for _, lanes := range QueryBatchWidths {
+			row, err := runQueryWidth(lab, cached, cfg, base.Name, lanes, roots)
+			if err != nil {
+				return nil, fmt.Errorf("query sweep %s B=%d: %w", base.Name, lanes, err)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+// runQueryWidth serves the fixed root stream at one batch width on a fresh
+// system and reduces the per-query amortized costs into a QueryRow.
+func runQueryWidth(lab *Lab, sc core.Scenario, cfg bfs.Config, name string, lanes int, roots []int64) (*QueryRow, error) {
+	sys, err := core.Build(lab.Src, topology(), sc, core.BuildOptions{Dir: lab.Opts.Dir})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	br, err := sys.NewBatchRunner(lanes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	row := &QueryRow{Scenario: name, Lanes: lanes, Queries: len(roots)}
+	var traversed int64
+	var invSum float64 // sum of 1/TEPS_q for the harmonic mean
+	var hits, misses int64
+	for lo := 0; lo < len(roots); lo += lanes {
+		hi := lo + lanes
+		if hi > len(roots) {
+			hi = len(roots)
+		}
+		batch := roots[lo:hi]
+		res, err := br.RunBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		row.Batches++
+		row.Seconds += res.Time.Seconds()
+		row.Switches += res.Switches
+		row.Levels += len(res.Levels)
+		row.NVMEdges += res.ExaminedNVM
+		hits += res.Cache.Hits
+		misses += res.Cache.Misses
+		amortized := res.Time.Seconds() / float64(len(batch))
+		for l, root := range batch {
+			rep, err := validate.Run(res.Trees[l], root, lab.Src)
+			if err != nil {
+				return nil, fmt.Errorf("lane %d root %d: %w", l, root, err)
+			}
+			traversed += rep.TraversedEdges
+			if rep.TraversedEdges > 0 {
+				invSum += amortized / float64(rep.TraversedEdges)
+			}
+		}
+	}
+	row.AmortizedSeconds = row.Seconds / float64(row.Queries)
+	if invSum > 0 {
+		row.TEPS = float64(row.Queries) / invSum
+	}
+	if row.Seconds > 0 {
+		row.AggregateTEPS = float64(traversed) / row.Seconds
+	}
+	if hits+misses > 0 {
+		row.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return row, nil
+}
+
+// FormatQuerySweep renders the query sweep as a text table.
+func FormatQuerySweep(rows []QueryRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Query sweep: amortized per-query cost vs batch width B (fixed query stream)")
+	fmt.Fprintf(&b, "%-16s %4s %8s %8s %12s %10s %10s %8s %14s\n",
+		"scenario", "B", "queries", "batches", "amort s/qry", "hm TEPS", "agg TEPS", "hit%", "NVM edges")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %4d %8d %8d %12.4g %10s %10s %7.1f%% %14d\n",
+			r.Scenario, r.Lanes, r.Queries, r.Batches, r.AmortizedSeconds,
+			shortTEPS(r.TEPS), shortTEPS(r.AggregateTEPS), 100*r.CacheHitRate, r.NVMEdges)
+	}
+	return b.String()
+}
+
+// QuerySweepCSV renders the sweep as CSV for plotting.
+func QuerySweepCSV(rows []QueryRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "scenario,lanes,queries,batches,seconds,amortized_seconds,teps,aggregate_teps,cache_hit_rate,nvm_edges,switches,levels")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.6g,%.6g,%.6g,%.6g,%.4f,%d,%d,%d\n",
+			r.Scenario, r.Lanes, r.Queries, r.Batches, r.Seconds, r.AmortizedSeconds,
+			r.TEPS, r.AggregateTEPS, r.CacheHitRate, r.NVMEdges, r.Switches, r.Levels)
+	}
+	return b.String()
+}
+
+// QuerySweepJSON renders the sweep as indented JSON (the bench tooling
+// records it alongside the headline numbers).
+func QuerySweepJSON(rows []QueryRow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

@@ -2,9 +2,10 @@
 # Perf-trajectory recorder: runs the cache sweep (harmonic-mean TEPS with
 # and without the forward-graph page cache, PCIe and SATA profiles, hybrid
 # and pure top-down), the failover sweep (TEPS and repair activity vs
-# per-device fault rate for 1/2/3-way mirrored arrays), and the partial
+# per-device fault rate for 1/2/3-way mirrored arrays), the partial
 # backward-offload sweep (TEPS vs DRAM edge cap k through the layered
-# storage stack) at a fixed seed and writes the rows as JSON.
+# storage stack), and the query sweep (amortized per-query TEPS vs
+# multi-source batch width B) at a fixed seed and writes the rows as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -17,6 +18,7 @@ ROOTS=${ROOTS:-12}
 OUT=${OUT:-BENCH_PR2.json}
 FAILOVER_OUT=${FAILOVER_OUT:-BENCH_PR3.json}
 PARTIAL_OUT=${PARTIAL_OUT:-BENCH_PR4.json}
+QUERY_OUT=${QUERY_OUT:-BENCH_PR5.json}
 
 echo "==> cache sweep (scale $SCALE, $ROOTS roots) -> $OUT"
 go run ./cmd/analyze -exp cache -json -scale "$SCALE" -roots "$ROOTS" > "$OUT"
@@ -29,3 +31,7 @@ echo "wrote $FAILOVER_OUT"
 echo "==> partial backward-offload sweep (scale $SCALE, $ROOTS roots) -> $PARTIAL_OUT"
 go run ./cmd/analyze -exp partial -json -scale "$SCALE" -roots "$ROOTS" > "$PARTIAL_OUT"
 echo "wrote $PARTIAL_OUT"
+
+echo "==> query sweep (scale $SCALE, $ROOTS queries) -> $QUERY_OUT"
+go run ./cmd/analyze -exp query -json -scale "$SCALE" -roots "$ROOTS" > "$QUERY_OUT"
+echo "wrote $QUERY_OUT"
