@@ -24,6 +24,7 @@ import (
 	"semibfs/internal/generator"
 	"semibfs/internal/graph500"
 	"semibfs/internal/nvm"
+	"semibfs/internal/serve"
 	"semibfs/internal/stats"
 	"semibfs/internal/validate"
 	"semibfs/internal/vtime"
@@ -61,6 +62,10 @@ func main() {
 		layers     = flag.Bool("layers", false, "print the per-layer storage-stack counter report")
 		batch      = flag.Int("batch", 0, "batched multi-source mode: BFS lanes per batch, 1-64 (0 = classic per-root protocol)")
 		queries    = flag.Int("queries", 0, "query-stream length in batched mode (0 = -roots; requires -batch)")
+		qps        = flag.Float64("qps", 0, "serving mode: open-loop query arrivals at this rate on the virtual clock (requires -batch)")
+		deadline   = flag.Float64("deadline", 0, "serving mode: per-query virtual deadline in seconds (0 = none)")
+		queueCap   = flag.Int("queue-cap", 0, "serving mode: submission-queue bound; full queues shed per -shed-policy (0 = unbounded)")
+		shedPolicy = flag.String("shed-policy", "reject-newest", "serving mode: reject-newest | reject-oldest | reject-lowest-priority")
 	)
 	flag.Parse()
 
@@ -175,6 +180,16 @@ func main() {
 	if *queries != 0 && *batch == 0 {
 		fatal(fmt.Errorf("-queries requires -batch"))
 	}
+	if (*qps != 0 || *deadline != 0 || *queueCap != 0) && *batch == 0 {
+		fatal(fmt.Errorf("-qps / -deadline / -queue-cap require -batch"))
+	}
+	if *qps < 0 || *deadline < 0 || *queueCap < 0 {
+		fatal(fmt.Errorf("-qps / -deadline / -queue-cap must be >= 0"))
+	}
+	policy, err := serve.ParsePolicy(*shedPolicy)
+	if err != nil {
+		fatal(err)
+	}
 	if *batch > 0 {
 		if isRef {
 			fatal(fmt.Errorf("-batch does not apply to the reference mode"))
@@ -194,7 +209,19 @@ func main() {
 		if nq == 0 {
 			nq = *roots
 		}
-		if err := runBatched(list, p, *batch, nq); err != nil {
+		if *qps > 0 {
+			scfg := serve.ServerConfig{
+				Lanes:           *batch,
+				QueueCap:        *queueCap,
+				Policy:          policy,
+				DefaultDeadline: *deadline,
+				KeepTrees:       true,
+			}
+			err = runServed(list, p, nq, *qps, scfg)
+		} else {
+			err = runBatched(list, p, *batch, nq)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -481,6 +508,115 @@ func runBatched(list *edgelist.List, p graph500.Params, lanes, queries int) erro
 			fmt.Printf("degraded batches:     %d (%d levels rescued)\n",
 				degradedBatches, degradedLevels)
 		}
+	}
+	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runServed plays the sampled query stream as an open-loop arrival process
+// at the target virtual QPS through the always-on serving loop: arrivals
+// join the next sweep's free lanes while earlier queries are still in
+// flight, a bounded queue (if -queue-cap is set) sheds the excess per the
+// policy, and deadlines expire queries the server cannot reach in time.
+// The report accounts every query to exactly one outcome and prints the
+// completion-latency and queue-wait histograms of the served ones.
+func runServed(list *edgelist.List, p graph500.Params, queries int, qps float64, scfg serve.ServerConfig) error {
+	p = p.WithDefaults()
+	start := time.Now()
+	src := edgelist.ListSource{List: list}
+	sys, err := core.Build(src, p.BFS.Topology, p.Scenario, core.BuildOptions{Dir: p.Dir})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	roots, err := graph500.SampleRoots(src.NumVertices(), queries, p.Seed, sys.Backward.Degree)
+	if err != nil {
+		return err
+	}
+	br, err := sys.NewBatchRunner(scfg.Lanes, p.BFS)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(br, sys.Backward.Degree, src.NumVertices(), scfg)
+	defer srv.Close()
+
+	trace := make([]serve.Arrival, len(roots))
+	for i, root := range roots {
+		trace[i] = serve.Arrival{Root: root, At: float64(i) / qps}
+	}
+	outs, err := srv.ServeTrace(trace)
+	if err != nil {
+		return err
+	}
+	st := srv.Stats()
+
+	fmt.Printf("SCALE:                %d\n", p.Scale)
+	fmt.Printf("edgefactor:           %d\n", p.EdgeFactor)
+	fmt.Printf("scenario:             %s\n", p.Scenario.Name)
+	fmt.Printf("mode:                 %s  alpha=%g beta=%g\n", p.BFS.Mode, p.BFS.Alpha, p.BFS.Beta)
+	fmt.Printf("serving lanes:        %d\n", scfg.Lanes)
+	fmt.Printf("offered load:         %g queries/s (virtual), %d queries\n", qps, len(roots))
+	if scfg.QueueCap > 0 {
+		fmt.Printf("queue cap:            %d (%s)\n", scfg.QueueCap, scfg.Policy)
+	} else {
+		fmt.Printf("queue cap:            unbounded\n")
+	}
+	if scfg.DefaultDeadline > 0 {
+		fmt.Printf("deadline:             %gs\n", scfg.DefaultDeadline)
+	}
+	fmt.Printf("BFS status bytes:     %s\n", stats.FormatBytes(br.StatusBytes()))
+
+	validated, degraded := 0, 0
+	var traversed int64
+	var makespan float64
+	for _, o := range outs {
+		if o.Finished > makespan {
+			makespan = o.Finished
+		}
+		if o.Outcome != serve.OutcomeServed {
+			continue
+		}
+		traversed += o.TraversedEdges
+		if o.Degraded {
+			degraded++
+		}
+		if p.ValidateRoots == 0 || validated < p.ValidateRoots {
+			if _, err := validate.Run(o.Parents, o.Root, src); err != nil {
+				return fmt.Errorf("query %d (root %d): %w", o.ID, o.Root, err)
+			}
+			validated++
+		}
+	}
+
+	fmt.Printf("\nserved:               %d of %d\n", st.Served, st.Submitted)
+	fmt.Printf("shed:                 %d\n", st.Shed)
+	fmt.Printf("expired:              %d\n", st.Expired)
+	if st.Cancelled > 0 || st.Failed > 0 {
+		fmt.Printf("cancelled/failed:     %d / %d\n", st.Cancelled, st.Failed)
+	}
+	if st.Served > 0 {
+		fmt.Printf("latency p50/p95/p99:  %.4g / %.4g / %.4g s (mean %.4g)\n",
+			st.Latency.P50()/1e9, st.Latency.P95()/1e9, st.Latency.P99()/1e9, st.Latency.Mean()/1e9)
+		fmt.Printf("queue wait p50/p99:   %.4g / %.4g s\n", st.Wait.P50()/1e9, st.Wait.P99()/1e9)
+	}
+	fmt.Printf("queue depth:          max %d, mean %.2f\n", st.MaxQueueDepth, st.MeanQueueDepth())
+	fmt.Printf("lane occupancy:       %.1f%% over %d sweeps\n", 100*st.Occupancy(scfg.Lanes), st.Steps)
+	if degraded > 0 {
+		fmt.Printf("degraded queries:     %d\n", degraded)
+	}
+	layers := srv.Layers()
+	if readErrors := layers.Get("retry", "read_errors"); readErrors > 0 {
+		fmt.Printf("NVM read errors:      %d (%d retried)\n",
+			readErrors, layers.Get("retry", "retries"))
+	}
+	if c := layers.CacheView(); c.Hits+c.Misses > 0 {
+		fmt.Printf("cache hits:           %d of %d lookups (%.1f%%)\n",
+			c.Hits, c.Hits+c.Misses, 100*c.HitRate())
+	}
+	fmt.Printf("validated queries:    %d\n", validated)
+	if makespan > 0 {
+		fmt.Printf("makespan vtime:       %.6g s\n", makespan)
+		fmt.Printf("aggregate_TEPS:       %s\n", stats.FormatTEPS(float64(traversed)/makespan))
 	}
 	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

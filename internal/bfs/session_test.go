@@ -1,0 +1,505 @@
+package bfs
+
+import (
+	"math/bits"
+	"testing"
+
+	"semibfs/internal/edgelist"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/semiext"
+	"semibfs/internal/validate"
+	"semibfs/internal/vtime"
+)
+
+// drainSession steps the session until every live lane finishes, collecting
+// each finished lane's tree (cloned) keyed by root, releasing lanes as they
+// finish — the minimal serving loop.
+func drainSession(t *testing.T, s *BatchSession) map[int64][]int64 {
+	t.Helper()
+	trees := make(map[int64][]int64)
+	for s.InUse() != 0 {
+		lv, err := s.Step()
+		if err != nil {
+			t.Fatalf("step %d: %v", s.Level(), err)
+		}
+		for m := lv.Finished; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			trees[s.Root(l)] = append([]int64(nil), s.Tree(l)...)
+		}
+		if err := s.Release(lv.Finished); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+	}
+	return trees
+}
+
+// TestSessionContinuousAdmissionMatchesSerial runs the tentpole behavior:
+// searches admitted into free lanes while other lanes are mid-flight must
+// still produce exactly the serial BFS answer for their own root.
+func TestSessionContinuousAdmissionMatchesSerial(t *testing.T) {
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	fg, bg, list, part := buildTestGraphs(t, 9, 21, topo)
+	fwd, bwd := wrapDRAM(t, fg, bg)
+	roots := pickRoots(t, bg.Degree, list.NumVertices, 9)
+	br, err := NewBatchRunner(fwd, bwd, part, 4, Config{Topology: topo, Alpha: 32, Beta: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := br.OpenSession()
+
+	next := 0
+	admitSome := func() {
+		for m := s.FreeLanes(); m != 0 && next < len(roots); m &= m - 1 {
+			if err := s.Admit(bits.TrailingZeros64(m), roots[next]); err != nil {
+				t.Fatalf("admit %d: %v", next, err)
+			}
+			next++
+		}
+	}
+	trees := make(map[int64][]int64)
+	visited := make(map[int64]int64)
+	admitSome()
+	for s.InUse() != 0 {
+		lv, err := s.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		for m := lv.Finished; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			trees[s.Root(l)] = append([]int64(nil), s.Tree(l)...)
+			visited[s.Root(l)] = s.VisitedCount(l)
+		}
+		if err := s.Release(lv.Finished); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+		// Refill free lanes at every boundary: lanes now hold searches at
+		// different depths.
+		admitSome()
+	}
+	if len(trees) != len(roots) {
+		t.Fatalf("served %d searches, want %d", len(trees), len(roots))
+	}
+	for _, root := range roots {
+		tree, ok := trees[root]
+		if !ok {
+			t.Fatalf("root %d never finished", root)
+		}
+		checkAgainstSerial(t, tree, list, root)
+		rep, err := validate.Run(tree, root, edgelist.ListSource{List: list})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if rep.Visited != visited[root] {
+			t.Fatalf("root %d: VisitedCount %d, validator says %d", root, visited[root], rep.Visited)
+		}
+	}
+}
+
+// TestSessionGangMatchesRunBatch admits a full cohort from idle and checks
+// the per-level structure and final trees agree with RunBatch over the same
+// roots — the session is a generalization, not a different algorithm.
+func TestSessionGangMatchesRunBatch(t *testing.T) {
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	fg, bg, list, part := buildTestGraphs(t, 9, 23, topo)
+	fwd, bwd := wrapDRAM(t, fg, bg)
+	roots := pickRoots(t, bg.Degree, list.NumVertices, 5)
+	for _, mode := range []Mode{ModeHybrid, ModeTopDownOnly, ModeBottomUpOnly} {
+		cfg := Config{Topology: topo, Mode: mode, Alpha: 16, Beta: 160}
+		br, err := NewBatchRunner(fwd, bwd, part, len(roots), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := br.RunBatch(roots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTrees := make([][]int64, len(roots))
+		for l := range roots {
+			wantTrees[l] = want.CloneTree(l)
+		}
+
+		br2, err := NewBatchRunner(fwd, bwd, part, len(roots), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := br2.OpenSession()
+		for l, root := range roots {
+			if err := s.Admit(l, root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step := 0
+		for s.InUse() != 0 {
+			lv, err := s.Step()
+			if err != nil {
+				t.Fatalf("%v step %d: %v", mode, step, err)
+			}
+			if step >= len(want.Levels) {
+				t.Fatalf("%v: session ran more levels (%d+) than RunBatch (%d)", mode, step+1, len(want.Levels))
+			}
+			wl := want.Levels[step]
+			if lv.Direction != wl.Direction || lv.Claimed != wl.Claimed {
+				t.Fatalf("%v level %d: session {%v c=%d}, batch {%v c=%d}",
+					mode, step, lv.Direction, lv.Claimed, wl.Direction, wl.Claimed)
+			}
+			if err := s.Release(lv.Finished); err != nil {
+				t.Fatal(err)
+			}
+			step++
+		}
+		if step != len(want.Levels) {
+			t.Fatalf("%v: session ran %d levels, batch %d", mode, step, len(want.Levels))
+		}
+		_ = list
+		// Trees were collected per finish above in other tests; here just
+		// re-run to compare final trees lane by lane.
+		s2 := br2.OpenSession()
+		for l, root := range roots {
+			if err := s2.Admit(l, root); err != nil {
+				t.Fatal(err)
+			}
+		}
+		final := make([][]int64, len(roots))
+		for s2.InUse() != 0 {
+			lv, err := s2.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := lv.Finished; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				final[l] = append([]int64(nil), s2.Tree(l)...)
+			}
+			if err := s2.Release(lv.Finished); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for l := range roots {
+			for v := range wantTrees[l] {
+				if final[l][v] != wantTrees[l][v] {
+					t.Fatalf("%v lane %d vertex %d: session parent %d, batch parent %d",
+						mode, l, v, final[l][v], wantTrees[l][v])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionDeterministicAcrossRealWorkers replays one staggered
+// admit/step/release script at different real parallelism and demands
+// bit-identical virtual time and trees.
+func TestSessionDeterministicAcrossRealWorkers(t *testing.T) {
+	topo := numa.Topology{Nodes: 4, CoresPerNode: 3}
+	fg, bg, list, part := buildTestGraphs(t, 9, 29, topo)
+	fwd, bwd := wrapDRAM(t, fg, bg)
+	roots := pickRoots(t, bg.Degree, list.NumVertices, 11)
+	var refTime int64
+	var refTrees map[int64][]int64
+	for _, rw := range []int{1, 2, 8} {
+		br, err := NewBatchRunner(fwd, bwd, part, 4, Config{
+			Topology: topo, Alpha: 32, Beta: 320, RealWorkers: rw,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := br.OpenSession()
+		next := 0
+		trees := make(map[int64][]int64)
+		// Stagger admissions: two up front, then refill one lane per level.
+		for l := 0; l < 2; l++ {
+			if err := s.Admit(l, roots[next]); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for s.InUse() != 0 {
+			lv, err := s.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := lv.Finished; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				trees[s.Root(l)] = append([]int64(nil), s.Tree(l)...)
+			}
+			if err := s.Release(lv.Finished); err != nil {
+				t.Fatal(err)
+			}
+			if free := s.FreeLanes(); free != 0 && next < len(roots) {
+				if err := s.Admit(bits.TrailingZeros64(free), roots[next]); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			}
+		}
+		if len(trees) != len(roots) {
+			t.Fatalf("RealWorkers=%d: served %d, want %d", rw, len(trees), len(roots))
+		}
+		if refTrees == nil {
+			refTime = int64(s.Now())
+			refTrees = trees
+			continue
+		}
+		if int64(s.Now()) != refTime {
+			t.Fatalf("RealWorkers=%d: virtual time %d, want %d", rw, s.Now(), refTime)
+		}
+		for root, tree := range trees {
+			for v, p := range tree {
+				if refTrees[root][v] != p {
+					t.Fatalf("RealWorkers=%d root %d vertex %d: parent %d, want %d",
+						rw, root, v, p, refTrees[root][v])
+				}
+			}
+		}
+	}
+	_ = list
+}
+
+// TestSessionLaneScrubIsComplete interleaves two waves of searches through
+// the same lanes and checks a released lane leaves nothing behind: the
+// second wave's trees are exactly the first-principles answer even though
+// their lanes carried unrelated searches moments before.
+func TestSessionLaneScrubIsComplete(t *testing.T) {
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	fg, bg, list, part := buildTestGraphs(t, 8, 31, topo)
+	fwd, bwd := wrapDRAM(t, fg, bg)
+	roots := pickRoots(t, bg.Degree, list.NumVertices, 6)
+	br, err := NewBatchRunner(fwd, bwd, part, 3, Config{Topology: topo, Alpha: 32, Beta: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := br.OpenSession()
+	for l := 0; l < 3; l++ {
+		if err := s.Admit(l, roots[l]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon the first wave mid-flight: step once, then cancel everything.
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(s.InUse()); err != nil {
+		t.Fatal(err)
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("lanes still in use after full release: %b", s.InUse())
+	}
+	for l := 0; l < 3; l++ {
+		if err := s.Admit(l, roots[3+l]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trees := drainSession(t, s)
+	for _, root := range roots[3:] {
+		checkAgainstSerial(t, trees[root], list, root)
+	}
+}
+
+// TestSessionForwardDeathDegradesLiveCohort is the continuous-batching
+// version of the batch degraded-mode test: the forward device dies while a
+// mixed-depth cohort is in flight; every admitted search must still finish
+// correctly on the DRAM-resident bottom-up direction, and the session stays
+// pinned for later admissions.
+func TestSessionForwardDeathDegradesLiveCohort(t *testing.T) {
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	fg, bg, list, part := buildTestGraphs(t, 9, 37, topo)
+
+	var stores []*failingStore
+	mk := func(_ string, chunk int) (nvm.Storage, error) {
+		fs := &failingStore{Storage: nvm.NewMemStore(nil, chunk), failAfter: 1 << 60}
+		stores = append(stores, fs)
+		return fs, nil
+	}
+	sf, err := semiext.OffloadForward(fg, mk, nil, semiext.ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	_, bwd := wrapDRAM(t, fg, bg)
+	roots := pickRoots(t, bg.Degree, list.NumVertices, 6)
+	br, err := NewBatchRunner(NVMForward{SF: sf}, bwd, part, 4, Config{
+		Topology: topo, Mode: ModeHybrid, Alpha: 1, Beta: 10, RealWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := br.OpenSession()
+	// Two searches in flight, then the device dies before the next step.
+	if err := s.Admit(0, roots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(1, roots[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range stores {
+		fs.failAfter = 2
+		fs.reads.Store(0)
+	}
+	if err := s.Admit(2, roots[2]); err != nil {
+		t.Fatal(err)
+	}
+	sawDegrade := false
+	trees := make(map[int64][]int64)
+	for s.InUse() != 0 {
+		lv, err := s.Step()
+		if err != nil {
+			t.Fatalf("session did not degrade past the dead forward device: %v", err)
+		}
+		if len(lv.Degraded) > 0 {
+			sawDegrade = true
+			ev := lv.Degraded[0]
+			if ev.From != TopDown || ev.To != BottomUp {
+				t.Fatalf("degraded %v -> %v, want top-down -> bottom-up", ev.From, ev.To)
+			}
+		}
+		if sawDegrade && lv.Direction != BottomUp {
+			t.Fatalf("level ran %v after degradation; session must stay pinned", lv.Direction)
+		}
+		for m := lv.Finished; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			trees[s.Root(l)] = append([]int64(nil), s.Tree(l)...)
+		}
+		if err := s.Release(lv.Finished); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawDegrade {
+		t.Fatal("forward device death never surfaced as a degraded event")
+	}
+	if dir, pinned := s.Pinned(); !pinned || dir != BottomUp {
+		t.Fatalf("session pinned=(%v,%v), want (bottom-up,true)", dir, pinned)
+	}
+	for _, root := range roots[:3] {
+		checkAgainstSerial(t, trees[root], list, root)
+	}
+	// A search admitted after the death rides the pinned direction and
+	// still finishes.
+	if err := s.Admit(0, roots[3]); err != nil {
+		t.Fatal(err)
+	}
+	post := drainSession(t, s)
+	checkAgainstSerial(t, post[roots[3]], list, roots[3])
+}
+
+// TestSessionUnrescuableDeathCleansUpViaRelease: with both directions on
+// NVM nothing can absorb the cohort, Step errors, and a full Release must
+// scrub the dirty lanes well enough that a healed device serves a fresh
+// cohort correctly.
+func TestSessionUnrescuableDeathCleansUpViaRelease(t *testing.T) {
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 2}
+	fg, bg, list, part := buildTestGraphs(t, 8, 41, topo)
+
+	var stores []*failingStore
+	mk := func(_ string, chunk int) (nvm.Storage, error) {
+		fs := &failingStore{Storage: nvm.NewMemStore(nil, chunk), failAfter: 1 << 60}
+		stores = append(stores, fs)
+		return fs, nil
+	}
+	sf, err := semiext.OffloadForward(fg, mk, nil, semiext.ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	hb, err := semiext.BuildHybridBackward(bg, 1, mk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	roots := pickRoots(t, bg.Degree, list.NumVertices, 4)
+	br, err := NewBatchRunner(NVMForward{SF: sf}, HybridBackwardAccess{HB: hb}, part, 2, Config{
+		Topology: topo, Mode: ModeTopDownOnly, RealWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := br.OpenSession()
+	if err := s.Admit(0, roots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(1, roots[1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range stores {
+		fs.failAfter = 3
+	}
+	var stepErr error
+	for s.InUse() != 0 && stepErr == nil {
+		var lv *SessionLevel
+		lv, stepErr = s.Step()
+		if stepErr == nil {
+			if err := s.Release(lv.Finished); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if stepErr == nil {
+		t.Fatal("session survived a death with no rescue direction")
+	}
+	// Fail the in-flight searches: release everything, heal, go again.
+	if err := s.Release(s.InUse()); err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range stores {
+		fs.failAfter = 1 << 60
+		fs.reads.Store(0)
+	}
+	if err := s.Admit(0, roots[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(1, roots[3]); err != nil {
+		t.Fatal(err)
+	}
+	trees := drainSession(t, s)
+	for _, root := range roots[2:] {
+		checkAgainstSerial(t, trees[root], list, root)
+	}
+}
+
+// TestSessionRejectsBadUse pins the session's input contract.
+func TestSessionRejectsBadUse(t *testing.T) {
+	topo := numa.Topology{Nodes: 2, CoresPerNode: 1}
+	fg, bg, list, part := buildTestGraphs(t, 6, 43, topo)
+	fwd, bwd := wrapDRAM(t, fg, bg)
+	br, err := NewBatchRunner(fwd, bwd, part, 2, Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := br.OpenSession()
+	if _, err := s.Step(); err == nil {
+		t.Error("step with no live lanes accepted")
+	}
+	if err := s.Admit(-1, 0); err == nil {
+		t.Error("negative lane accepted")
+	}
+	if err := s.Admit(2, 0); err == nil {
+		t.Error("out-of-range lane accepted")
+	}
+	if err := s.Admit(0, -1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if err := s.Admit(0, list.NumVertices); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	root := pickRoots(t, bg.Degree, list.NumVertices, 1)[0]
+	if err := s.Admit(0, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(0, root); err == nil {
+		t.Error("double admission of a lane accepted")
+	}
+	// Releasing free lanes is a no-op, and time never runs backwards.
+	if err := s.Release(1 << 1); err != nil {
+		t.Fatal(err)
+	}
+	now := s.Now()
+	s.AdvanceTo(now - vtime.Duration(5))
+	if s.Now() != now {
+		t.Error("AdvanceTo moved time backwards")
+	}
+	s.AdvanceTo(now + 100)
+	if s.Now() != now+100 {
+		t.Errorf("AdvanceTo(+100) left Now at %v", s.Now())
+	}
+}

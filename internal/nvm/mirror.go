@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"semibfs/internal/stats"
 	"semibfs/internal/vtime"
 )
 
@@ -139,6 +140,10 @@ type MirrorStats struct {
 	// rewrite, summed over repaired blocks (mean repair latency =
 	// RepairTime / RepairedBlocks).
 	RepairTime vtime.Duration
+	// RepairHist is the per-block repair-latency distribution behind
+	// RepairTime's sum: one sample per repaired block, in virtual
+	// nanoseconds, with mergeable log-spaced buckets (p50/p95/p99).
+	RepairHist stats.Histogram `json:"-"`
 }
 
 // Add returns s plus o, field-wise.
@@ -151,6 +156,7 @@ func (s MirrorStats) Add(o MirrorStats) MirrorStats {
 	s.RepairedBlocks += o.RepairedBlocks
 	s.RebuiltBlocks += o.RebuiltBlocks
 	s.RepairTime += o.RepairTime
+	s.RepairHist = s.RepairHist.Add(o.RepairHist)
 	return s
 }
 
@@ -164,6 +170,7 @@ func (s MirrorStats) Sub(o MirrorStats) MirrorStats {
 	s.RepairedBlocks -= o.RepairedBlocks
 	s.RebuiltBlocks -= o.RebuiltBlocks
 	s.RepairTime -= o.RepairTime
+	s.RepairHist = s.RepairHist.Sub(o.RepairHist)
 	return s
 }
 
@@ -181,6 +188,9 @@ type ReplicaHealth struct {
 	// replica and blocks rewritten onto it.
 	ScrubbedBlocks int64
 	RepairedBlocks int64
+	// RepairHist is the distribution of this replica's per-block repair
+	// latencies (virtual nanoseconds).
+	RepairHist stats.Histogram `json:"-"`
 }
 
 // MergeReplicaHealth combines per-mirror health rows index-wise: replica i
@@ -203,6 +213,7 @@ func MergeReplicaHealth(sets ...[]ReplicaHealth) []ReplicaHealth {
 			m.Consecutive += h.Consecutive
 			m.ScrubbedBlocks += h.ScrubbedBlocks
 			m.RepairedBlocks += h.RepairedBlocks
+			m.RepairHist = m.RepairHist.Add(h.RepairHist)
 		}
 	}
 	return out
@@ -236,6 +247,7 @@ type mirrorReplica struct {
 	consecutive int
 	scrubbed    int64
 	repaired    int64
+	repairHist  stats.Histogram
 }
 
 // MirrorStore replicates one logical store across N replica stacks. It
@@ -383,6 +395,11 @@ func (m *MirrorStore) Stats() LayerStats {
 		{Name: "repaired_blocks", Value: st.RepairedBlocks},
 		{Name: "rebuilt_blocks", Value: st.RebuiltBlocks},
 		{Name: "repair_ns", Value: int64(st.RepairTime)},
+		// Quantiles of the per-block repair-latency distribution. Gauges:
+		// a snapshot delta cannot subtract quantiles, so Sub keeps the
+		// cumulative value rather than inventing a meaningless difference.
+		{Name: "repair_p50_ns", Value: int64(st.RepairHist.P50()), Gauge: true},
+		{Name: "repair_p99_ns", Value: int64(st.RepairHist.P99()), Gauge: true},
 		{Name: "replicas", Value: replicas, Gauge: true},
 	}}
 }
@@ -401,6 +418,7 @@ func (m *MirrorStore) Health() []ReplicaHealth {
 			Consecutive:    rep.consecutive,
 			ScrubbedBlocks: rep.scrubbed,
 			RepairedBlocks: rep.repaired,
+			RepairHist:     rep.repairHist,
 		}
 	}
 	return out
@@ -663,6 +681,8 @@ func (m *MirrorStore) scrubStepLocked(sc *vtime.Clock, b int64) {
 		rep.repaired++
 		m.stats.RepairedBlocks++
 		m.stats.RepairTime += sc.Now() - start
+		rep.repairHist.Observe(int64(sc.Now() - start))
+		m.stats.RepairHist.Observe(int64(sc.Now() - start))
 	}
 }
 

@@ -334,6 +334,18 @@ func TestScrubPassRepairsCorruptBlock(t *testing.T) {
 	if h[0].RepairedBlocks != 1 {
 		t.Fatalf("replica 0 RepairedBlocks = %d, want 1", h[0].RepairedBlocks)
 	}
+	// The repair-latency histogram carries the same repair: one sample,
+	// summing to RepairTime, mirrored per replica and surviving the merge.
+	if st.RepairHist.Count != 1 || st.RepairHist.Sum != int64(st.RepairTime) {
+		t.Fatalf("mirror RepairHist n=%d sum=%d, want 1 and %d",
+			st.RepairHist.Count, st.RepairHist.Sum, int64(st.RepairTime))
+	}
+	if h[0].RepairHist.Count != 1 {
+		t.Fatalf("replica 0 RepairHist n=%d, want 1", h[0].RepairHist.Count)
+	}
+	if merged := MergeReplicaHealth(h, h); merged[0].RepairHist.Count != 2 {
+		t.Fatalf("merged RepairHist n=%d, want 2", merged[0].RepairHist.Count)
+	}
 	// The repair rewrote replica 0's media back to the good copy...
 	want := pattern(4*DefaultChunkSize, 6)
 	if !bytes.Equal(got, want) {

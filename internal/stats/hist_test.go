@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistBucketGeometry checks the index/bounds pair is a consistent
+// partition: every sample lands in the bucket whose [lo, lo+width) range
+// contains it, indices are monotone in the sample, and bounds tile the
+// axis with no gaps.
+func TestHistBucketGeometry(t *testing.T) {
+	samples := []int64{0, 1, 2, 15, 16, 17, 31, 32, 63, 64, 1000,
+		1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range samples {
+		i := histIndex(v)
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("histIndex(%d) = %d outside [0,%d)", v, i, HistBuckets)
+		}
+		lo, width := histBounds(i)
+		if v < lo || v-lo >= width {
+			t.Fatalf("sample %d in bucket %d with range [%d,%d)", v, i, lo, lo+width)
+		}
+	}
+	if got := histIndex(-5); got != 0 {
+		t.Fatalf("negative sample bucket %d, want 0", got)
+	}
+	prevIdx := -1
+	var next int64
+	for i := 0; i < HistBuckets; i++ {
+		lo, width := histBounds(i)
+		if i > 0 && lo != next {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d", i, lo, next)
+		}
+		next = lo + width
+		if idx := histIndex(lo); idx != i {
+			t.Fatalf("bucket %d lower bound %d maps to bucket %d", i, lo, idx)
+		}
+		if idx := histIndex(lo + width - 1); idx != i {
+			t.Fatalf("bucket %d upper bound %d maps to bucket %d", i, lo+width-1, idx)
+		}
+		if i <= prevIdx {
+			t.Fatal("bucket order not monotone")
+		}
+		prevIdx = i
+	}
+}
+
+// TestHistQuantilesTrackExact compares histogram quantiles against exact
+// order statistics of a log-uniform sample; the log-spaced buckets bound
+// the relative error at 1/8.
+func TestHistQuantilesTrackExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var xs []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(math.Exp(rng.Float64() * 25)) // spans 1 .. ~7e10
+		h.Observe(v)
+		xs = append(xs, v)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := float64(xs[int(math.Ceil(q*float64(len(xs))))-1])
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.125 {
+			t.Fatalf("q=%v: hist %v vs exact %v (rel err %.3f > 0.125)", q, got, exact, rel)
+		}
+	}
+	var sum int64
+	for _, v := range xs {
+		sum += v
+	}
+	if h.Mean() != float64(sum)/float64(len(xs)) {
+		t.Fatalf("mean %v, want %v", h.Mean(), float64(sum)/float64(len(xs)))
+	}
+}
+
+// TestHistMergeMatchesPooled splits a sample across three histograms and
+// checks Add reproduces the pooled histogram bit-for-bit, and that Sub of
+// a snapshot recovers the delta.
+func TestHistMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var pooled Histogram
+	parts := make([]Histogram, 3)
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		pooled.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	merged := parts[0].Add(parts[1]).Add(parts[2])
+	if merged != pooled {
+		t.Fatal("merged histogram differs from pooled histogram")
+	}
+	// Snapshot/delta: (pooled + extra) - pooled == extra.
+	var extra Histogram
+	after := pooled
+	for i := 0; i < 100; i++ {
+		v := rng.Int63n(1 << 40)
+		extra.Observe(v)
+		after.Observe(v)
+	}
+	if d := after.Sub(pooled); d != extra {
+		t.Fatal("snapshot delta differs from directly observed histogram")
+	}
+}
+
+func TestHistEmptyAndEdgeQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.String() != "empty" {
+		t.Fatalf("empty histogram not inert: %v %v %q", h.Quantile(0.5), h.Mean(), h.String())
+	}
+	h.Observe(42)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := h.Quantile(q)
+		// 42's bucket is [40,44): any answer inside it is within resolution.
+		if got < 40 || got > 44 {
+			t.Fatalf("single-sample quantile(%v) = %v, want within bucket of 42", q, got)
+		}
+	}
+	if h.P50() != h.Quantile(0.5) || h.P95() != h.Quantile(0.95) || h.P99() != h.Quantile(0.99) {
+		t.Fatal("quantile shorthands disagree with Quantile")
+	}
+}

@@ -1,13 +1,20 @@
 package semibfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"semibfs/internal/bfs"
 	"semibfs/internal/nvm"
+	"semibfs/internal/serve"
 )
+
+// ErrPoolClosed is returned by Submit once the pool has been closed.
+var ErrPoolClosed = errors.New("semibfs: query pool closed")
 
 // Query is one accepted root request, identified by the ID Submit returned.
 type Query struct {
@@ -67,23 +74,32 @@ type BatchStats struct {
 	Layers nvm.StackStats
 }
 
-// QueryPool is the batched serving layer: it accepts a stream of BFS root
-// requests, packs them into batches of at most Lanes() in arrival order,
-// and runs each batch through one shared forward/backward store pair — so
-// a single pass of NVM reads (and one warm page cache) serves every query
-// in the batch.
+// QueryPool is the drain-mode serving layer: it accepts a stream of BFS
+// root requests, packs them into batches of at most Lanes() in arrival
+// order, and runs each batch through one shared forward/backward store
+// pair — so a single pass of NVM reads (and one warm page cache) serves
+// every query in the batch.
+//
+// The pool is a thin wrapper over Server in gang mode: each Flush submits
+// the pending queries to a private always-on server whose admission is
+// restricted to full cohorts, then pumps it dry. The continuous-admission
+// serving loop (Server) subsumes this API; the pool remains for callers
+// that want the simple submit/flush lifecycle and per-batch statistics.
 //
 // A pool is not safe for concurrent use, with one exception: Close may be
 // called from any goroutine, any number of times, concurrently with itself
 // — the shared stores are closed exactly once, even when a mid-batch
 // device death has aborted some lanes.
 type QueryPool struct {
-	batch   *bfs.BatchRunner
+	srv     *Server
 	deg     func(int64) int64
 	n       int64
 	pending []Query
 	nextID  int
-	batches int
+	// byServerID maps the private server's query IDs back to pool queries
+	// for the flush in progress.
+	byServerID map[int]Query
+	closed     atomic.Bool
 
 	closers   []io.Closer
 	closeOnce sync.Once
@@ -130,18 +146,30 @@ func (s *System) NewQueryPool(lanes int) (*QueryPool, error) {
 // newQueryPool wires a pool over an existing batch runner; closers are
 // appended by the callers that own stores.
 func newQueryPool(br *bfs.BatchRunner, deg func(int64) int64, n int64) *QueryPool {
-	return &QueryPool{batch: br, deg: deg, n: n}
+	return &QueryPool{
+		srv: serve.NewServer(br, deg, n, ServerConfig{
+			Lanes:     br.Lanes(),
+			Gang:      true,
+			KeepTrees: true,
+		}),
+		deg:        deg,
+		n:          n,
+		byServerID: make(map[int]Query),
+	}
 }
 
 // Lanes returns the pool's batch capacity B.
-func (p *QueryPool) Lanes() int { return p.batch.Lanes() }
+func (p *QueryPool) Lanes() int { return p.srv.Lanes() }
 
 // Pending returns the queries accepted but not yet flushed.
 func (p *QueryPool) Pending() int { return len(p.pending) }
 
 // Submit accepts one root request and returns its query ID. The request
-// runs at the next Flush.
+// runs at the next Flush. A closed pool returns ErrPoolClosed.
 func (p *QueryPool) Submit(root int64) (int, error) {
+	if p.closed.Load() {
+		return 0, ErrPoolClosed
+	}
 	if root < 0 || root >= p.n {
 		return 0, fmt.Errorf("semibfs: root %d outside [0,%d)", root, p.n)
 	}
@@ -154,8 +182,11 @@ func (p *QueryPool) Submit(root int64) (int, error) {
 // packBatches partitions queries into batches of at most lanes each,
 // preserving arrival order: batch i holds queries[i*lanes:(i+1)*lanes].
 // It is pure (no pool state) so the packing invariants — no query lost,
-// duplicated, or reordered, no batch over-wide — are fuzzable in
-// isolation; see FuzzBatchPack.
+// duplicated, reordered, or over-wide — are fuzzable in isolation; see
+// FuzzBatchPack. It is the specification of the gang-mode server's cohort
+// partition: uniform priorities and a common arrival time make the queue
+// admit in ID order, full cohorts at a time, which is exactly this
+// packing (TestQueryPoolCohortsMatchPackBatches holds the two together).
 func packBatches(queries []Query, lanes int) [][]Query {
 	if lanes < 1 || len(queries) == 0 {
 		return nil
@@ -171,66 +202,109 @@ func packBatches(queries []Query, lanes int) [][]Query {
 	return batches
 }
 
-// Flush packs the pending queries into batches and runs them, returning
-// one QueryResult per query (in submission order) and one BatchStats per
+// Flush runs the pending queries in gang batches, returning one
+// QueryResult per query (in submission order) and one BatchStats per
 // executed batch. On a mid-batch failure (a dead device with no
 // DRAM-resident direction to degrade to) the completed batches' results
 // are returned along with the error; the aborted batch's queries are
 // dropped, and the shared stores remain open until Close.
 func (p *QueryPool) Flush() ([]QueryResult, []BatchStats, error) {
-	batches := packBatches(p.pending, p.batch.Lanes())
-	p.pending = p.pending[:0]
-	var results []QueryResult
-	var stats []BatchStats
-	for _, b := range batches {
-		roots := make([]int64, len(b))
-		for i, q := range b {
-			roots[i] = q.Root
-		}
-		res, err := p.batch.RunBatch(roots)
-		bi := p.batches
+	if len(p.pending) == 0 {
+		return nil, nil, nil
+	}
+	submitted := make([]int, 0, len(p.pending))
+	for _, q := range p.pending {
+		sid, err := p.srv.Submit(q.Root, SubmitOptions{})
 		if err != nil {
-			return results, stats, fmt.Errorf("semibfs: batch %d: %w", bi, err)
+			return nil, nil, err
 		}
-		p.batches++
+		p.byServerID[sid] = q
+		submitted = append(submitted, sid)
+	}
+	p.pending = p.pending[:0]
+
+	var flushErr error
+	for {
+		progressed, err := p.srv.Pump()
+		if err != nil {
+			flushErr = err
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+	if flushErr != nil {
+		// Drop the queries the aborted flush never reached.
+		for _, sid := range submitted {
+			p.srv.Cancel(sid)
+		}
+	}
+
+	outcomes := p.srv.TakeOutcomes()
+	cohorts := p.srv.TakeCohorts()
+
+	stats := make([]BatchStats, 0, len(cohorts))
+	amortized := make(map[int]float64, len(cohorts))
+	statIdx := make(map[int]int, len(cohorts))
+	for _, c := range cohorts {
 		bs := BatchStats{
-			Batch:            bi,
-			Size:             len(b),
-			Roots:            roots,
-			Seconds:          res.Time.Seconds(),
-			AmortizedSeconds: res.Time.Seconds() / float64(len(b)),
-			Switches:         res.Switches,
-			Levels:           len(res.Levels),
-			Degraded:         res.Resilience.DegradedLevels(),
-			Layers:           res.Layers,
+			Batch:        c.Batch,
+			Size:         len(c.Roots),
+			Roots:        c.Roots,
+			Seconds:      (c.End - c.Start).Seconds(),
+			Switches:     c.Switches,
+			Levels:       c.Levels,
+			Degraded:     c.Degraded,
+			Layers:       c.Layers,
+			CacheHitRate: c.Layers.CacheView().HitRate(),
 		}
-		if c := res.Cache; c.Hits+c.Misses > 0 {
-			bs.CacheHitRate = float64(c.Hits) / float64(c.Hits+c.Misses)
-		}
-		for l, q := range b {
-			qr := QueryResult{
-				ID:      q.ID,
-				Root:    q.Root,
-				Parents: res.CloneTree(l),
-				Visited: res.Visited[l],
-				Seconds: bs.AmortizedSeconds,
-				Batch:   bi,
-				Lane:    l,
-			}
-			var sum int64
-			for v, par := range qr.Parents {
-				if par != -1 {
-					sum += p.deg(int64(v))
-				}
-			}
-			qr.TraversedEdges = sum / 2
-			bs.TraversedEdges += qr.TraversedEdges
-			results = append(results, qr)
-		}
-		if bs.Seconds > 0 {
-			bs.TEPS = float64(bs.TraversedEdges) / bs.Seconds
-		}
+		bs.AmortizedSeconds = bs.Seconds / float64(bs.Size)
+		amortized[c.Batch] = bs.AmortizedSeconds
+		statIdx[c.Batch] = len(stats)
 		stats = append(stats, bs)
+	}
+
+	var results []QueryResult
+	failedBatch := -1
+	for _, o := range outcomes {
+		q, ok := p.byServerID[o.ID]
+		if !ok {
+			continue
+		}
+		delete(p.byServerID, o.ID)
+		if o.Outcome == OutcomeFailed && o.Batch > failedBatch {
+			failedBatch = o.Batch
+		}
+		if o.Outcome != OutcomeServed {
+			continue
+		}
+		qr := QueryResult{
+			ID:             q.ID,
+			Root:           q.Root,
+			Parents:        o.Parents,
+			Visited:        o.Visited,
+			TraversedEdges: o.TraversedEdges,
+			Seconds:        amortized[o.Batch],
+			Batch:          o.Batch,
+			Lane:           o.Lane,
+		}
+		if i, ok := statIdx[o.Batch]; ok {
+			stats[i].TraversedEdges += qr.TraversedEdges
+		}
+		results = append(results, qr)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	for i := range stats {
+		if stats[i].Seconds > 0 {
+			stats[i].TEPS = float64(stats[i].TraversedEdges) / stats[i].Seconds
+		}
+	}
+	if flushErr != nil {
+		if failedBatch < 0 {
+			failedBatch = len(stats)
+		}
+		return results, stats, fmt.Errorf("semibfs: batch %d: %w", failedBatch, flushErr)
 	}
 	return results, stats, nil
 }
@@ -252,6 +326,7 @@ func (p *QueryPool) Run(roots []int64) ([]QueryResult, []BatchStats, error) {
 // own nothing, and their Close is a no-op.
 func (p *QueryPool) Close() error {
 	p.closeOnce.Do(func() {
+		p.closed.Store(true)
 		for _, c := range p.closers {
 			if err := c.Close(); err != nil && p.closeErr == nil {
 				p.closeErr = err

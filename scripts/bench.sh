@@ -4,8 +4,10 @@
 # and pure top-down), the failover sweep (TEPS and repair activity vs
 # per-device fault rate for 1/2/3-way mirrored arrays), the partial
 # backward-offload sweep (TEPS vs DRAM edge cap k through the layered
-# storage stack), and the query sweep (amortized per-query TEPS vs
-# multi-source batch width B) at a fixed seed and writes the rows as JSON.
+# storage stack), the query sweep (amortized per-query TEPS vs
+# multi-source batch width B), and the load sweep (serving latency
+# quantiles vs open-loop offered load, with and without admission control)
+# at a fixed seed and writes the rows as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -19,6 +21,11 @@ OUT=${OUT:-BENCH_PR2.json}
 FAILOVER_OUT=${FAILOVER_OUT:-BENCH_PR3.json}
 PARTIAL_OUT=${PARTIAL_OUT:-BENCH_PR4.json}
 QUERY_OUT=${QUERY_OUT:-BENCH_PR5.json}
+LOAD_OUT=${LOAD_OUT:-BENCH_PR6.json}
+# The load sweep serves 4x this many queries per row; the stream must be
+# long enough that past the knee the unbounded baseline's queue waits
+# dominate its per-query service-time tail.
+LOAD_ROOTS=${LOAD_ROOTS:-128}
 
 echo "==> cache sweep (scale $SCALE, $ROOTS roots) -> $OUT"
 go run ./cmd/analyze -exp cache -json -scale "$SCALE" -roots "$ROOTS" > "$OUT"
@@ -35,3 +42,7 @@ echo "wrote $PARTIAL_OUT"
 echo "==> query sweep (scale $SCALE, $ROOTS queries) -> $QUERY_OUT"
 go run ./cmd/analyze -exp query -json -scale "$SCALE" -roots "$ROOTS" > "$QUERY_OUT"
 echo "wrote $QUERY_OUT"
+
+echo "==> load sweep (scale $SCALE, $LOAD_ROOTS roots) -> $LOAD_OUT"
+go run ./cmd/analyze -exp load -json -scale "$SCALE" -roots "$LOAD_ROOTS" > "$LOAD_OUT"
+echo "wrote $LOAD_OUT"
