@@ -59,6 +59,9 @@ func main() {
 		scrubRate  = flag.Float64("scrub-rate", 0, "background scrub pace in blocks per virtual second (0 = off; requires -replicas > 1)")
 		cacheSize  = flag.String("cache-bytes", "", "DRAM page-cache budget for the forward graph, e.g. 64M or 1G (empty = no cache)")
 		readahead  = flag.Int("readahead", 0, "value-store readahead depth in cache blocks (requires -cache-bytes)")
+		compress   = flag.Bool("compress", false, "store NVM adjacency delta+varint compressed (trades device bytes for host decode time)")
+		queueDepth = flag.Int("queue-depth", 0, "async I/O pipeline slots above each NVM store's cache (0 = synchronous; requires -cache-bytes)")
+		prefetch   = flag.Int("prefetch", 0, "frontier vertices announced for readahead per top-down chunk (0 = off; requires -cache-bytes)")
 		layers     = flag.Bool("layers", false, "print the per-layer storage-stack counter report")
 		batch      = flag.Int("batch", 0, "batched multi-source mode: BFS lanes per batch, 1-64 (0 = classic per-root protocol)")
 		queries    = flag.Int("queries", 0, "query-stream length in batched mode (0 = -roots; requires -batch)")
@@ -153,6 +156,18 @@ func main() {
 			fatal(fmt.Errorf("-readahead requires -cache-bytes"))
 		}
 		sc.ReadaheadBlocks = *readahead
+	}
+	if *queueDepth < 0 || *prefetch < 0 {
+		fatal(fmt.Errorf("-queue-depth / -prefetch must be >= 0"))
+	}
+	if *compress || *queueDepth > 0 || *prefetch > 0 {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-compress / -queue-depth / -prefetch require an NVM scenario"))
+		}
+		if (*queueDepth > 0 || *prefetch > 0) && sc.CacheBytes <= 0 {
+			fatal(fmt.Errorf("-queue-depth / -prefetch require -cache-bytes (the pipeline fills cache pages)"))
+		}
+		sc = sc.WithIO(*compress, *queueDepth, *prefetch)
 	}
 	bfsMode, isRef, err := modeByName(*mode)
 	if err != nil {
@@ -367,6 +382,17 @@ func printReport(res *graph500.Result, wall time.Duration) {
 		if c.Prefetches > 0 {
 			fmt.Printf("cache prefetches:     %d issued, %d hit\n", c.Prefetches, c.PrefetchHits)
 		}
+	}
+	if p.Scenario.Compress && res.CompressionRatio > 0 {
+		fmt.Printf("NVM compression:      %.2fx (delta+varint adjacency)\n", res.CompressionRatio)
+		if res.DecodedCacheHits > 0 {
+			fmt.Printf("decoded-hub cache:    %d hits\n", res.DecodedCacheHits)
+		}
+	}
+	if a, ok := res.Layers.Layer("async"); ok {
+		fmt.Printf("async pipeline:       depth %d, %d demand runs (%d blocks), %d prefetch runs (%d blocks)\n",
+			a.Get("queue_depth"), a.Get("demand_runs"), a.Get("demand_blocks"),
+			a.Get("prefetch_runs"), a.Get("prefetch_blocks"))
 	}
 	if r := res.Resilience; r.Retries > 0 || r.ReadErrors > 0 || r.DegradedRuns > 0 {
 		fmt.Printf("NVM read errors:      %d (%d retried, backoff %v)\n",

@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		fig   = flag.Int("fig", 7, "figure to regenerate: 7, 8, or 9")
-		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep) or load (serving latency vs offered load)")
+		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), or io (TEPS vs queue depth x compression)")
 		scale = flag.Int("scale", 18, "large instance scale (fig 9 uses scale-1)")
 		ef    = flag.Int("edgefactor", 16, "edges per vertex")
 		seed  = flag.Uint64("seed", 12345, "generator seed")
@@ -92,8 +92,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	} else if *exp == "io" {
+		var rows []experiments.IORow
+		rows, err = experiments.IOSweep(opts)
+		if err == nil {
+			if *csv {
+				fmt.Print(experiments.IOSweepCSV(rows))
+			} else {
+				fmt.Println(experiments.FormatIOSweep(rows))
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
 	} else if *exp != "" {
-		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query or load)\n", *exp)
+		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, or io)\n", *exp)
 		os.Exit(1)
 	}
 	switch *fig {

@@ -28,6 +28,16 @@ type ForwardCursor interface {
 	NVMEdges() int64
 }
 
+// FrontierPrefetcher is optionally implemented by forward cursors that can
+// translate an upcoming frontier chunk into asynchronous storage readahead.
+// The engine announces worker w's next chunk before scanning its current
+// one; the cursor issues the I/O (coalesced through the async pipeline
+// when one is configured) and returns without blocking, so device time
+// overlaps the current chunk's expansion.
+type FrontierPrefetcher interface {
+	PrefetchFrontier(k int, vs []int64)
+}
+
 // ForwardAccess hands out per-worker cursors over a forward graph.
 type ForwardAccess interface {
 	NewCursor(clock *vtime.Clock) ForwardCursor
@@ -123,6 +133,11 @@ func (c *nvmForwardCursor) Neighbors(k int, v int64) ([]int64, bool, error) {
 }
 
 func (c *nvmForwardCursor) NVMEdges() int64 { return c.r.EdgesRead }
+
+// PrefetchFrontier implements FrontierPrefetcher.
+func (c *nvmForwardCursor) PrefetchFrontier(k int, vs []int64) {
+	c.r.PrefetchFrontier(k, vs)
+}
 
 // DRAMBackward adapts a DRAM-resident csr.BackwardGraph.
 type DRAMBackward struct {

@@ -183,6 +183,15 @@ type Runner struct {
 	// BFS status data.
 	tree    []int64
 	visited *bitmap.Atomic
+	// claimBM arbitrates next-queue membership during a top-down level.
+	// The visited bitmap is frozen while a level runs (claims become
+	// visited at gather time), so every frontier parent of an unvisited
+	// vertex competes in a min-CAS on the tree entry — making the parent
+	// tree independent of worker count, queue depth, and I/O completion
+	// order — while claimBM's TestAndSet picks exactly one worker to
+	// enqueue the vertex. Bits are never cleared between levels (a stale
+	// bit always belongs to a by-now-visited vertex); Run resets it.
+	claimBM *bitmap.Atomic
 	frontBM []*bitmap.Atomic // per-node frontier replicas
 	nextBM  *bitmap.Bitmap
 	frontQ  []int64
@@ -236,6 +245,7 @@ func NewRunner(fwd ForwardAccess, bwd BackwardAccess, part *numa.Partition, cfg 
 		cpn:      cfg.Topology.CoresPerNode,
 		tree:     make([]int64, n),
 		visited:  bitmap.NewAtomic(int(n)),
+		claimBM:  bitmap.NewAtomic(int(n)),
 		nextBM:   bitmap.New(int(n)),
 		nextQ:    make([][]int64, nw),
 		clocks:   make([]*vtime.Clock, nw),
@@ -265,6 +275,7 @@ func NewRunner(fwd ForwardAccess, bwd BackwardAccess, part *numa.Partition, cfg 
 func (r *Runner) StatusBytes() int64 {
 	b := int64(len(r.tree)) * 8                  // tree
 	b += (r.n + 7) / 8                           // visited
+	b += (r.n + 7) / 8                           // claim bitmap
 	b += int64(len(r.frontBM)) * ((r.n + 7) / 8) // frontier replicas
 	b += (r.n + 7) / 8                           // next bitmap
 	b += int64(cap(r.frontQ)) * 8                // frontier queue
@@ -379,6 +390,7 @@ func (r *Runner) Run(root int64) (*Result, error) {
 		r.tree[i] = -1
 	}
 	r.visited.Reset()
+	r.claimBM.Reset()
 	r.nextBM.Reset()
 	for _, bm := range r.frontBM {
 		bm.Reset()

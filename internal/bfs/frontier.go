@@ -3,6 +3,7 @@ package bfs
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"semibfs/internal/vtime"
 )
@@ -35,8 +36,16 @@ func (r *Runner) convertFrontier(from, to Direction) error {
 }
 
 // gatherQueues concatenates the per-worker next queues into the frontier
-// queue. Each worker copies its own output at a precomputed offset, so the
-// copy itself parallelizes; the bytes moved are charged as streams.
+// queue, marks the gathered vertices visited, and sorts the frontier
+// ascending. Each worker copies its own output at a precomputed offset, so
+// the copy itself parallelizes; the bytes moved are charged as streams.
+//
+// This is the level boundary where claims become visited: the top-down
+// kernel freezes the visited bitmap while a level runs so the parent
+// choice is a deterministic min over the frontier (see runTopDownLevel).
+// Sorting keeps the semi-external forward reads in adjacency-offset order
+// — sequential, coalescible NVM runs for the prefetcher — and makes the
+// frontier layout independent of which worker won each claim.
 func (r *Runner) gatherQueues() error {
 	total := 0
 	offs := r.offsScratch
@@ -53,13 +62,28 @@ func (r *Runner) gatherQueues() error {
 		q := r.nextQ[w]
 		if len(q) > 0 {
 			copy(r.frontQ[offs[w]:offs[w+1]], q)
-			// Read + write of the vertex IDs.
-			r.clocks[w].Advance(r.cfg.Cost.Stream(len(q) * 16))
+			for _, v := range q {
+				r.visited.Set(int(v))
+			}
+			// Read + write of the vertex IDs, plus the visited marks.
+			r.clocks[w].Advance(r.cfg.Cost.Stream(len(q)*16) +
+				vtime.Duration(len(q))*r.cfg.Cost.BitmapProbe)
 		}
 		r.nextQ[w] = q[:0]
 		return nil
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	sort.Slice(r.frontQ, func(i, j int) bool { return r.frontQ[i] < r.frontQ[j] })
+	if total > 0 {
+		// Modeled as one parallel merge pass over the gathered IDs.
+		per := r.cfg.Cost.Stream(total * 16 / r.nWorkers)
+		for _, c := range r.clocks {
+			c.Advance(per)
+		}
+	}
+	return nil
 }
 
 // replicateNextBitmap copies the next bitmap into every NUMA node's

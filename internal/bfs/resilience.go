@@ -136,20 +136,24 @@ func (r *Runner) degradeTarget(from Direction) (Direction, bool) {
 
 // enterDegraded rescues a partially-executed level so it can be re-run in
 // direction to. Claims the failed kernel already made are valid (each
-// claimed parent is in the current frontier), and their visited bits and
-// tree entries are already set — so they are preserved by seeding them
-// into the level's output representation, and the re-run kernel skips them
-// via the visited bitmap and claims the remainder. The current frontier is
-// converted to the representation the new direction expects. Returns the
-// number of seeded (pre-degradation) claims.
+// claimed parent is in the current frontier) and their tree entries are
+// already set — so they are preserved by seeding them into the level's
+// output representation, and the re-run kernel skips them via the visited
+// bitmap and claims the remainder. The current frontier is converted to
+// the representation the new direction expects. Returns the number of
+// seeded (pre-degradation) claims.
 func (r *Runner) enterDegraded(from, to Direction) (int64, error) {
 	var seeded int64
 	if from == TopDown {
 		// Partial claims live in the per-worker next queues; the
-		// bottom-up re-run outputs into the next bitmap.
+		// bottom-up re-run outputs into the next bitmap. The top-down
+		// kernel defers visited marks to gather time, which this rescue
+		// skips, so mark the seeds visited here or the re-run would
+		// claim them a second time.
 		for w := range r.nextQ {
 			for _, v := range r.nextQ[w] {
 				r.nextBM.Set(int(v))
+				r.visited.Set(int(v))
 				seeded++
 			}
 			r.nextQ[w] = r.nextQ[w][:0]

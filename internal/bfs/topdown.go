@@ -1,17 +1,46 @@
 package bfs
 
-import "semibfs/internal/vtime"
+import (
+	"sync/atomic"
+
+	"semibfs/internal/vtime"
+)
 
 // chunkSize is the number of frontier vertices a worker dequeues at a
 // time, following the paper's Section V-C ("each thread dequeues a fixed
 // number (64 in our current implementation) of vertices").
 const chunkSize = 64
 
+// minParent installs v as *p's parent unless a smaller parent is already
+// there (-1 means none yet). The visited bitmap is frozen during a
+// top-down level, so *every* frontier parent of an unvisited vertex races
+// here; the survivor is the minimum, which makes the parent tree a pure
+// function of the graph and the root — independent of worker count, queue
+// depth, and I/O completion order.
+func minParent(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if cur != -1 && cur <= v {
+			return
+		}
+		if atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
+}
+
 // runTopDownLevel expands the frontier queue r.frontQ one level in the
 // top-down direction. Every NUMA node's workers scan the whole frontier,
 // but against the node's own forward-graph replica, which contains only
 // the neighbors the node owns — so every visited/tree write is node-local
 // (the NETAL delegation scheme of Section IV-A).
+//
+// Claims are deterministic: the visited bitmap is only read during the
+// level (gatherQueues marks the claims visited afterwards), the parent is
+// a min-CAS on the tree entry, and r.claimBM arbitrates which worker
+// enqueues the vertex. A cursor implementing FrontierPrefetcher gets the
+// worker's next chunk announced before the current one is scanned, so
+// next-chunk readahead overlaps the current chunk's expansion.
 func (r *Runner) runTopDownLevel() error {
 	cm := &r.cfg.Cost
 	numChunks := (len(r.frontQ) + chunkSize - 1) / chunkSize
@@ -20,6 +49,7 @@ func (r *Runner) runTopDownLevel() error {
 		j := w % r.cpn
 		clock := r.clocks[w]
 		cursor := r.cursors[w]
+		pf, _ := cursor.(FrontierPrefetcher)
 		acc := &r.acc[w]
 		nq := r.nextQ[w]
 		edgeCost := cm.EdgeCompute + cm.BitmapProbe
@@ -28,6 +58,18 @@ func (r *Runner) runTopDownLevel() error {
 			hi := lo + chunkSize
 			if hi > len(r.frontQ) {
 				hi = len(r.frontQ)
+			}
+			if pf != nil {
+				// Announce the worker's *next* chunk so its adjacency
+				// I/O is in flight while this chunk is expanded. The
+				// frontier is sorted, so the spans coalesce into runs.
+				if nlo := (c + r.cpn) * chunkSize; nlo < len(r.frontQ) {
+					nhi := nlo + chunkSize
+					if nhi > len(r.frontQ) {
+						nhi = len(r.frontQ)
+					}
+					pf.PrefetchFrontier(k, r.frontQ[nlo:nhi])
+				}
 			}
 			var t vtime.Duration
 			t += cm.Stream((hi - lo) * 8) // dequeue the chunk
@@ -42,10 +84,10 @@ func (r *Runner) runTopDownLevel() error {
 				t = 0
 				nbs, fromNVM, err := cursor.Neighbors(k, v)
 				if err != nil {
-					// Publish the claims made so far: their visited
-					// bits and tree entries are already set, so the
-					// degraded-mode rescue must see them as next-
-					// frontier members or the tree loses subtrees.
+					// Publish the claims made so far: their tree entries
+					// are already set, and the degraded-mode rescue
+					// marks them visited and seeds them as next-frontier
+					// members, or the tree loses subtrees.
 					r.nextQ[w] = nq
 					return err
 				}
@@ -62,9 +104,9 @@ func (r *Runner) runTopDownLevel() error {
 					if r.visited.Test(int(nb)) {
 						continue
 					}
-					if r.visited.TestAndSet(int(nb)) {
+					minParent(&r.tree[nb], v)
+					if r.claimBM.TestAndSet(int(nb)) {
 						t += cm.AtomicOp + cm.LocalAccess + cm.QueueAppend
-						r.tree[nb] = v
 						nq = append(nq, nb)
 						acc.claimed++
 					} else {

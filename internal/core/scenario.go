@@ -71,6 +71,19 @@ type Scenario struct {
 	// second (0 disables scrubbing). Requires Replicas > 1 to repair
 	// from, though a single replica still detects via checksums.
 	ScrubRate float64
+	// Compress stores the NVM adjacency (forward values, backward tails)
+	// delta+varint encoded (internal/enc): fewer device bytes traded for
+	// host decode time, with the cache budget split between compressed
+	// pages and a decoded-hub cache.
+	Compress bool
+	// QueueDepth, when positive, puts an asynchronous coalescing I/O
+	// pipeline of that many virtual slots above each NVM store's cache
+	// (nvm.AsyncStore); 0 keeps the synchronous request-at-a-time path.
+	QueueDepth int
+	// FrontierPrefetch caps how many upcoming frontier vertices each
+	// worker announces for readahead per top-down chunk; 0 disables
+	// frontier-driven prefetch. Requires CacheBytes > 0 to have effect.
+	FrontierPrefetch int
 }
 
 // WithFaults returns the scenario with fault injection configured.
@@ -98,6 +111,17 @@ func (s Scenario) WithCache(budget int64, readahead int) Scenario {
 func (s Scenario) WithReplicas(n int, scrubRate float64) Scenario {
 	s.Replicas = n
 	s.ScrubRate = scrubRate
+	return s
+}
+
+// WithIO returns the scenario with the compressed-adjacency and async-
+// pipeline knobs set: compress selects delta+varint NVM adjacency,
+// queueDepth sizes the coalescing pipeline (0 = synchronous), and
+// frontierPrefetch bounds per-chunk frontier readahead.
+func (s Scenario) WithIO(compress bool, queueDepth, frontierPrefetch int) Scenario {
+	s.Compress = compress
+	s.QueueDepth = queueDepth
+	s.FrontierPrefetch = frontierPrefetch
 	return s
 }
 
@@ -218,6 +242,11 @@ func (s *System) FaultCounters() faults.Counters {
 // offloads backward-graph tails, or nil.
 func (s *System) HybridBackward() *semiext.HybridBackward { return s.hybBwd }
 
+// SemiForward exposes the semi-external forward graph when the scenario
+// offloads it, or nil (the compression ratio and decoded-cache figures
+// live there).
+func (s *System) SemiForward() *semiext.SemiForward { return s.semiFwd }
+
 // PageCache returns the forward graph's shared page cache, or nil when
 // the scenario configures none.
 func (s *System) PageCache() *nvm.PageCache {
@@ -295,6 +324,8 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 		return nil, fmt.Errorf("core: scenario %q offloads data but has no device", sc.Name)
 	} else if sc.Replicas > 1 || sc.ScrubRate > 0 {
 		return nil, fmt.Errorf("core: scenario %q mirrors stores but has no device", sc.Name)
+	} else if sc.Compress || sc.QueueDepth > 0 || sc.FrontierPrefetch > 0 {
+		return nil, fmt.Errorf("core: scenario %q tunes NVM I/O but has no device", sc.Name)
 	}
 
 	base := func(name string, chunk int) (nvm.Storage, error) {
@@ -329,13 +360,16 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 	}
 	if sc.ForwardOnNVM {
 		fwdOpts := semiext.ForwardOptions{
-			IndexInDRAM:     sc.IndexInDRAM,
-			AggregateIO:     sc.AggregateIO,
-			CacheBytes:      sc.CacheBytes,
-			ReadaheadBlocks: sc.ReadaheadBlocks,
-			Replicas:        sc.Replicas,
-			Mirror:          nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
-			Checksums:       sc.Checksums,
+			IndexInDRAM:      sc.IndexInDRAM,
+			AggregateIO:      sc.AggregateIO,
+			CacheBytes:       sc.CacheBytes,
+			ReadaheadBlocks:  sc.ReadaheadBlocks,
+			Replicas:         sc.Replicas,
+			Mirror:           nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
+			Checksums:        sc.Checksums,
+			Compress:         sc.Compress,
+			QueueDepth:       sc.QueueDepth,
+			FrontierPrefetch: sc.FrontierPrefetch,
 		}
 		sf, err := semiext.OffloadForward(fg, mk, opts.ConstructClock, fwdOpts)
 		if err != nil {
@@ -361,11 +395,13 @@ func Build(src edgelist.Source, topo numa.Topology, sc Scenario, opts BuildOptio
 		// checksums, mirroring, retry — and share the forward graph's page
 		// cache (when one exists), so one DRAM budget serves both graphs.
 		bwdOpts := semiext.BackwardOptions{
-			KeepEdges: sc.BackwardDRAMEdgeLimit,
-			Checksums: sc.Checksums,
-			Replicas:  sc.Replicas,
-			Mirror:    nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
-			Cache:     sys.PageCache(),
+			KeepEdges:  sc.BackwardDRAMEdgeLimit,
+			Checksums:  sc.Checksums,
+			Replicas:   sc.Replicas,
+			Mirror:     nvm.MirrorConfig{ScrubInterval: sc.scrubInterval()},
+			Cache:      sys.PageCache(),
+			Compress:   sc.Compress,
+			QueueDepth: sc.QueueDepth,
 		}
 		hb, err := semiext.OffloadBackward(bg, mk, opts.ConstructClock, bwdOpts)
 		if err != nil {

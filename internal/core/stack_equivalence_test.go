@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"semibfs/internal/bfs"
@@ -11,8 +12,10 @@ import (
 )
 
 // treesFor builds a system under sc and returns the parent tree of each
-// root, with a single real worker so claim order is deterministic.
-func treesFor(t *testing.T, sc Scenario, roots []int64) [][]int64 {
+// root, computed with the given number of real workers. The top-down
+// kernel resolves claim races with an atomic minimum, so the trees must
+// not depend on the worker count.
+func treesFor(t *testing.T, sc Scenario, roots []int64, workers int) [][]int64 {
 	t.Helper()
 	list, err := generator.Generate(generator.Config{Scale: 10, EdgeFactor: 8, Seed: 7})
 	if err != nil {
@@ -24,7 +27,7 @@ func treesFor(t *testing.T, sc Scenario, roots []int64) [][]int64 {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	r, err := sys.NewRunner(bfs.Config{Topology: topo, Alpha: 4, Beta: 40, RealWorkers: 1})
+	r, err := sys.NewRunner(bfs.Config{Topology: topo, Alpha: 4, Beta: 40, RealWorkers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,6 +40,24 @@ func treesFor(t *testing.T, sc Scenario, roots []int64) [][]int64 {
 		trees = append(trees, res.CloneTree())
 	}
 	return trees
+}
+
+// diffTrees fails the test at the first vertex where got diverges from
+// want.
+func diffTrees(t *testing.T, label string, roots []int64, got, want [][]int64) {
+	t.Helper()
+	for i := range roots {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s root %d: tree length %d, want %d",
+				label, roots[i], len(got[i]), len(want[i]))
+		}
+		for v := range want[i] {
+			if got[i][v] != want[i][v] {
+				t.Fatalf("%s root %d: tree diverges from reference at vertex %d (%d vs %d)",
+					label, roots[i], v, got[i][v], want[i][v])
+			}
+		}
+	}
 }
 
 // TestStackLayersDoNotChangeParentTrees is the refactor's equivalence
@@ -63,19 +84,44 @@ func TestStackLayersDoNotChangeParentTrees(t *testing.T) {
 		CorruptRate:   0.01,
 	}
 
-	want := treesFor(t, ScenarioDRAMOnly, roots)
+	want := treesFor(t, ScenarioDRAMOnly, roots, 1)
 	for _, sc := range []Scenario{ScenarioPCIeFlash, full, faulted} {
-		got := treesFor(t, sc, roots)
-		for i := range roots {
-			if len(got[i]) != len(want[i]) {
-				t.Fatalf("%s root %d: tree length %d, want %d",
-					sc.Name, roots[i], len(got[i]), len(want[i]))
+		got := treesFor(t, sc, roots, 1)
+		diffTrees(t, sc.Name, roots, got, want)
+	}
+}
+
+// TestCompressedAsyncParentTreeEquivalence is the compressed-adjacency
+// and async-pipeline equivalence criterion: delta+varint encoding,
+// queue-depth, and frontier prefetch change only when and how bytes
+// move, never which parent wins. The parent trees must be bit-identical
+// to the DRAM-only reference across raw vs compressed storage, queue
+// depths 0 (synchronous) and 8 (async coalescing + prefetch), and
+// worker counts 1, 2, and 8 — the top-down kernel's atomic-minimum
+// claim rule makes the tree independent of claim timing.
+func TestCompressedAsyncParentTreeEquivalence(t *testing.T) {
+	roots := []int64{2, 77, 500}
+	want := treesFor(t, ScenarioDRAMOnly, roots, 1)
+
+	for _, compress := range []bool{false, true} {
+		for _, qd := range []int{0, 8} {
+			sc := ScenarioSSD
+			sc.CacheBytes = 1 << 20
+			pf := 0
+			if qd > 0 {
+				pf = 16
 			}
-			for v := range want[i] {
-				if got[i][v] != want[i][v] {
-					t.Fatalf("%s root %d: tree diverges from DRAM-only at vertex %d (%d vs %d)",
-						sc.Name, roots[i], v, got[i][v], want[i][v])
-				}
+			sc = sc.WithIO(compress, qd, pf)
+			sc.Name = "ssd"
+			if compress {
+				sc.Name += "+compress"
+			}
+			if qd > 0 {
+				sc.Name += "+async"
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got := treesFor(t, sc, roots, workers)
+				diffTrees(t, fmt.Sprintf("%s/workers=%d", sc.Name, workers), roots, got, want)
 			}
 		}
 	}

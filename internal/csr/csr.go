@@ -295,6 +295,16 @@ func BuildForward(src edgelist.Source, part *numa.Partition) (*ForwardGraph, err
 	if err != nil {
 		return nil, err
 	}
+	// Sort every neighbor list ascending. Top-down claims are
+	// order-independent (min-parent CAS), and sorted lists are what makes
+	// the delta+varint NVM encoding tight: consecutive IDs become 1-2 byte
+	// deltas instead of 8-byte words.
+	for _, g := range fg.PerNode {
+		for i := int64(0); i < n; i++ {
+			nb := g.Value[g.Index[i]:g.Index[i+1]]
+			sort.Slice(nb, func(a, b int) bool { return nb[a] < nb[b] })
+		}
+	}
 	return fg, nil
 }
 

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+)
+
+// IOQueueDepths is the async-pipeline grid of the I/O sweep: the
+// synchronous baseline, a modest queue, and a deep one (past which the
+// device's channel parallelism, not the queue, is the bottleneck).
+var IOQueueDepths = []int{0, 8, 32}
+
+const (
+	// IOCacheFraction is the page-cache budget of every I/O sweep row,
+	// as a fraction of the *raw* forward graph's NVM footprint — the
+	// same DRAM spend whether or not the row compresses, so the sweep
+	// compares formats, not budgets.
+	IOCacheFraction = 1.0 / 8
+	// IOFrontierPrefetch caps per-chunk frontier readahead whenever a
+	// row runs with a queue (0 would leave the pipeline demand-only).
+	IOFrontierPrefetch = 64
+)
+
+// IORow is one (scenario, mode, compress, queue depth) measurement of the
+// I/O sweep.
+type IORow struct {
+	Scenario   string  `json:"scenario"`
+	Mode       string  `json:"mode"`
+	Compress   bool    `json:"compress"`
+	QueueDepth int     `json:"queue_depth"`
+	Prefetch   int     `json:"prefetch"`
+	CacheBytes int64   `json:"cache_bytes"`
+	TEPS       float64 `json:"teps"`
+	// Speedup is TEPS over the scenario+mode's raw synchronous row
+	// (compress off, queue depth 0) — the row the tentpole is judged by.
+	Speedup float64 `json:"speedup"`
+	// CompressionRatio is raw adjacency bytes over stored bytes (1 for
+	// uncompressed rows).
+	CompressionRatio float64 `json:"compression_ratio"`
+	HitRate          float64 `json:"hit_rate"`
+	NVMReads         int64   `json:"nvm_reads"`
+	NVMReadBytes     int64   `json:"nvm_read_bytes"`
+	// DemandRuns / PrefetchBlocks are the async layer's coalescing
+	// counters (0 for synchronous rows).
+	DemandRuns     int64 `json:"demand_runs"`
+	PrefetchBlocks int64 `json:"prefetch_blocks"`
+	// DecodedHits counts decoded-hub-cache hits (compressed rows only).
+	DecodedHits int64 `json:"decoded_hits"`
+}
+
+// IOSweep measures TEPS versus queue depth and adjacency compression on
+// both NVM device profiles, in hybrid and pure top-down modes. Every row
+// gets the same DRAM cache budget (IOCacheFraction of the raw forward
+// footprint), so the movement along each axis isolates one mechanism:
+// compression shrinks the bytes a request moves (and effectively enlarges
+// the cache, which holds more adjacency per page), while the async
+// pipeline coalesces block fills into large requests and overlaps them
+// with expansion via frontier prefetch. TEPS is the harmonic mean over
+// roots and profiles are unscaled, both for the reasons CacheSweep
+// documents. The expected shape: the SATA SSD — low channel parallelism,
+// bandwidth-poor — gains most from both axes, narrowing the PCIe/SATA gap
+// the paper's Figure 10 shows for synchronous 4 KiB requests.
+func IOSweep(opts Options) ([]IORow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+	var rows []IORow
+	for _, base := range []core.Scenario{core.ScenarioPCIeFlash, core.ScenarioSSD} {
+		sc := lab.scenario(base, true)
+		// Anchor the cache budget to the measured raw footprint.
+		probe, err := lab.System(sc, false)
+		if err != nil {
+			return nil, err
+		}
+		budget := int64(IOCacheFraction * float64(probe.NVMForwardBytes))
+		for _, mode := range []bfs.Mode{bfs.ModeHybrid, bfs.ModeTopDownOnly} {
+			cfg := defaultBFSConfig(opts)
+			cfg.Mode = mode
+			cfg.Alpha = CacheSweepAlpha
+			cfg.Beta = 10 * CacheSweepAlpha
+			var baseTEPS float64
+			for _, compress := range []bool{false, true} {
+				for _, qd := range IOQueueDepths {
+					pf := 0
+					if qd > 0 {
+						pf = IOFrontierPrefetch
+					}
+					rowSc := sc.WithCache(budget, CacheReadahead).WithIO(compress, qd, pf)
+					res, err := lab.Run(rowSc, cfg, false, false)
+					if err != nil {
+						return nil, fmt.Errorf("io sweep %s %s cmp=%v qd=%d: %w",
+							base.Name, mode, compress, qd, err)
+					}
+					sys, err := lab.System(rowSc, false)
+					if err != nil {
+						return nil, err
+					}
+					ratio := 1.0
+					var decodedHits int64
+					if sf := sys.SemiForward(); sf != nil {
+						ratio = sf.CompressionRatio()
+						decodedHits, _, _ = sf.DecodedCacheStats()
+					}
+					teps := res.TEPS.HarmonicMean
+					if !compress && qd == 0 {
+						baseTEPS = teps
+					}
+					speedup := 0.0
+					if baseTEPS > 0 {
+						speedup = teps / baseTEPS
+					}
+					rows = append(rows, IORow{
+						Scenario:         base.Name,
+						Mode:             mode.String(),
+						Compress:         compress,
+						QueueDepth:       qd,
+						Prefetch:         pf,
+						CacheBytes:       budget,
+						TEPS:             teps,
+						Speedup:          speedup,
+						CompressionRatio: ratio,
+						HitRate:          res.CacheStats.HitRate(),
+						NVMReads:         res.DeviceStats.Reads,
+						NVMReadBytes:     res.DeviceStats.ReadBytes,
+						DemandRuns:       res.Layers.Get("async", "demand_runs"),
+						PrefetchBlocks:   res.Layers.Get("async", "prefetch_blocks"),
+						DecodedHits:      decodedHits,
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatIOSweep renders the I/O sweep as a text table.
+func FormatIOSweep(rows []IORow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "I/O sweep: harmonic-mean TEPS vs queue depth x compression (cache = 1/8 raw forward bytes)")
+	fmt.Fprintf(&b, "%-16s %-14s %4s %4s %5s %10s %8s %7s %8s %12s %14s\n",
+		"scenario", "mode", "cmp", "qd", "pf", "TEPS", "speedup", "ratio", "hit%", "NVM reads", "NVM read MB")
+	for _, r := range rows {
+		cmp := "off"
+		if r.Compress {
+			cmp = "on"
+		}
+		fmt.Fprintf(&b, "%-16s %-14s %4s %4d %5d %10s %7.2fx %6.2fx %7.1f%% %12d %14.1f\n",
+			r.Scenario, r.Mode, cmp, r.QueueDepth, r.Prefetch,
+			shortTEPS(r.TEPS), r.Speedup, r.CompressionRatio,
+			100*r.HitRate, r.NVMReads, float64(r.NVMReadBytes)/(1<<20))
+	}
+	// The headline comparisons: best async+compressed row over the raw
+	// synchronous baseline, per scenario (hybrid mode).
+	for _, scen := range []string{"DRAM+PCIeFlash", "DRAM+SSD"} {
+		var base, best float64
+		for _, r := range rows {
+			if r.Scenario != scen || r.Mode != "hybrid" {
+				continue
+			}
+			if !r.Compress && r.QueueDepth == 0 {
+				base = r.TEPS
+			}
+			if r.Compress && r.QueueDepth > 0 && r.TEPS > best {
+				best = r.TEPS
+			}
+		}
+		if base > 0 && best > 0 {
+			fmt.Fprintf(&b, "%s hybrid: compressed+async %.2fx over raw synchronous (%s -> %s TEPS)\n",
+				scen, best/base, shortTEPS(base), shortTEPS(best))
+		}
+	}
+	return b.String()
+}
+
+// IOSweepCSV renders the sweep as CSV for plotting.
+func IOSweepCSV(rows []IORow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "scenario,mode,compress,queue_depth,prefetch,cache_bytes,teps,speedup,compression_ratio,hit_rate,nvm_reads,nvm_read_bytes,demand_runs,prefetch_blocks,decoded_hits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%v,%d,%d,%d,%.6g,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
+			r.Scenario, r.Mode, r.Compress, r.QueueDepth, r.Prefetch, r.CacheBytes,
+			r.TEPS, r.Speedup, r.CompressionRatio, r.HitRate,
+			r.NVMReads, r.NVMReadBytes, r.DemandRuns, r.PrefetchBlocks, r.DecodedHits)
+	}
+	return b.String()
+}
+
+// IOSweepJSON renders the sweep as indented JSON (the bench tooling
+// records it as BENCH_PR7.json).
+func IOSweepJSON(rows []IORow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

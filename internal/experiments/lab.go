@@ -126,10 +126,10 @@ func (l *Lab) scenario(sc core.Scenario, unscaled bool) core.Scenario {
 // System builds (or returns the cached) system for sc. The series flag
 // enables per-bin device statistics.
 func (l *Lab) System(sc core.Scenario, series bool) (*core.System, error) {
-	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v/cache=%d/ra=%d/rep=%d/scrub=%g",
+	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v/cache=%d/ra=%d/rep=%d/scrub=%g/cmp=%v/qd=%d/pf=%d",
 		sc.Name, sc.BackwardDRAMEdgeLimit, sc.LatencyScale, series,
 		sc.Faults, sc.Checksums, sc.CacheBytes, sc.ReadaheadBlocks,
-		sc.Replicas, sc.ScrubRate)
+		sc.Replicas, sc.ScrubRate, sc.Compress, sc.QueueDepth, sc.FrontierPrefetch)
 	if sys, ok := l.systems[key]; ok {
 		return sys, nil
 	}

@@ -160,6 +160,12 @@ type Result struct {
 	// CacheStats aggregates the forward-graph page cache's activity over
 	// all BFS iterations (zero when the scenario configures no cache).
 	CacheStats nvm.CacheStats
+	// CompressionRatio is the forward graph's raw adjacency bytes over
+	// the bytes actually stored on NVM (1 when not compressed, 0 for
+	// DRAM-only). DecodedCacheHits counts adjacency lists served from
+	// the decoded-hub cache instead of being varint-decoded again.
+	CompressionRatio float64
+	DecodedCacheHits int64
 	// Layers aggregates the per-layer storage-stack counters over all BFS
 	// iterations (nil for DRAM-resident graphs). Gauge counters keep their
 	// configured values instead of summing.
@@ -296,6 +302,9 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 		NVMBytes:    sys.NVMBytes(),
 		StatusBytes: runner.StatusBytes(),
 	}
+	if sf := sys.SemiForward(); sf != nil {
+		res.CompressionRatio = sf.CompressionRatio()
+	}
 
 	// Degree lookup for TEPS denominators and root selection.
 	degree := func(v int64) int64 { return sys.Backward.Degree(v) }
@@ -370,6 +379,9 @@ func RunOnSystem(sys *core.System, src edgelist.Source, p Params) (*Result, erro
 	}
 	res.BackwardDRAMScans, res.BackwardNVMScans = runner.BackwardScanTotals()
 	res.Faults = sys.FaultCounters()
+	if sf := sys.SemiForward(); sf != nil {
+		res.DecodedCacheHits, _, _ = sf.DecodedCacheStats()
+	}
 	return res, nil
 }
 

@@ -471,6 +471,102 @@ func (c *PageCache) getBlock(clock *vtime.Clock, inner Storage, id uint32, block
 	return buf, nil
 }
 
+// fillRunAt fills the nblocks blocks starting at block for store id,
+// coalescing adjacent absent blocks into single large inner reads — the
+// request-merging half of the async I/O pipeline. Blocks already cached or
+// in flight are skipped (dedup against single-flight demand fills), the
+// surviving blocks are grouped into maximal contiguous runs, and each run
+// issues ONE inner.ReadAt on a scratch clock starting at virtual time at.
+// Pages are published as subslices of the run buffer with the run's
+// completion as their readyAt, marked prefetched, so the first demand hit
+// waits out the asynchronous fill exactly as with per-block readahead.
+// Failed runs publish the error to any waiters and cache nothing.
+//
+// Returns the blocks filled, the runs issued, and the latest run
+// completion time (at when nothing was issued).
+func (c *PageCache) fillRunAt(at vtime.Duration, inner Storage, id uint32, block, nblocks int64) (filled, runs int, readyAt vtime.Duration) {
+	readyAt = at
+	if nblocks <= 0 || block < 0 {
+		return
+	}
+	size := inner.Size()
+	type resv struct {
+		pg  *page
+		blk int64
+	}
+	reserved := make([]resv, 0, nblocks)
+	for b := block; b < block+nblocks; b++ {
+		if b*c.block >= size {
+			break
+		}
+		key := pageKey{store: id, block: b}
+		s := c.shardOf(key)
+		s.mu.Lock()
+		if _, ok := s.pages[key]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		pg := &page{key: key, filling: true, done: make(chan struct{})}
+		c.insertLocked(s, pg)
+		s.mu.Unlock()
+		reserved = append(reserved, resv{pg, b})
+	}
+	for i := 0; i < len(reserved); {
+		j := i + 1
+		for j < len(reserved) && reserved[j].blk == reserved[j-1].blk+1 {
+			j++
+		}
+		lo := reserved[i].blk * c.block
+		hi := (reserved[j-1].blk + 1) * c.block
+		if hi > size {
+			hi = size
+		}
+		fillClock := vtime.NewClock(at)
+		buf := make([]byte, hi-lo)
+		err := inner.ReadAt(fillClock, buf, lo)
+		ready := fillClock.Now()
+		if err == nil && ready > readyAt {
+			readyAt = ready
+		}
+		for k := i; k < j; k++ {
+			pg, blk := reserved[k].pg, reserved[k].blk
+			s := c.shardOf(pg.key)
+			s.mu.Lock()
+			if err != nil {
+				c.removeLocked(s, pg)
+			} else {
+				o := blk*c.block - lo
+				end := o + c.block
+				if end > int64(len(buf)) {
+					end = int64(len(buf))
+				}
+				pg.buf = buf[o:end:end]
+				pg.readyAt = ready
+				pg.prefetched = true
+				if pg.stale {
+					// Invalidated mid-fill: waiters may still copy the
+					// buffer, but the page leaves the table.
+					c.removeLocked(s, pg)
+				}
+			}
+			pg.err = err
+			pg.filling = false
+			s.mu.Unlock()
+			close(pg.done)
+			if err == nil {
+				c.prefetches.Add(1)
+				c.fillBytes.Add(int64(len(pg.buf)))
+				filled++
+			}
+		}
+		if err == nil {
+			runs++
+		}
+		i = j
+	}
+	return
+}
+
 // invalidate drops every settled page covering [off, off+n) of store id
 // and marks in-flight ones stale so their fills are discarded.
 func (c *PageCache) invalidate(id uint32, off, n int64) {
@@ -598,6 +694,20 @@ func (s *CachedStore) Prefetch(clock *vtime.Clock, off, n int64) {
 		// Errors are deliberately dropped: readahead is a hint.
 		c.getBlock(clock, s.inner, s.id, block, true) //nolint:errcheck
 	}
+}
+
+// FillRunAt fills the blocks covering [off, off+n) with coalesced device
+// requests issued at virtual time at, without advancing any worker clock
+// (see PageCache.fillRunAt). The AsyncStore layer drives it for both
+// multi-block demand reads and frontier prefetch.
+func (s *CachedStore) FillRunAt(at vtime.Duration, off, n int64) (blocks, runs int, readyAt vtime.Duration) {
+	if n <= 0 || off < 0 {
+		return 0, 0, at
+	}
+	c := s.cache
+	first := off / c.block
+	last := (off + n - 1) / c.block
+	return c.fillRunAt(at, s.inner, s.id, first, last-first+1)
 }
 
 // WriteAt implements Storage: write-through, invalidating every covered

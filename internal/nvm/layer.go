@@ -1,5 +1,7 @@
 package nvm
 
+import "semibfs/internal/vtime"
+
 // This file defines the uniform middleware contract every storage
 // decorator implements. The NVM data path is a *stack of concerns* —
 // metrics, retry/backoff, page cache, mirroring, checksums, fault
@@ -261,6 +263,27 @@ func CollectReplicaHealth(stores ...Storage) []ReplicaHealth {
 		return nil
 	}
 	return MergeReplicaHealth(sets...)
+}
+
+// Prefetcher is implemented by layers that can fill [off, off+n) into
+// DRAM asynchronously (AsyncStore, CachedStore). The worker's clock marks
+// the issue time; the caller never waits.
+type Prefetcher interface {
+	Prefetch(clock *vtime.Clock, off, n int64)
+}
+
+// StackPrefetcher returns the outermost Prefetcher in the stack, or nil.
+// Readers use it to issue readahead at the highest layer that understands
+// it: the async pipeline when present (coalesced, queue-bounded),
+// otherwise the page cache's block-at-a-time fills.
+func StackPrefetcher(root Storage) Prefetcher {
+	var found Prefetcher
+	WalkStack(root, func(s Storage) {
+		if p, ok := s.(Prefetcher); ok && found == nil {
+			found = p
+		}
+	})
+	return found
 }
 
 // StackCache returns the first CachedStore found in the stack, or nil.

@@ -52,6 +52,27 @@ type Profile struct {
 	// Channels is the number of requests the device services in
 	// parallel.
 	Channels int
+	// DecodeBandwidth is the host-side decompression rate in encoded
+	// bytes/second for delta+varint adjacency blocks. Zero means
+	// DefaultDecodeBandwidth; the cost is charged to the reading worker's
+	// clock, not the device, since decode burns CPU while the device is
+	// free to serve other requests.
+	DecodeBandwidth float64
+}
+
+// DefaultDecodeBandwidth is the varint decode rate assumed when a profile
+// does not specify one: ~2.4 GB/s of encoded bytes, in line with measured
+// single-core Go varint decoders on server parts of the paper's era.
+const DefaultDecodeBandwidth = 2.4e9
+
+// DecodeTime returns the modeled CPU time to decode n encoded bytes of
+// compressed adjacency data.
+func (p Profile) DecodeTime(n int) vtime.Duration {
+	bw := p.DecodeBandwidth
+	if bw <= 0 {
+		bw = DefaultDecodeBandwidth
+	}
+	return vtime.Duration(float64(n) * 1e9 / bw)
 }
 
 // Validate reports an error for a degenerate profile.

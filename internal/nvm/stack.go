@@ -12,14 +12,17 @@ type BaseFactory func(name string, chunk int) (Storage, error)
 // StackSpec declares a storage stack: which concerns to enable and how.
 // BuildStack assembles the layers in the one fixed, correct order —
 //
-//	metrics → retry → cache → mirror → checksum (per replica) → base
+//	metrics → retry → async → cache → mirror → checksum (per replica) → base
 //
 // so callers state *what* they want, never how to wire it. Ordering
 // rationale: metrics observes logical traffic; retry must sit above the
 // mirror so a retry re-drives replica selection, and above the cache so
-// failed fills are re-read from media; the cache must sit above the
-// mirror so hits skip replica selection entirely; checksums verify each
-// replica's own media, so the scrubber can tell which copy is bad.
+// failed fills are re-read from media; the async pipeline sits below
+// retry (a retried read re-enters the queue) and above the cache (its
+// coalesced fills land in, and dedup against, the cache's page table);
+// the cache must sit above the mirror so hits skip replica selection
+// entirely; checksums verify each replica's own media, so the scrubber
+// can tell which copy is bad.
 type StackSpec struct {
 	// Name is the logical store name, carried into errors and replica
 	// names.
@@ -37,6 +40,16 @@ type StackSpec struct {
 	Mirror   MirrorConfig
 	// Cache, when non-nil, routes reads through the shared page cache.
 	Cache *PageCache
+	// QueueDepth > 0 places an AsyncStore (bounded coalescing I/O
+	// pipeline) between retry and cache. It needs the cache to hold the
+	// coalesced fills, so it is ignored when Cache is nil.
+	QueueDepth int
+	// BaseChunk, when > 0, raises the *media* request-size cap above
+	// Chunk so a coalesced multi-block fill reaches the device as one
+	// large request. Logical layers (checksum blocks, cache pages) keep
+	// Chunk granularity. Only meaningful with QueueDepth > 0; zero keeps
+	// the base at Chunk, the synchronous baseline's behavior.
+	BaseChunk int
 	// Retry is the retry/backoff policy; the zero value selects
 	// DefaultRetryPolicy. A policy with MaxAttempts 1 disables retries.
 	Retry RetryPolicy
@@ -68,12 +81,19 @@ func BuildStack(spec StackSpec) (Storage, error) {
 		return nil, fmt.Errorf("nvm: stack %s: no base factory", spec.Name)
 	}
 	chunk := spec.chunk()
+	// The media request cap: the async pipeline coalesces adjacent cache
+	// blocks into large fills, which only pays off if the base store does
+	// not immediately split them back into Chunk-sized device requests.
+	baseChunk := chunk
+	if spec.QueueDepth > 0 && spec.Cache != nil && spec.BaseChunk > chunk {
+		baseChunk = spec.BaseChunk
+	}
 
 	// One leaf = base media, optionally checksum-verified. On checksum
 	// wrap failure the base is closed here, so callers above only ever
 	// see whole leaves.
 	mkLeaf := func(name string, chunk int) (Storage, error) {
-		base, err := spec.Base(name, chunk)
+		base, err := spec.Base(name, baseChunk)
 		if err != nil {
 			return nil, err
 		}
@@ -106,6 +126,9 @@ func BuildStack(spec StackSpec) (Storage, error) {
 
 	if spec.Cache != nil {
 		st = spec.Cache.Wrap(st)
+		if spec.QueueDepth > 0 {
+			st = WrapAsync(st, spec.Name, spec.QueueDepth)
+		}
 	}
 	st = WrapRetry(st, spec.Name, chunk, spec.retry())
 	if !spec.NoMetrics {

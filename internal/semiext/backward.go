@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"semibfs/internal/csr"
+	"semibfs/internal/enc"
 	"semibfs/internal/numa"
 	"semibfs/internal/nvm"
 	"semibfs/internal/vtime"
@@ -33,6 +34,16 @@ type BackwardOptions struct {
 	// Retry is the stack's retry/backoff policy; the zero value selects
 	// nvm.DefaultRetryPolicy.
 	Retry RetryPolicy
+	// Compress stores the tails delta+varint encoded (internal/enc). The
+	// element-count TailIndex is kept (Degree and the sweeps depend on
+	// it); a parallel TailByteIndex addresses the encoded stream. Tails
+	// keep the source graph's order (degree-descending under NETAL's
+	// sort), which the zig-zag deltas encode correctly, just less tightly
+	// than sorted lists.
+	Compress bool
+	// QueueDepth > 0 enables the async coalescing pipeline on the tail
+	// stores (requires Cache; see ForwardOptions.QueueDepth).
+	QueueDepth int
 }
 
 // HybridBackward is the backward (bottom-up) graph with a bounded DRAM
@@ -63,12 +74,17 @@ type BackwardNode struct {
 	// (min(Limit, degree) neighbors each).
 	DRAMIndex []int64
 	DRAMValue []int64
-	// TailIndex is the CSR index of the offloaded tails; TailStore
-	// holds the concatenated tail neighbor IDs behind the full storage
-	// stack built by nvm.BuildStack. TailStore is nil when nothing was
-	// offloaded from this node.
+	// TailIndex is the CSR index of the offloaded tails in *elements*
+	// (degrees derive from it regardless of encoding); TailStore holds
+	// the concatenated tails behind the full storage stack built by
+	// nvm.BuildStack. TailStore is nil when nothing was offloaded from
+	// this node.
 	TailIndex []int64
 	TailStore nvm.Storage
+	// TailByteIndex addresses each vertex's encoded tail in the store
+	// when the tails are compressed (nil for raw tails, where the byte
+	// offset is TailIndex * 8).
+	TailByteIndex []int64
 }
 
 // Degree returns the full degree (DRAM prefix + NVM tail) of global
@@ -139,20 +155,38 @@ func OffloadBackward(bg *csr.BackwardGraph, mk StoreFactory, clock *vtime.Clock,
 		}
 		if len(tail) > 0 {
 			store, err := nvm.BuildStack(nvm.StackSpec{
-				Name:     fmt.Sprintf("bwd-node%d-tail", k),
-				Chunk:    nvm.DefaultChunkSize,
-				Base:     nvm.BaseFactory(mk),
-				Checksum: opts.Checksums,
-				Replicas: replicas,
-				Mirror:   opts.Mirror,
-				Cache:    opts.Cache,
-				Retry:    opts.Retry,
+				Name:       fmt.Sprintf("bwd-node%d-tail", k),
+				Chunk:      nvm.DefaultChunkSize,
+				Base:       nvm.BaseFactory(mk),
+				Checksum:   opts.Checksums,
+				Replicas:   replicas,
+				Mirror:     opts.Mirror,
+				Cache:      opts.Cache,
+				QueueDepth: opts.QueueDepth,
+				BaseChunk:  AggregatedChunk,
+				Retry:      opts.Retry,
 			})
 			if err != nil {
 				return fail(err)
 			}
 			created = append(created, store)
-			if err := writeInt64s(store, clock, tail); err != nil {
+			if opts.Compress {
+				// Encode each vertex's tail against its own (global)
+				// vertex ID, back to back, with a byte index alongside
+				// the element-count index.
+				node.TailByteIndex = make([]int64, g.Len+1)
+				var encoded []byte
+				for i := int64(0); i < g.Len; i++ {
+					tl, th := node.TailIndex[i], node.TailIndex[i+1]
+					if th > tl {
+						encoded = enc.AppendList(encoded, g.Base+i, tail[tl:th])
+					}
+					node.TailByteIndex[i+1] = int64(len(encoded))
+				}
+				if err := writeBytes(store, clock, encoded); err != nil {
+					return fail(fmt.Errorf("semiext: offload backward tail node %d: %w", k, err))
+				}
+			} else if err := writeInt64s(store, clock, tail); err != nil {
 				return fail(fmt.Errorf("semiext: offload backward tail node %d: %w", k, err))
 			}
 			node.TailStore = store
@@ -193,7 +227,7 @@ func (hb *HybridBackward) DRAMBytes() int64 {
 	var b int64
 	for _, n := range hb.PerNode {
 		b += int64(len(n.DRAMIndex))*8 + int64(len(n.DRAMValue))*8 +
-			int64(len(n.TailIndex))*8
+			int64(len(n.TailIndex))*8 + int64(len(n.TailByteIndex))*8
 	}
 	return b
 }
@@ -291,30 +325,20 @@ func (s *BackwardScanner) Scan(k int, v int64, fn func(nb int64) bool) (examined
 		return examined, nil
 	}
 	s.TailFetches++
-	// Stream the tail in chunks of at most 4 KiB worth of IDs.
-	const idsPerChunk = nvm.DefaultChunkSize / 8
-	if cap(s.valBuf) < idsPerChunk {
-		s.valBuf = make([]int64, idsPerChunk)
+	// Stream the tail through the shared raw/compressed helper in chunks
+	// of at most 4 KiB, so an early parent hit in the first chunk never
+	// pays for the rest of the tail.
+	lo, hi := tailLo, tailHi
+	compress := s.hb.Options.Compress
+	if compress {
+		lo, hi = node.TailByteIndex[i], node.TailByteIndex[i+1]
 	}
-	for off := tailLo; off < tailHi; {
-		count := tailHi - off
-		if count > idsPerChunk {
-			count = idsPerChunk
-		}
-		chunk := s.valBuf[:count]
-		if err := readInt64s(node.TailStore, s.clock, off, count, chunk, s.byteBuf); err != nil {
-			return examined, err
-		}
-		for _, nb := range chunk {
-			examined++
+	n, err := streamNeighbors(node.TailStore, s.clock, compress, v, lo, hi,
+		&s.byteBuf, &s.valBuf, nvm.DefaultChunkSize, func(nb int64) bool {
 			s.NVMEdgesScanned++
-			if !fn(nb) {
-				return examined, nil
-			}
-		}
-		off += count
-	}
-	return examined, nil
+			return fn(nb)
+		})
+	return examined + n, err
 }
 
 // Degree returns the full degree of global vertex v.

@@ -1,0 +1,287 @@
+package semiext
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"semibfs/internal/enc"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// This file is the single place where the raw and compressed on-NVM
+// neighbor formats meet the readers. Both the forward reader and the
+// backward tail scanner stream through streamNeighbors, so the
+// delta+varint path is wired in exactly once.
+
+// chargeDecode advances clock by the modeled CPU cost of decoding n
+// encoded bytes, using the backing device's profile (decode is host work,
+// so it lands on the worker's clock, not the device queue).
+func chargeDecode(store nvm.Storage, clock *vtime.Clock, n int64) {
+	if clock == nil || n <= 0 {
+		return
+	}
+	var p nvm.Profile
+	if dev := store.Device(); dev != nil {
+		p = dev.Profile()
+	}
+	clock.Advance(p.DecodeTime(int(n)))
+}
+
+// growBytes returns *buf resized to hold n bytes, growing the backing
+// array only when needed so steady-state reads never allocate.
+func growBytes(buf *[]byte, n int64) []byte {
+	if int64(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	return (*buf)[:n]
+}
+
+// streamNeighbors streams one vertex's neighbor range [lo, hi) of store
+// through fn until fn returns false (early exit) or the range is
+// exhausted, returning the number of neighbors emitted.
+//
+// When compressed is false the range is element offsets of little-endian
+// int64 IDs; when true it is *byte* offsets of one delta+varint block
+// (enc package) owned by source vertex src, and the decode cost of every
+// consumed byte is charged to clock. Reads happen in chunks of at most
+// chunkBytes (<= 0 selects nvm.DefaultChunkSize), so an early exit in the
+// first chunk never pays for the rest of a long tail; partial varints at
+// a chunk boundary are carried into the next read.
+func streamNeighbors(store nvm.Storage, clock *vtime.Clock, compressed bool,
+	src, lo, hi int64, scratch *[]byte, ids *[]int64, chunkBytes int,
+	fn func(nb int64) bool) (examined int64, err error) {
+	if hi <= lo {
+		return 0, nil
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = nvm.DefaultChunkSize
+	}
+
+	if !compressed {
+		perChunk := int64(chunkBytes / 8)
+		if perChunk < 1 {
+			perChunk = 1
+		}
+		if int64(cap(*ids)) < perChunk {
+			*ids = make([]int64, perChunk)
+		}
+		for off := lo; off < hi; {
+			count := hi - off
+			if count > perChunk {
+				count = perChunk
+			}
+			chunk := (*ids)[:count]
+			if err := readInt64s(store, clock, off, count, chunk, scratch); err != nil {
+				return examined, err
+			}
+			for _, nb := range chunk {
+				examined++
+				if !fn(nb) {
+					return examined, nil
+				}
+			}
+			off += count
+		}
+		return examined, nil
+	}
+
+	// Compressed: decode the varint stream chunk by chunk. carried tracks
+	// the partial varint left over from the previous chunk, kept at the
+	// front of the scratch buffer.
+	var dec enc.Decoder
+	dec.Reset(src)
+	carried := int64(0)
+	stopped := false
+	emit := func(nb int64) bool {
+		examined++
+		if !fn(nb) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for off := lo; off < hi && !dec.Done() && !stopped; {
+		n := int64(chunkBytes) - carried
+		if n > hi-off {
+			n = hi - off
+		}
+		buf := growBytes(scratch, carried+n)
+		if err := store.ReadAt(clock, buf[carried:], off); err != nil {
+			return examined, err
+		}
+		off += n
+		used, _, err := dec.Decode(buf, emit)
+		if err != nil {
+			return examined, err
+		}
+		chargeDecode(store, clock, int64(used))
+		carried = int64(copy(buf, buf[used:]))
+		if used == 0 && carried >= int64(chunkBytes) {
+			// No progress with a full buffer: the stream cannot be valid.
+			return examined, corruptStream(src, off)
+		}
+	}
+	if !dec.Done() && !stopped {
+		return examined, corruptStream(src, hi)
+	}
+	return examined, nil
+}
+
+// corruptStream reports a compressed block that ended mid-list.
+func corruptStream(src, off int64) error {
+	return &nvm.BlockError{
+		Store: fmt.Sprintf("compressed adjacency of vertex %d", src),
+		Block: off / nvm.DefaultChunkSize,
+		Off:   off,
+		Err:   nvm.ErrCorrupt,
+	}
+}
+
+// decodedKey identifies one vertex's decoded adjacency in one store.
+type decodedKey struct {
+	store uint32
+	v     int64
+}
+
+// decodedEntry is a CLOCK ring member holding an immutable decoded list.
+type decodedEntry struct {
+	key  decodedKey
+	vals []int64
+	refs uint8
+}
+
+type decodedShard struct {
+	mu     sync.Mutex
+	m      map[decodedKey]*decodedEntry
+	ring   []*decodedEntry
+	hand   int
+	bytes  int64
+	budget int64
+}
+
+// decodedCache holds *decoded* adjacency lists of compressed hub vertices,
+// so a hot hub is varint-decoded once and then served as plain DRAM.
+// It complements the page cache underneath (which holds the compressed
+// bytes that checksums and the mirror operate on): when compression is
+// enabled the configured cache budget is split, 3/4 to compressed pages
+// and 1/4 to decoded lists, keeping total DRAM equal to the uncompressed
+// configuration. Only lists whose encoded form spans at least one cache
+// block are admitted — small lists decode for less than a map lookup
+// costs, and admitting them would churn the ring.
+type decodedCache struct {
+	shards []decodedShard
+	cost   numa.CostModel
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const decodedCacheShards = 8
+
+// maxDecodedRefs matches the page cache's GCLOCK saturation.
+const maxDecodedRefs = 3
+
+func newDecodedCache(budget int64) *decodedCache {
+	if budget <= 0 {
+		return nil
+	}
+	c := &decodedCache{
+		shards: make([]decodedShard, decodedCacheShards),
+		cost:   numa.DefaultCostModel,
+	}
+	per := budget / decodedCacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].budget = per
+		c.shards[i].m = make(map[decodedKey]*decodedEntry)
+	}
+	return c
+}
+
+func (c *decodedCache) shardOf(k decodedKey) *decodedShard {
+	h := (uint64(k.store)<<40 ^ uint64(k.v)) * 0x9e3779b97f4a7c15
+	return &c.shards[h>>48%uint64(len(c.shards))]
+}
+
+// get returns the decoded list for key, or nil. A hit charges clock the
+// DRAM streaming cost of the list, as the page cache does for raw bytes.
+func (c *decodedCache) get(clock *vtime.Clock, key decodedKey) []int64 {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if ok && e.refs < maxDecodedRefs {
+		e.refs++
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	if clock != nil {
+		clock.Advance(c.cost.Stream(len(e.vals) * 8))
+	}
+	return e.vals
+}
+
+// put inserts vals (which must not be mutated afterwards) under key,
+// evicting by CLOCK until the shard fits its byte budget. Lists larger
+// than the whole shard are not admitted.
+func (c *decodedCache) put(key decodedKey, vals []int64) {
+	sz := int64(len(vals)) * 8
+	s := c.shardOf(key)
+	if sz > s.budget {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
+		return
+	}
+	for s.bytes+sz > s.budget && len(s.ring) > 0 {
+		cand := s.ring[s.hand]
+		if cand.refs > 0 {
+			cand.refs--
+			s.hand = (s.hand + 1) % len(s.ring)
+			continue
+		}
+		delete(s.m, cand.key)
+		s.bytes -= int64(len(cand.vals)) * 8
+		last := len(s.ring) - 1
+		s.ring[s.hand] = s.ring[last]
+		s.ring = s.ring[:last]
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+	}
+	e := &decodedEntry{key: key, vals: vals}
+	s.m[key] = e
+	s.ring = append(s.ring, e)
+	s.bytes += sz
+}
+
+// Budget returns the cache's total byte budget.
+func (c *decodedCache) Budget() int64 {
+	var b int64
+	for i := range c.shards {
+		b += c.shards[i].budget
+	}
+	return b
+}
+
+// Stats returns (hits, misses, residentBytes).
+func (c *decodedCache) Stats() (hits, misses, bytes int64) {
+	hits, misses = c.hits.Load(), c.misses.Load()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"semibfs/internal/csr"
+	"semibfs/internal/enc"
 	"semibfs/internal/numa"
 	"semibfs/internal/nvm"
 	"semibfs/internal/vtime"
@@ -88,6 +89,23 @@ type ForwardOptions struct {
 	// Retry is the stack's retry/backoff policy; the zero value selects
 	// nvm.DefaultRetryPolicy.
 	Retry RetryPolicy
+	// Compress stores the value arrays delta+varint encoded (internal/enc)
+	// instead of as raw 8-byte IDs: the index stores then hold byte
+	// offsets into the encoded stream, neighbor lists are sorted so hub
+	// adjacencies shrink ~2-4x, decode cost is charged to the worker's
+	// clock per the device profile, and — when CacheBytes is set — 1/4 of
+	// the cache budget holds *decoded* hub lists so hot hubs decode once.
+	Compress bool
+	// QueueDepth > 0 enables the asynchronous coalescing I/O pipeline
+	// (nvm.AsyncStore) above the page cache: multi-block demand reads and
+	// frontier prefetch travel as large coalesced device requests bounded
+	// by this many in-flight slots. Requires CacheBytes > 0; zero keeps
+	// the synchronous request-at-a-time baseline.
+	QueueDepth int
+	// FrontierPrefetch caps how many upcoming frontier vertices a
+	// worker's PrefetchFrontier call pushes through the prefetcher at
+	// once. <= 0 disables frontier-driven prefetch.
+	FrontierPrefetch int
 }
 
 // replicas returns the effective replica count (always >= 1).
@@ -116,6 +134,14 @@ type SemiForward struct {
 	// cache is the shared page cache all node stores read through, nil
 	// when Options.CacheBytes is zero.
 	cache *nvm.PageCache
+	// decoded caches decoded hub adjacencies when Compress is on (takes
+	// 1/4 of the CacheBytes budget; nil otherwise).
+	decoded *decodedCache
+	// ValueBytesRaw / ValueBytesStored measure the value arrays before
+	// and after encoding (equal when Compress is off) — the compression
+	// ratio the sweeps report.
+	ValueBytesRaw    int64
+	ValueBytesStored int64
 }
 
 // ForwardNode is one NUMA node's slice of the offloaded forward graph.
@@ -126,11 +152,18 @@ type ForwardNode struct {
 	// base, with layers the options left off elided).
 	IndexStore nvm.Storage
 	ValueStore nvm.Storage
-	// dramIndex is populated only when IndexInDRAM is enabled.
+	// dramIndex is populated only when IndexInDRAM is enabled. It holds
+	// element offsets for raw graphs and byte offsets into the encoded
+	// stream for compressed ones, mirroring the on-NVM index.
 	dramIndex []int64
 	// valueCache is ValueStore's cache layer when a page cache is
 	// configured; readers use it for readahead prefetch.
 	valueCache *nvm.CachedStore
+	// valuePre / idxPre are the outermost prefetch-capable layers of the
+	// two stacks (the async pipeline when QueueDepth > 0, else the cache;
+	// nil without a cache). Frontier-driven readahead goes through these.
+	valuePre nvm.Prefetcher
+	idxPre   nvm.Prefetcher
 }
 
 // OffloadForward writes fg to storage stacks built over mk (two per NUMA
@@ -156,19 +189,28 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 	chunk := opts.chunkBytes()
 	if opts.CacheBytes > 0 {
 		// One cache shared by every node's stores, so the DRAM budget is
-		// global and hot index blocks compete with hot value blocks.
-		sf.cache = nvm.NewPageCache(opts.CacheBytes, chunk, numa.CostModel{})
+		// global and hot index blocks compete with hot value blocks. With
+		// compression, a quarter of the budget moves to the decoded-list
+		// cache so total DRAM stays at CacheBytes either way.
+		pageBudget := opts.CacheBytes
+		if opts.Compress {
+			pageBudget = opts.CacheBytes * 3 / 4
+			sf.decoded = newDecodedCache(opts.CacheBytes - pageBudget)
+		}
+		sf.cache = nvm.NewPageCache(pageBudget, chunk, numa.CostModel{})
 	}
 	mkStack := func(name string) (nvm.Storage, error) {
 		return nvm.BuildStack(nvm.StackSpec{
-			Name:     name,
-			Chunk:    chunk,
-			Base:     nvm.BaseFactory(mk),
-			Checksum: opts.Checksums,
-			Replicas: opts.replicas(),
-			Mirror:   opts.Mirror,
-			Cache:    sf.cache,
-			Retry:    opts.Retry,
+			Name:       name,
+			Chunk:      chunk,
+			Base:       nvm.BaseFactory(mk),
+			Checksum:   opts.Checksums,
+			Replicas:   opts.replicas(),
+			Mirror:     opts.Mirror,
+			Cache:      sf.cache,
+			QueueDepth: opts.QueueDepth,
+			BaseChunk:  AggregatedChunk,
+			Retry:      opts.Retry,
 		})
 	}
 	for k, g := range fg.PerNode {
@@ -185,20 +227,40 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		// Offload writes go through the full stack: the cache layer is
 		// write-through with invalidation, so it stays cold and
 		// traversal-time fills are the only pages it ever holds.
-		if err := writeInt64s(idxStore, clock, g.Index); err != nil {
-			return fail(fmt.Errorf("semiext: offload index node %d: %w", k, err))
+		index := g.Index
+		sf.ValueBytesRaw += int64(len(g.Value)) * 8
+		if opts.Compress {
+			// Encode each vertex's (sorted) list back to back; the index
+			// becomes byte offsets into the encoded stream.
+			var encoded []byte
+			index = make([]int64, g.NumVertices+1)
+			for v := int64(0); v < g.NumVertices; v++ {
+				encoded = enc.AppendList(encoded, v, g.Neighbors(v))
+				index[v+1] = int64(len(encoded))
+			}
+			sf.ValueBytesStored += int64(len(encoded))
+			if err := writeBytes(valStore, clock, encoded); err != nil {
+				return fail(fmt.Errorf("semiext: offload value node %d: %w", k, err))
+			}
+		} else {
+			sf.ValueBytesStored += int64(len(g.Value)) * 8
+			if err := writeInt64s(valStore, clock, g.Value); err != nil {
+				return fail(fmt.Errorf("semiext: offload value node %d: %w", k, err))
+			}
 		}
-		if err := writeInt64s(valStore, clock, g.Value); err != nil {
-			return fail(fmt.Errorf("semiext: offload value node %d: %w", k, err))
+		if err := writeInt64s(idxStore, clock, index); err != nil {
+			return fail(fmt.Errorf("semiext: offload index node %d: %w", k, err))
 		}
 		node := &ForwardNode{
 			N:          g.NumVertices,
 			IndexStore: idxStore,
 			ValueStore: valStore,
 			valueCache: nvm.StackCache(valStore),
+			valuePre:   nvm.StackPrefetcher(valStore),
+			idxPre:     nvm.StackPrefetcher(idxStore),
 		}
 		if opts.IndexInDRAM {
-			node.dramIndex = append([]int64(nil), g.Index...)
+			node.dramIndex = append([]int64(nil), index...)
 		}
 		sf.PerNode[k] = node
 	}
@@ -241,7 +303,28 @@ func (sf *SemiForward) DRAMBytes() int64 {
 	if sf.cache != nil {
 		b += sf.cache.CapacityBytes()
 	}
+	if sf.decoded != nil {
+		b += sf.decoded.Budget()
+	}
 	return b
+}
+
+// CompressionRatio returns raw value bytes over stored value bytes
+// (1 when not compressed or nothing stored).
+func (sf *SemiForward) CompressionRatio() float64 {
+	if sf.ValueBytesStored <= 0 {
+		return 1
+	}
+	return float64(sf.ValueBytesRaw) / float64(sf.ValueBytesStored)
+}
+
+// DecodedCacheStats returns the decoded-list cache's (hits, misses,
+// resident bytes), all zero when compression is off.
+func (sf *SemiForward) DecodedCacheStats() (hits, misses, bytes int64) {
+	if sf.decoded == nil {
+		return 0, 0, 0
+	}
+	return sf.decoded.Stats()
 }
 
 // Cache returns the shared page cache, or nil when none is configured.
@@ -279,6 +362,8 @@ type ForwardReader struct {
 	clock   *vtime.Clock
 	byteBuf []byte
 	valBuf  []int64
+	// idBuf is streamNeighbors' per-chunk decode scratch.
+	idBuf []int64
 	// EdgesRead counts neighbor IDs delivered from NVM.
 	EdgesRead int64
 	// IndexReads counts index-entry fetches that went to NVM.
@@ -297,47 +382,178 @@ func NewForwardReader(sf *SemiForward, clock *vtime.Clock) *ForwardReader {
 }
 
 // Neighbors returns vertex v's neighbors held by NUMA node k's replica.
-// The returned slice is valid until the next call on this reader.
+// The returned slice is valid until the next call on this reader (except
+// decoded-cache hits, which are shared immutable lists).
 func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 	node := r.sf.PerNode[k]
-	var lo, hi int64
-	if node.dramIndex != nil {
-		lo, hi = node.dramIndex[v], node.dramIndex[v+1]
-	} else {
-		// One request covering both bracketing index entries.
-		if err := node.IndexStore.ReadAt(r.clock, r.byteBuf[:16], v*8); err != nil {
-			return nil, err
-		}
-		lo = int64(binary.LittleEndian.Uint64(r.byteBuf[0:8]))
-		hi = int64(binary.LittleEndian.Uint64(r.byteBuf[8:16]))
-		r.IndexReads++
-	}
-	deg := hi - lo
-	if deg == 0 {
-		return nil, nil
-	}
-	if int64(cap(r.valBuf)) < deg {
-		r.valBuf = make([]int64, deg)
-	}
-	out := r.valBuf[:deg]
-	// Read the value range in chunk-sized requests, decoding as we go.
-	if err := readInt64s(node.ValueStore, r.clock, lo, deg, out, r.byteBuf); err != nil {
+	lo, hi, err := r.indexRange(node, v)
+	if err != nil {
 		return nil, err
 	}
-	if ra := r.sf.Options.ReadaheadBlocks; ra > 0 && node.valueCache != nil {
-		c := node.valueCache.Cache()
-		if deg*8 >= c.BlockBytes() {
+	if hi == lo {
+		return nil, nil
+	}
+	compress := r.sf.Options.Compress
+	// Byte extent of the range on NVM: raw entries are 8 bytes each, a
+	// compressed range is bytes already.
+	byteLo, byteLen := lo, hi-lo
+	if !compress {
+		byteLo, byteLen = lo*8, (hi-lo)*8
+	}
+
+	var out []int64
+	if compress && r.sf.decoded != nil && byteLen >= r.blockBytes(node) {
+		// Hot hub: serve the decoded list if another read already paid
+		// for the varint work.
+		key := decodedKey{store: uint32(k), v: v}
+		if vals := r.sf.decoded.get(r.clock, key); vals != nil {
+			r.EdgesRead += int64(len(vals))
+			return vals, nil
+		}
+		out, err = r.readRange(node, v, lo, hi, nil)
+		if err != nil {
+			return nil, err
+		}
+		r.sf.decoded.put(key, out)
+	} else {
+		out, err = r.readRange(node, v, lo, hi, r.valBuf[:0])
+		r.valBuf = out[:0]
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ra := r.sf.Options.ReadaheadBlocks; ra > 0 && node.valuePre != nil {
+		if bb := r.blockBytes(node); byteLen >= bb {
 			// Hub expansion: this adjacency spans at least a whole block,
 			// so the traversal is in the dense low-vertex-ID region where
 			// adjacencies are stored back to back — the blocks after this
 			// range hold the next frontier vertices' neighbors. Small
 			// adjacencies skip readahead; prefetching around them mostly
 			// pollutes the cache.
-			node.valueCache.Prefetch(r.clock, hi*8, int64(ra)*c.BlockBytes())
+			node.valuePre.Prefetch(r.clock, byteLo+byteLen, int64(ra)*bb)
 		}
 	}
-	r.EdgesRead += deg
+	r.EdgesRead += int64(len(out))
 	return out, nil
+}
+
+// indexRange returns vertex v's [lo, hi) range in the value store —
+// element offsets for raw graphs, byte offsets for compressed ones.
+func (r *ForwardReader) indexRange(node *ForwardNode, v int64) (lo, hi int64, err error) {
+	if node.dramIndex != nil {
+		return node.dramIndex[v], node.dramIndex[v+1], nil
+	}
+	// One request covering both bracketing index entries.
+	buf := growBytes(&r.byteBuf, 16)
+	if err := node.IndexStore.ReadAt(r.clock, buf, v*8); err != nil {
+		return 0, 0, err
+	}
+	r.IndexReads++
+	return int64(binary.LittleEndian.Uint64(buf[0:8])),
+		int64(binary.LittleEndian.Uint64(buf[8:16])), nil
+}
+
+// readRange materializes the whole range [lo, hi) of v's neighbors into
+// out (appending). The span travels as one stack read (see
+// streamNeighbors with a whole-span chunk), so multi-block hubs hit the
+// async pipeline's coalescer when it is configured.
+func (r *ForwardReader) readRange(node *ForwardNode, v, lo, hi int64, out []int64) ([]int64, error) {
+	compress := r.sf.Options.Compress
+	span := hi - lo
+	if !compress {
+		span *= 8
+	}
+	_, err := streamNeighbors(node.ValueStore, r.clock, compress, v, lo, hi,
+		&r.byteBuf, &r.idBuf, int(span), func(nb int64) bool {
+			out = append(out, nb)
+			return true
+		})
+	return out, err
+}
+
+// blockBytes returns the cache page size, or the default chunk when no
+// cache is configured.
+func (r *ForwardReader) blockBytes(node *ForwardNode) int64 {
+	if node.valueCache != nil {
+		return node.valueCache.Cache().BlockBytes()
+	}
+	return nvm.DefaultChunkSize
+}
+
+// PrefetchFrontier issues asynchronous readahead for the adjacency ranges
+// of upcoming frontier vertices vs (sorted ascending, owned by node k),
+// capped at Options.FrontierPrefetch vertices. With the index in DRAM the
+// value ranges are prefetched directly, merged into maximal runs so the
+// async pipeline coalesces them into large device requests; with the
+// index on NVM only the index blocks are prefetched (the value ranges are
+// unknown until the index entries arrive — readahead must never issue a
+// dependent synchronous read). The caller's clock marks the issue time
+// and is never advanced.
+func (r *ForwardReader) PrefetchFrontier(k int, vs []int64) {
+	pf := r.sf.Options.FrontierPrefetch
+	if pf <= 0 || len(vs) == 0 {
+		return
+	}
+	if len(vs) > pf {
+		vs = vs[:pf]
+	}
+	node := r.sf.PerNode[k]
+	if node.dramIndex != nil {
+		if node.valuePre == nil {
+			return
+		}
+		mult := int64(1)
+		if !r.sf.Options.Compress {
+			mult = 8
+		}
+		gap := r.blockBytes(node)
+		runLo, runHi := int64(-1), int64(-1)
+		for _, v := range vs {
+			lo, hi := node.dramIndex[v]*mult, node.dramIndex[v+1]*mult
+			if hi == lo {
+				continue
+			}
+			switch {
+			case runLo < 0:
+				runLo, runHi = lo, hi
+			case lo <= runHi+gap:
+				// Adjacent or near-adjacent in the value stream (frontier
+				// is sorted, CSR is contiguous): extend the run.
+				if hi > runHi {
+					runHi = hi
+				}
+			default:
+				node.valuePre.Prefetch(r.clock, runLo, runHi-runLo)
+				runLo, runHi = lo, hi
+			}
+		}
+		if runLo >= 0 {
+			node.valuePre.Prefetch(r.clock, runLo, runHi-runLo)
+		}
+		return
+	}
+	if node.idxPre == nil {
+		return
+	}
+	runLo, runHi := int64(-1), int64(-1)
+	gap := r.blockBytes(node)
+	for _, v := range vs {
+		lo, hi := v*8, v*8+16
+		switch {
+		case runLo < 0:
+			runLo, runHi = lo, hi
+		case lo <= runHi+gap:
+			if hi > runHi {
+				runHi = hi
+			}
+		default:
+			node.idxPre.Prefetch(r.clock, runLo, runHi-runLo)
+			runLo, runHi = lo, hi
+		}
+	}
+	if runLo >= 0 {
+		node.idxPre.Prefetch(r.clock, runLo, runHi-runLo)
+	}
 }
 
 // writeInt64s streams vals into store from offset 0 in chunk-sized writes.
@@ -364,26 +580,39 @@ func writeInt64s(store nvm.Storage, clock *vtime.Clock, vals []int64) error {
 	return nil
 }
 
-// readInt64s reads count int64 values starting at element offset elemOff
-// in scratch-sized chunks. Resilience (retry, failover, verification) is
-// the store stack's job, not the decoder's.
-func readInt64s(store nvm.Storage, clock *vtime.Clock, elemOff, count int64, out []int64, scratch []byte) error {
-	byteLo := elemOff * 8
-	byteHi := byteLo + count*8
-	pos := 0
-	for off := byteLo; off < byteHi; {
-		n := int64(len(scratch))
-		if off+n > byteHi {
-			n = byteHi - off
+// writeBytes streams p into store from offset 0 in chunk-sized writes.
+func writeBytes(store nvm.Storage, clock *vtime.Clock, p []byte) error {
+	for off := int64(0); off < int64(len(p)); off += nvm.DefaultChunkSize {
+		end := off + nvm.DefaultChunkSize
+		if end > int64(len(p)) {
+			end = int64(len(p))
 		}
-		if err := store.ReadAt(clock, scratch[:n], off); err != nil {
+		if err := store.WriteAt(clock, p[off:end], off); err != nil {
 			return err
 		}
-		for b := int64(0); b < n; b += 8 {
-			out[pos] = int64(binary.LittleEndian.Uint64(scratch[b : b+8]))
-			pos++
-		}
-		off += n
+	}
+	return nil
+}
+
+// readInt64s reads count int64 values starting at element offset elemOff
+// into out. The caller-owned scratch buffer is grown once to the full
+// span and reused across calls (steady-state reads allocate nothing —
+// BenchmarkReadInt64s guards this), and the span travels as a single
+// stack read: the base store's own chunking caps media request sizes, so
+// the device sees the same requests as the old chunk-at-a-time loop
+// without re-reading checksum blocks at every chunk seam. Resilience
+// (retry, failover, verification) is the store stack's job, not the
+// decoder's.
+func readInt64s(store nvm.Storage, clock *vtime.Clock, elemOff, count int64, out []int64, scratch *[]byte) error {
+	if count <= 0 {
+		return nil
+	}
+	buf := growBytes(scratch, count*8)
+	if err := store.ReadAt(clock, buf, elemOff*8); err != nil {
+		return err
+	}
+	for i := int64(0); i < count; i++ {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
 	}
 	return nil
 }

@@ -77,7 +77,7 @@ func TestReadInt64sEdgeCases(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					out := make([]int64, tc.count)
 					scratch := make([]byte, chunk)
-					err := readInt64s(st, nil, tc.elemOff, tc.count, out, scratch)
+					err := readInt64s(st, nil, tc.elemOff, tc.count, out, &scratch)
 					if tc.wantErr {
 						if err == nil {
 							t.Fatal("read past end succeeded")
@@ -95,5 +95,66 @@ func TestReadInt64sEdgeCases(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkReadInt64s guards the satellite fix: the scratch buffer is
+// grown once to the widest span and reused, so steady-state reads through
+// a plain (uncached, unchecksummed) stack allocate nothing.
+func BenchmarkReadInt64s(b *testing.B) {
+	const n = 4096
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i) * 3
+	}
+	st := nvm.NewNamedMemStore("bench", nil, nvm.DefaultChunkSize)
+	defer st.Close()
+	if err := writeInt64s(st, nil, vals); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int64, n)
+	var scratch []byte
+	// Warm up so the scratch reaches its steady-state size before
+	// counting.
+	if err := readInt64s(st, nil, 0, n, out, &scratch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary offset/length so chunk-straddling spans are in play.
+		off := int64(i % 7)
+		count := int64(n - 13 - i%5)
+		if err := readInt64s(st, nil, off, count, out, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestReadInt64sNoSteadyStateAllocs pins the benchmark's property in a
+// plain test so CI catches regressions without running benchmarks.
+func TestReadInt64sNoSteadyStateAllocs(t *testing.T) {
+	const n = 1024
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	st := nvm.NewNamedMemStore("allocs", nil, nvm.DefaultChunkSize)
+	defer st.Close()
+	if err := writeInt64s(st, nil, vals); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, n)
+	var scratch []byte
+	if err := readInt64s(st, nil, 0, n, out, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := readInt64s(st, nil, 3, n-7, out, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("readInt64s allocates %.1f objects per steady-state call, want 0", allocs)
 	}
 }

@@ -345,7 +345,8 @@ func TestWriteReadInt64Helpers(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := make([]int64, 100)
-	if err := readInt64s(store, nil, 700, 100, got, make([]byte, nvm.DefaultChunkSize)); err != nil {
+	scratch := make([]byte, nvm.DefaultChunkSize)
+	if err := readInt64s(store, nil, 700, 100, got, &scratch); err != nil {
 		t.Fatal(err)
 	}
 	for i := range got {

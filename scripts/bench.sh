@@ -5,9 +5,11 @@
 # per-device fault rate for 1/2/3-way mirrored arrays), the partial
 # backward-offload sweep (TEPS vs DRAM edge cap k through the layered
 # storage stack), the query sweep (amortized per-query TEPS vs
-# multi-source batch width B), and the load sweep (serving latency
-# quantiles vs open-loop offered load, with and without admission control)
-# at a fixed seed and writes the rows as JSON.
+# multi-source batch width B), the load sweep (serving latency
+# quantiles vs open-loop offered load, with and without admission
+# control), and the I/O sweep (TEPS vs async queue depth x adjacency
+# compression on both device profiles) at a fixed seed and writes the
+# rows as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -22,6 +24,7 @@ FAILOVER_OUT=${FAILOVER_OUT:-BENCH_PR3.json}
 PARTIAL_OUT=${PARTIAL_OUT:-BENCH_PR4.json}
 QUERY_OUT=${QUERY_OUT:-BENCH_PR5.json}
 LOAD_OUT=${LOAD_OUT:-BENCH_PR6.json}
+IO_OUT=${IO_OUT:-BENCH_PR7.json}
 # The load sweep serves 4x this many queries per row; the stream must be
 # long enough that past the knee the unbounded baseline's queue waits
 # dominate its per-query service-time tail.
@@ -46,3 +49,25 @@ echo "wrote $QUERY_OUT"
 echo "==> load sweep (scale $SCALE, $LOAD_ROOTS roots) -> $LOAD_OUT"
 go run ./cmd/analyze -exp load -json -scale "$SCALE" -roots "$LOAD_ROOTS" > "$LOAD_OUT"
 echo "wrote $LOAD_OUT"
+
+echo "==> I/O sweep (scale $SCALE, $ROOTS roots) -> $IO_OUT"
+go run ./cmd/analyze -exp io -json -scale "$SCALE" -roots "$ROOTS" > "$IO_OUT"
+echo "wrote $IO_OUT"
+# Headline lines for the PR description: adjacency compression ratio and
+# the compressed+async speedup over raw synchronous, per scenario (hybrid).
+awk '
+  /"scenario"/      { gsub(/[",]/, ""); scen = $2 }
+  /"mode"/          { gsub(/[",]/, ""); mode = $2 }
+  /"compress"/      { cmp = ($2 == "true,") }
+  /"queue_depth"/   { qd = $2 + 0 }
+  /"speedup"/       { sp = $2 + 0 }
+  /"compression_ratio"/ {
+    r = $2 + 0
+    if (cmp && r > ratio) ratio = r
+    if (mode == "hybrid" && cmp && qd > 0 && sp > best[scen]) best[scen] = sp
+  }
+  END {
+    printf "compression-ratio: %.2fx (delta+varint adjacency)\n", ratio
+    for (s in best) printf "%s hybrid compressed+async: %.2fx over raw synchronous\n", s, best[s]
+  }
+' "$IO_OUT"
