@@ -20,14 +20,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|cache|io|failover|partial|query|load|all")
+		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|cache|io|failover|partial|query|load|update|all")
 		scale  = flag.Int("scale", 18, "large instance scale")
 		ef     = flag.Int("edgefactor", 16, "edges per vertex")
 		seed   = flag.Uint64("seed", 12345, "generator seed")
 		roots  = flag.Int("roots", 8, "BFS iterations per configuration")
 		dir    = flag.String("dir", "", "directory for NVM store files")
 		noEq   = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence in performance experiments")
-		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (supported: cache, io, failover, partial, query, load)")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (supported: cache, io, failover, partial, query, load, update)")
 	)
 	flag.Parse()
 
@@ -221,6 +221,21 @@ func run(name string, opts experiments.Options, asJSON bool) error {
 		}
 		fmt.Println(experiments.FormatPartialSweep(rows))
 		fmt.Println(experiments.PartialSweepCSV(rows))
+	case "update":
+		rows, err := experiments.UpdateSweep(opts)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out, err := experiments.UpdateSweepJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}
+		fmt.Println(experiments.FormatUpdateSweep(rows))
+		fmt.Println(experiments.UpdateSweepCSV(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"semibfs/internal/bfs"
 	"semibfs/internal/core"
+	"semibfs/internal/dyn"
 	"semibfs/internal/edgelist"
 	"semibfs/internal/faults"
 	"semibfs/internal/generator"
@@ -69,6 +71,9 @@ func main() {
 		deadline   = flag.Float64("deadline", 0, "serving mode: per-query virtual deadline in seconds (0 = none)")
 		queueCap   = flag.Int("queue-cap", 0, "serving mode: submission-queue bound; full queues shed per -shed-policy (0 = unbounded)")
 		shedPolicy = flag.String("shed-policy", "reject-newest", "serving mode: reject-newest | reject-oldest | reject-lowest-priority")
+		updates    = flag.Int("updates", 0, "dynamic mode: stream this many durable graph updates through the WAL, interleaved with the BFS iterations (requires pcie or ssd)")
+		updRate    = flag.Int("update-rate", 0, "dynamic mode: updates per batch; one batch is logged, applied, and repaired before each BFS iteration (0 = updates/roots)")
+		crashAt    = flag.String("crash-at", "none", "dynamic mode: inject a power cut during 'wal' (mid log append) or 'compaction' (mid manifest flip), then recover (none = crash-free)")
 	)
 	flag.Parse()
 
@@ -204,6 +209,45 @@ func main() {
 	policy, err := serve.ParsePolicy(*shedPolicy)
 	if err != nil {
 		fatal(err)
+	}
+	crash := strings.ToLower(*crashAt)
+	if crash == "" {
+		crash = "none"
+	}
+	if (*updRate != 0 || crash != "none") && *updates == 0 {
+		fatal(fmt.Errorf("-update-rate / -crash-at require -updates"))
+	}
+	if *updates < 0 || *updRate < 0 {
+		fatal(fmt.Errorf("-updates / -update-rate must be >= 0"))
+	}
+	if *updates > 0 {
+		if !sc.HasNVM() {
+			fatal(fmt.Errorf("-updates requires an NVM scenario (pcie or ssd): durability lives on the device stores"))
+		}
+		if *batch > 0 || isRef {
+			fatal(fmt.Errorf("-updates does not combine with -batch or the reference mode"))
+		}
+		if *official {
+			fatal(fmt.Errorf("-updates prints the extended dynamic report, not the official format"))
+		}
+		if *dir != "" {
+			fatal(fmt.Errorf("-updates keeps its stores on simulated reopenable media; -dir is not supported"))
+		}
+		var list *edgelist.List
+		if *edgesFile != "" {
+			list, err = edgelist.LoadFile(*edgesFile)
+		} else {
+			list, err = generator.Generate(generator.Config{
+				Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed,
+			})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := runDynamic(list, p, *updates, *updRate, crash); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *batch > 0 {
 		if isRef {
@@ -644,6 +688,304 @@ func runServed(list *edgelist.List, p graph500.Params, queries int, qps float64,
 		fmt.Printf("makespan vtime:       %.6g s\n", makespan)
 		fmt.Printf("aggregate_TEPS:       %s\n", stats.FormatTEPS(float64(traversed)/makespan))
 	}
+	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// updateStream generates state-changing edge toggles against a DRAM
+// multiset mirror of the evolving graph: absent pairs are inserted,
+// singleton pairs deleted, and self-loops / duplicated base edges
+// skipped, so every emitted update changes adjacency.
+type updateStream struct {
+	n   int64
+	adj []map[int64]int
+	rng uint64
+}
+
+func newUpdateStream(list *edgelist.List, seed uint64) *updateStream {
+	us := &updateStream{n: list.NumVertices, adj: make([]map[int64]int, list.NumVertices), rng: seed}
+	for v := range us.adj {
+		us.adj[v] = map[int64]int{}
+	}
+	for _, e := range list.Edges {
+		if e.U == e.V {
+			continue
+		}
+		us.adj[e.U][e.V]++
+		us.adj[e.V][e.U]++
+	}
+	return us
+}
+
+func (us *updateStream) batch(size int) []dyn.Update {
+	var out []dyn.Update
+	for len(out) < size {
+		us.rng = us.rng*6364136223846793005 + 1442695040888963407
+		u := int64(us.rng>>33) % us.n
+		us.rng = us.rng*6364136223846793005 + 1442695040888963407
+		v := int64(us.rng>>33) % us.n
+		if u == v || us.adj[u][v] > 1 {
+			continue
+		}
+		up := dyn.Update{U: u, V: v, Del: us.adj[u][v] == 1}
+		if up.Del {
+			delete(us.adj[u], v)
+			delete(us.adj[v], u)
+		} else {
+			us.adj[u][v] = 1
+			us.adj[v][u] = 1
+		}
+		out = append(out, up)
+	}
+	return out
+}
+
+func (us *updateStream) unapply(batch []dyn.Update) {
+	for i := len(batch) - 1; i >= 0; i-- {
+		up := batch[i]
+		if up.Del {
+			us.adj[up.U][up.V] = 1
+			us.adj[up.V][up.U] = 1
+		} else {
+			delete(us.adj[up.U], up.V)
+			delete(us.adj[up.V], up.U)
+		}
+	}
+}
+
+// runDynamic streams durable edge updates through the WAL-backed dynamic
+// graph while the BFS iterations run: before each iteration one batch is
+// appended to the log, applied to the DRAM overlay, and the maintained
+// parent tree of the first root is repaired incrementally instead of
+// recomputed. -crash-at injects a power cut mid WAL append or mid
+// manifest flip; the run reboots on the surviving media, replays the
+// log, and continues. The report extends the classic format with the
+// durability lines and ends by checking the repaired tree bit-identical
+// against a fresh rebuild over the final graph.
+func runDynamic(list *edgelist.List, p graph500.Params, total, rate int, crash string) error {
+	p = p.WithDefaults()
+	start := time.Now()
+	if rate <= 0 {
+		rate = (total + p.Roots - 1) / p.Roots
+		if rate == 0 {
+			rate = 1
+		}
+	}
+	nbatch := (total + rate - 1) / rate
+	sc := p.Scenario
+	switch crash {
+	case "none":
+	case "wal":
+		// Tear the WAL append of the middle batch.
+		sc.Faults = faults.Config{Seed: p.Seed | 1, CutAtWrite: int64(nbatch/2 + 1), TornWrite: true, CutStores: "dyn-wal"}
+	case "compaction":
+		// The manifest's only write is compaction's generation flip.
+		sc.Faults = faults.Config{Seed: p.Seed | 1, CutAtWrite: 1, TornWrite: true, CutStores: "dyn-manifest"}
+	default:
+		return fmt.Errorf("unknown -crash-at %q (want none, wal, or compaction)", crash)
+	}
+
+	src := edgelist.ListSource{List: list}
+	clock := vtime.NewClock(0)
+	ds, err := core.BuildDynamic(src, p.BFS.Topology, sc, clock)
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	roots, err := graph500.SampleRoots(src.NumVertices(), p.Roots,
+		p.Seed, func(v int64) int64 { return ds.Graph.Backward().Degree(v) })
+	if err != nil {
+		return err
+	}
+	canonCfg := p.BFS
+	canonCfg.Mode = bfs.ModeTopDownOnly
+	runner, err := ds.NewRunner(p.BFS)
+	if err != nil {
+		return err
+	}
+	tracker, err := ds.NewRunner(canonCfg)
+	if err != nil {
+		return err
+	}
+	res0, err := tracker.Run(roots[0])
+	if err != nil {
+		return err
+	}
+	rebuildUs := float64(res0.Time) / float64(vtime.Microsecond)
+	st := bfs.NewTreeState(roots[0], res0.Tree)
+
+	fmt.Printf("SCALE:                %d\n", p.Scale)
+	fmt.Printf("edgefactor:           %d\n", p.EdgeFactor)
+	fmt.Printf("NBFS:                 %d\n", len(roots))
+	fmt.Printf("scenario:             %s\n", p.Scenario.Name)
+	fmt.Printf("mode:                 %s  alpha=%g beta=%g\n", p.BFS.Mode, p.BFS.Alpha, p.BFS.Beta)
+	fmt.Printf("update stream:        %d updates in batches of %d, crash-at %s\n", total, rate, crash)
+	fmt.Println("\niter  updates  repair-us  repair-edges        bfs-vtime        TEPS")
+
+	us := newUpdateStream(list, p.Seed|1)
+	var updateTime, repairTime vtime.Duration
+	var repairEdges int64
+	var teps []float64
+	batches, remaining := 0, total
+	cutBatch := -1
+	var recoveryUs float64
+	var replayed int64
+	iters := len(roots)
+	if nbatch > iters {
+		iters = nbatch
+	}
+	for i := 0; i < iters; i++ {
+		applied, scanned := 0, int64(0)
+		var repUs float64
+		if remaining > 0 {
+			size := rate
+			if size > remaining {
+				size = remaining
+			}
+			batch := us.batch(size)
+			bstart := clock.Now()
+			_, aerr := ds.Graph.Apply(clock, batch)
+			switch {
+			case aerr == nil:
+				updateTime += clock.Now() - bstart
+				remaining -= size
+				applied = size
+				eu := make([]bfs.EdgeUpdate, len(batch))
+				for j, up := range batch {
+					eu[j] = bfs.EdgeUpdate{U: up.U, V: up.V, Del: up.Del}
+				}
+				rstart := clock.Now()
+				rst, rerr := bfs.RepairTree(st, eu, ds.Backward(), ds.Part, clock)
+				if rerr != nil {
+					return rerr
+				}
+				repairTime += clock.Now() - rstart
+				repUs = float64(clock.Now()-rstart) / float64(vtime.Microsecond)
+				repairEdges += rst.EdgesScanned
+				scanned = rst.EdgesScanned
+				batches++
+			case errors.Is(aerr, nvm.ErrPowerCut) && crash == "wal":
+				// The torn frame never became durable: roll the mirror
+				// back, reboot on the surviving media, and let the stream
+				// continue on the recovered boot. The tracked tree was
+				// only ever repaired with durable batches, so it is still
+				// exact after replay.
+				us.unapply(batch)
+				cutBatch = batches
+				rclock := vtime.NewClock(0)
+				if err := ds.Recover(rclock, faults.Config{}); err != nil {
+					return fmt.Errorf("recovery after WAL cut: %w", err)
+				}
+				recoveryUs = float64(rclock.Now()) / float64(vtime.Microsecond)
+				replayed = ds.Graph.Stats().Applied
+				if runner, err = ds.NewRunner(p.BFS); err != nil {
+					return err
+				}
+				if tracker, err = ds.NewRunner(canonCfg); err != nil {
+					return err
+				}
+			default:
+				return aerr
+			}
+		}
+		if i < len(roots) {
+			res, err := runner.Run(roots[i])
+			if err != nil {
+				return err
+			}
+			var sum int64
+			for v, par := range res.Tree {
+				if par != -1 {
+					sum += ds.Graph.Backward().Degree(int64(v))
+				}
+			}
+			te := float64(sum / 2)
+			sec := res.Time.Seconds()
+			if sec > 0 && te > 0 {
+				teps = append(teps, te/sec)
+			}
+			fmt.Printf("%4d  %7d  %9.1f  %12d  %15v  %10s\n",
+				i, applied, repUs, scanned, res.Time.ToTime(), stats.FormatTEPS(te/sec))
+		}
+	}
+
+	var compactUs float64
+	switch crash {
+	case "none":
+		cstart := clock.Now()
+		if err := ds.Graph.Compact(clock); err != nil {
+			return err
+		}
+		compactUs = float64(clock.Now()-cstart) / float64(vtime.Microsecond)
+	case "wal":
+		if cutBatch < 0 {
+			return fmt.Errorf("the scheduled WAL power cut never fired")
+		}
+	case "compaction":
+		if err := ds.Graph.Compact(clock); !errors.Is(err, nvm.ErrPowerCut) {
+			return fmt.Errorf("compact: %v, want a power cut", err)
+		}
+		rclock := vtime.NewClock(0)
+		if err := ds.Recover(rclock, faults.Config{}); err != nil {
+			return fmt.Errorf("recovery after compaction cut: %w", err)
+		}
+		recoveryUs = float64(rclock.Now()) / float64(vtime.Microsecond)
+		replayed = ds.Graph.Stats().Applied
+		// The recovered boot compacts cleanly: the interrupted flip left
+		// only orphan shadow stores behind.
+		cstart := rclock.Now()
+		if err := ds.Graph.Compact(rclock); err != nil {
+			return fmt.Errorf("post-recovery compaction: %w", err)
+		}
+		compactUs = float64(rclock.Now()-cstart) / float64(vtime.Microsecond)
+		if tracker, err = ds.NewRunner(canonCfg); err != nil {
+			return err
+		}
+	}
+
+	dst := ds.Graph.Stats()
+	fmt.Printf("\ndurable updates:      %d applied in %d batches\n", dst.Applied, batches)
+	fmt.Printf("WAL:                  %d appends, %s\n", dst.WALAppends, stats.FormatBytes(dst.WALBytes))
+	if dst.Applied > 0 {
+		fmt.Printf("update cost:          %.2f us/update (virtual)\n",
+			float64(updateTime)/float64(vtime.Microsecond)/float64(dst.Applied))
+	}
+	if batches > 0 {
+		repUs := float64(repairTime) / float64(vtime.Microsecond) / float64(batches)
+		vs := "free: scans stayed in DRAM"
+		if repUs > 0 {
+			vs = fmt.Sprintf("rebuild %.1f us, %.0fx", rebuildUs, rebuildUs/repUs)
+		}
+		fmt.Printf("incremental repair:   %.1f us/batch, %.0f edges scanned/batch (%s)\n",
+			repUs, float64(repairEdges)/float64(batches), vs)
+	}
+	if crash != "none" {
+		where := "compaction manifest flip"
+		if crash == "wal" {
+			where = fmt.Sprintf("WAL append of batch %d (torn frame dropped)", cutBatch+1)
+		}
+		fmt.Printf("power cut:            %s\n", where)
+		fmt.Printf("recovery:             %.1f us virtual, %d updates replayed\n", recoveryUs, replayed)
+	}
+	if compactUs > 0 {
+		fmt.Printf("compaction:           %.1f us virtual (generation %d)\n", compactUs, ds.Graph.Generation())
+	}
+	if len(teps) > 0 {
+		s := stats.Summarize(teps)
+		fmt.Printf("median_TEPS:          %s\n", stats.FormatTEPS(s.Median))
+		fmt.Printf("harmonic_mean_TEPS:   %s\n", stats.FormatTEPS(s.HarmonicMean))
+	}
+	fresh, err := tracker.Run(roots[0])
+	if err != nil {
+		return err
+	}
+	for v := range fresh.Tree {
+		if fresh.Tree[v] != st.Parent[v] {
+			return fmt.Errorf("repair equivalence FAILED: parent[%d] = %d, fresh rebuild says %d",
+				v, st.Parent[v], fresh.Tree[v])
+		}
+	}
+	fmt.Printf("repair equivalence:   OK (%d batches repaired, tree bit-identical to fresh rebuild)\n", batches)
 	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		fig   = flag.Int("fig", 7, "figure to regenerate: 7, 8, or 9")
-		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), or io (TEPS vs queue depth x compression)")
+		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), io (TEPS vs queue depth x compression), or update (durable updates, repair, crash recovery)")
 		scale = flag.Int("scale", 18, "large instance scale (fig 9 uses scale-1)")
 		ef    = flag.Int("edgefactor", 16, "edges per vertex")
 		seed  = flag.Uint64("seed", 12345, "generator seed")
@@ -107,8 +107,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	} else if *exp == "update" {
+		var rows []experiments.UpdateRow
+		rows, err = experiments.UpdateSweep(opts)
+		if err == nil {
+			if *csv {
+				fmt.Print(experiments.UpdateSweepCSV(rows))
+			} else {
+				fmt.Println(experiments.FormatUpdateSweep(rows))
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
 	} else if *exp != "" {
-		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, or io)\n", *exp)
+		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, io, or update)\n", *exp)
 		os.Exit(1)
 	}
 	switch *fig {

@@ -1,0 +1,323 @@
+package bfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"semibfs/internal/numa"
+	"semibfs/internal/vtime"
+)
+
+// This file implements fault-tolerant incremental BFS repair: instead of
+// rebuilding a parent tree from scratch after a batch of dynamic-graph
+// updates, RepairTree adjusts the existing tree by processing only the
+// affected region. The repaired tree is bit-identical to what a fresh
+// top-down rebuild over the updated graph produces, because both resolve
+// every vertex's parent to the canonical minimum — in top-down BFS every
+// depth-(d-1) neighbor of v races minParent for v, so the fresh tree's
+// parent of v is exactly min{u in N(v) : depth(u) = depth(v)-1}.
+
+// EdgeUpdate is one undirected edge mutation applied to the graph a tree
+// was computed over. A deletion removes the edge entirely (every stored
+// copy of a duplicated edge), matching dyn.Graph's overlay semantics.
+type EdgeUpdate struct {
+	U, V int64
+	Del  bool
+}
+
+// TreeState is a repairable BFS tree snapshot: the canonical min-parent
+// tree of Root (Parent[Root] = Root, unreachable vertices -1), as
+// produced by a ModeTopDownOnly run or a previous repair.
+type TreeState struct {
+	Root   int64
+	Parent []int64
+}
+
+// NewTreeState snapshots a parent tree into a repairable state (the
+// slice is cloned; Result.Tree aliases the runner's scratch).
+func NewTreeState(root int64, parent []int64) *TreeState {
+	return &TreeState{Root: root, Parent: append([]int64(nil), parent...)}
+}
+
+// RepairStats counts the work one RepairTree call did — the incremental
+// cost the UpdateSweep experiment compares against a full rebuild.
+type RepairStats struct {
+	// Orphaned counts vertices whose root path lost a tree edge and had
+	// to be re-settled.
+	Orphaned int64
+	// Relaxed counts depth relaxations pushed through the bucket queue.
+	Relaxed int64
+	// ParentsRecomputed counts canonical parent recomputations.
+	ParentsRecomputed int64
+	// EdgesScanned counts neighbor entries examined (the repair's edge
+	// work; device time for NVM-resident entries lands on the clock).
+	EdgesScanned int64
+}
+
+// DepthsFromTree derives per-vertex depths from a parent tree by
+// memoized root-path walking: depth[root] = 0, unreachable = -1.
+func DepthsFromTree(root int64, parent []int64) ([]int64, error) {
+	n := len(parent)
+	const unknown = int64(-2)
+	depth := make([]int64, n)
+	for i := range depth {
+		depth[i] = unknown
+	}
+	if root < 0 || root >= int64(n) {
+		return nil, fmt.Errorf("bfs: root %d outside [0,%d)", root, n)
+	}
+	depth[root] = 0
+	var path []int64
+	for v := 0; v < n; v++ {
+		if depth[v] != unknown {
+			continue
+		}
+		path = path[:0]
+		u := int64(v)
+		for depth[u] == unknown {
+			p := parent[u]
+			if p < 0 {
+				depth[u] = -1
+				break
+			}
+			if p == u || len(path) > n {
+				return nil, fmt.Errorf("bfs: parent cycle through vertex %d", u)
+			}
+			path = append(path, u)
+			u = p
+		}
+		base := depth[u]
+		for i, w := range path {
+			if base < 0 {
+				depth[w] = -1
+			} else {
+				depth[w] = base + int64(len(path)-i)
+			}
+		}
+	}
+	return depth, nil
+}
+
+// RepairTree incrementally repairs st in place so it matches a fresh
+// canonical top-down BFS over the *updated* graph, which bwd must
+// already reflect (e.g. a HybridBackwardAccess whose overlay holds the
+// updates). Device time for adjacency reads is charged to clock.
+//
+// The repair runs in three phases:
+//
+//  1. Orphan closure: subtrees hanging off a deleted tree edge lose
+//     their depths (deletions of non-tree edges cannot change any
+//     distance — every tree path survives them).
+//  2. Bounded relaxation: a unit-weight Dijkstra over a bucket queue,
+//     seeded by insertion endpoints and by the orphan region's boundary
+//     scans, settles every affected vertex at its new depth.
+//  3. Canonical parent recomputation for every vertex whose depth
+//     changed or that touches an updated edge: parent = the minimum
+//     neighbor one level up, the same minimum top-down claiming yields.
+func RepairTree(st *TreeState, updates []EdgeUpdate, bwd BackwardAccess, part *numa.Partition, clock *vtime.Clock) (RepairStats, error) {
+	var stats RepairStats
+	n := int64(len(st.Parent))
+	depth, err := DepthsFromTree(st.Root, st.Parent)
+	if err != nil {
+		return stats, err
+	}
+	const inf = math.MaxInt64 / 2
+	for v := range depth {
+		if depth[v] < 0 {
+			depth[v] = inf
+		}
+	}
+
+	sc := bwd.NewScanner(clock)
+	scanAll := func(v int64, fn func(nb int64)) error {
+		dram, nvmE, err := sc.Scan(part.NodeOf(int(v)), v, func(nb int64) bool {
+			fn(nb)
+			return true
+		})
+		stats.EdgesScanned += dram + nvmE
+		return err
+	}
+
+	// Canonicalize to the batch's net effect: for each unordered pair only
+	// the last update decides whether the edge ended up present. Without
+	// this, an insert that a later delete revokes would seed phase 2 with
+	// a depth the final graph does not support.
+	valid := func(v int64) bool { return v >= 0 && v < n }
+	last := make(map[[2]int64]int, len(updates))
+	for i, up := range updates {
+		if !valid(up.U) || !valid(up.V) || up.U == up.V {
+			continue
+		}
+		a, b := up.U, up.V
+		if a > b {
+			a, b = b, a
+		}
+		last[[2]int64{a, b}] = i
+	}
+	canon := updates[:0:0]
+	for i, up := range updates {
+		a, b := up.U, up.V
+		if a > b {
+			a, b = b, a
+		}
+		if j, ok := last[[2]int64{a, b}]; ok && j == i {
+			canon = append(canon, up)
+		}
+	}
+	updates = canon
+
+	// Phase 1: orphan the subtrees whose parent link was deleted.
+	var orphanRoots []int64
+	for _, up := range updates {
+		if !up.Del {
+			continue
+		}
+		if st.Parent[up.V] == up.U && up.V != st.Root {
+			orphanRoots = append(orphanRoots, up.V)
+		}
+		if st.Parent[up.U] == up.V && up.U != st.Root {
+			orphanRoots = append(orphanRoots, up.U)
+		}
+	}
+	orphaned := make(map[int64]bool)
+	var orphanList []int64
+	if len(orphanRoots) > 0 {
+		children := make([][]int64, n)
+		for v := int64(0); v < n; v++ {
+			if p := st.Parent[v]; p >= 0 && p != v {
+				children[p] = append(children[p], v)
+			}
+		}
+		stack := append([]int64(nil), orphanRoots...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if orphaned[v] {
+				continue
+			}
+			orphaned[v] = true
+			orphanList = append(orphanList, v)
+			depth[v] = inf
+			stats.Orphaned++
+			stack = append(stack, children[v]...)
+		}
+	}
+
+	// Phase 2: settle the affected region with a unit-weight Dijkstra.
+	var buckets [][]int64
+	push := func(v, d int64) {
+		for int64(len(buckets)) <= d {
+			buckets = append(buckets, nil)
+		}
+		buckets[d] = append(buckets[d], v)
+		stats.Relaxed++
+	}
+	for _, up := range updates {
+		if up.Del {
+			continue
+		}
+		if depth[up.U]+1 < depth[up.V] {
+			push(up.V, depth[up.U]+1)
+		}
+		if depth[up.V]+1 < depth[up.U] {
+			push(up.U, depth[up.V]+1)
+		}
+	}
+	for _, v := range orphanList {
+		best := int64(inf)
+		if err := scanAll(v, func(nb int64) {
+			if depth[nb] < best {
+				best = depth[nb]
+			}
+		}); err != nil {
+			return stats, err
+		}
+		if best+1 < depth[v] {
+			push(v, best+1)
+		}
+	}
+	changed := make(map[int64]bool)
+	var changedList []int64 // settle order: deterministic scan order below
+	for d := int64(0); d < int64(len(buckets)); d++ {
+		if d >= n {
+			break
+		}
+		for i := 0; i < len(buckets[d]); i++ {
+			v := buckets[d][i]
+			if depth[v] <= d {
+				continue
+			}
+			depth[v] = d
+			changed[v] = true
+			changedList = append(changedList, v)
+			if err := scanAll(v, func(nb int64) {
+				if depth[nb] > d+1 {
+					push(nb, d+1)
+				}
+			}); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	// Phase 3: canonical parents for everything the updates could have
+	// moved — re-settled vertices, still-orphaned (now unreachable)
+	// vertices, every update endpoint (an inserted edge can lower the
+	// minimum parent without changing any depth), and every neighbor of a
+	// re-settled vertex (a neighbor dropping to depth(v)-1 can become
+	// v's new minimum parent while v's own depth stays put).
+	recompute := make(map[int64]bool, 2*len(changed))
+	for _, v := range changedList {
+		recompute[v] = true
+		if err := scanAll(v, func(nb int64) {
+			recompute[nb] = true
+		}); err != nil {
+			return stats, err
+		}
+	}
+	for _, v := range orphanList {
+		recompute[v] = true
+	}
+	for _, up := range updates {
+		if valid(up.U) {
+			recompute[up.U] = true
+		}
+		if valid(up.V) {
+			recompute[up.V] = true
+		}
+	}
+	// Scan in vertex order: the recompute scans charge the virtual clock
+	// and device queues, so map-order iteration would leak schedule noise
+	// into every timing downstream of a repair.
+	order := make([]int64, 0, len(recompute))
+	for v := range recompute {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, v := range order {
+		if v == st.Root {
+			continue
+		}
+		if depth[v] >= inf {
+			st.Parent[v] = -1
+			stats.ParentsRecomputed++
+			continue
+		}
+		want := depth[v] - 1
+		best := int64(-1)
+		if err := scanAll(v, func(nb int64) {
+			if depth[nb] == want && (best < 0 || nb < best) {
+				best = nb
+			}
+		}); err != nil {
+			return stats, err
+		}
+		if best < 0 {
+			return stats, fmt.Errorf("bfs: repair inconsistency: vertex %d at depth %d has no depth-%d neighbor", v, depth[v], want)
+		}
+		st.Parent[v] = best
+		stats.ParentsRecomputed++
+	}
+	return stats, nil
+}

@@ -1,0 +1,236 @@
+package dyn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/csr"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/semiext"
+	"semibfs/internal/vtime"
+)
+
+// This test is the PR's end-to-end durability acceptance run: ≥1000 mixed
+// insertions and deletions flow through the WAL while the run suffers a
+// power cut mid-append, a power cut mid-compaction, a replica dying
+// under reads, and the outright loss of a primary replica's media. After
+// every crash the graph is recovered and the BFS parent tree is repaired
+// incrementally; the repaired tree must stay bit-identical to a fresh
+// full rebuild over the reference graph, for raw and compressed
+// adjacency alike.
+
+func acceptOptions(compress bool) Options {
+	opts := Options{
+		Forward:  semiext.ForwardOptions{Checksums: true, Replicas: 2},
+		Backward: semiext.BackwardOptions{KeepEdges: 4, Checksums: true, Replicas: 2},
+	}
+	if compress {
+		opts.Forward.Compress = true
+		opts.Forward.CacheBytes = 32 << 10
+		opts.Forward.IndexInDRAM = true
+		opts.Backward.Compress = true
+	}
+	return opts
+}
+
+// freshTree runs the canonical top-down BFS over the reference graph.
+func (rg *refGraph) freshTree(t *testing.T, part *numa.Partition, root int64) []int64 {
+	t.Helper()
+	list := &edgelist.List{NumVertices: rg.n}
+	for v := int64(0); v < rg.n; v++ {
+		for nb, c := range rg.adj[v] {
+			if v < nb {
+				for j := 0; j < c; j++ {
+					list.Edges = append(list.Edges, edgelist.Edge{U: v, V: nb})
+				}
+			}
+		}
+	}
+	src := edgelist.ListSource{List: list}
+	fg, err := csr.BuildForward(src, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := csr.BuildBackward(src, part, csr.SortByDegreeDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := semiext.BuildHybridBackward(bg, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bfs.NewRunner(bfs.DRAMForward{G: fg}, bfs.HybridBackwardAccess{HB: hb}, part, bfs.Config{
+		Topology: testTopo, Mode: bfs.ModeTopDownOnly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.CloneTree()
+}
+
+func toEdgeUpdates(batch []Update) []bfs.EdgeUpdate {
+	out := make([]bfs.EdgeUpdate, len(batch))
+	for i, up := range batch {
+		out[i] = bfs.EdgeUpdate{U: up.U, V: up.V, Del: up.Del}
+	}
+	return out
+}
+
+func TestDurableUpdatesWithCrashesMatchFreshRebuild(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		name := "raw"
+		if compress {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			list, part := genList(t, 8)
+			rg := newRefGraph(list)
+			media := NewMedia(nil)
+			opts := acceptOptions(compress)
+
+			root := int64(0)
+			for len(rg.adj[root]) == 0 {
+				root++
+			}
+			st := bfs.NewTreeState(root, rg.freshTree(t, part, root))
+
+			rng := uint64(0xfeedface)
+			total := 0
+			// applyAndRepair pushes one batch through the dynamic graph
+			// and repairs the maintained tree over the merged (overlay +
+			// CSR) backward view, then checks it against a fresh rebuild.
+			applyAndRepair := func(g *Graph, clock *vtime.Clock, tag string) error {
+				batch := rg.toggleBatch(&rng, 25)
+				if _, err := g.Apply(clock, batch); err != nil {
+					// The batch never became durable: roll it out of the
+					// reference, exactly as the crashed host lost it.
+					for i := len(batch) - 1; i >= 0; i-- {
+						up := batch[i]
+						rg.apply(Update{U: up.U, V: up.V, Del: !up.Del})
+					}
+					return err
+				}
+				total += len(batch)
+				if _, err := bfs.RepairTree(st, toEdgeUpdates(batch), bfs.HybridBackwardAccess{HB: g.Backward()}, part, clock); err != nil {
+					t.Fatalf("%s: repair: %v", tag, err)
+				}
+				want := rg.freshTree(t, part, root)
+				for v := range want {
+					if st.Parent[v] != want[v] {
+						t.Fatalf("%s: parent[%d] = %d, fresh rebuild says %d", tag, v, st.Parent[v], want[v])
+					}
+				}
+				return nil
+			}
+
+			// Boot 1: updates stream in until power cuts mid-WAL-append.
+			clock := vtime.NewClock(0)
+			ff := faults.NewFactory(media.Factory(), faults.Config{
+				Seed: 1, CutAtWrite: 13, TornWrite: true, CutStores: walName,
+			})
+			g, err := Build(edgelist.ListSource{List: list}, part, ff.Make, clock, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; ; b++ {
+				if err := applyAndRepair(g, clock, "boot1"); err != nil {
+					if !errors.Is(err, nvm.ErrPowerCut) {
+						t.Fatalf("boot1 batch %d: %v", b, err)
+					}
+					break
+				}
+				if b > 20 {
+					t.Fatal("boot1: power cut never fired")
+				}
+			}
+
+			// Boot 2: recover, take more updates, then power cuts during
+			// the compaction flip.
+			clock = vtime.NewClock(0)
+			ff = faults.NewFactory(media.Factory(), faults.Config{
+				Seed: 2, CutAtWrite: 1, TornWrite: true, CutStores: manifestName,
+			})
+			g, err = Recover(part, ff.Make, clock, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 8; b++ {
+				if err := applyAndRepair(g, clock, "boot2"); err != nil {
+					t.Fatalf("boot2 batch %d: %v", b, err)
+				}
+			}
+			if err := g.Compact(clock); !errors.Is(err, nvm.ErrPowerCut) {
+				t.Fatalf("compact under manifest cut: %v, want power cut", err)
+			}
+
+			// Boot 3: recover (the flip must not have landed), then the
+			// primary replica dies under reads; the mirror keeps serving.
+			clock = vtime.NewClock(0)
+			ff = faults.NewFactory(media.Factory(), faults.Config{
+				Seed: 3, DieAfterReads: 500, DieReplica: 1,
+			})
+			g, err = Recover(part, ff.Make, clock, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Generation() != 0 {
+				t.Fatalf("boot3 generation %d, want 0 (torn flip discarded)", g.Generation())
+			}
+			for b := 0; b < 8; b++ {
+				if err := applyAndRepair(g, clock, "boot3"); err != nil {
+					t.Fatalf("boot3 batch %d: %v", b, err)
+				}
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Boot 4: one forward primary's media is gone entirely;
+			// recovery reads fall over to the surviving replica and the
+			// backward rewrite heals its own stores.
+			for _, sn := range media.Names() {
+				if strings.Contains(sn, "fwd-") && strings.Contains(sn, "-value") && strings.HasSuffix(sn, "-r0") {
+					media.Drop(sn)
+					break
+				}
+			}
+			clock = vtime.NewClock(0)
+			g, err = Recover(part, media.Factory(), clock, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			for b := 0; b < 12; b++ {
+				if err := applyAndRepair(g, clock, "boot4"); err != nil {
+					t.Fatalf("boot4 batch %d: %v", b, err)
+				}
+			}
+			if err := g.Compact(clock); err != nil {
+				t.Fatalf("final compact: %v", err)
+			}
+			if g.Generation() != 1 {
+				t.Fatalf("final generation %d, want 1", g.Generation())
+			}
+			rg.verify(t, g, "final state")
+
+			if total < 1000 {
+				t.Fatalf("only %d durable updates applied, want >= 1000", total)
+			}
+			want := rg.freshTree(t, part, root)
+			for v := range want {
+				if st.Parent[v] != want[v] {
+					t.Fatalf("final: parent[%d] = %d, fresh rebuild says %d", v, st.Parent[v], want[v])
+				}
+			}
+		})
+	}
+}

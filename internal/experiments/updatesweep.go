@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/core"
+	"semibfs/internal/dyn"
+	"semibfs/internal/edgelist"
+	"semibfs/internal/faults"
+	"semibfs/internal/generator"
+	"semibfs/internal/nvm"
+	"semibfs/internal/vtime"
+)
+
+// UpdateBatchSizes is the updates-per-batch grid of the update sweep:
+// each batch is one WAL append and one incremental repair, so the grid
+// sweeps the update rate the system absorbs between BFS sweeps.
+var UpdateBatchSizes = []int{16, 64, 256}
+
+// UpdateBatches is how many batches each configuration streams.
+const UpdateBatches = 10
+
+// UpdateCrashes is the injected crash grid: a clean run (ending in a
+// crash-free compaction), power cut mid-WAL-append, and power cut during
+// the compaction's manifest flip. Every crashed run is recovered and the
+// recovery's virtual cost measured.
+var UpdateCrashes = []string{"none", "wal", "compaction"}
+
+// UpdateRow is one (scenario, batch size, crash kind) measurement.
+type UpdateRow struct {
+	Scenario  string `json:"scenario"`
+	BatchSize int    `json:"batch_size"`
+	Crash     string `json:"crash"`
+	// Applied counts updates that became durable; WALBytes is what they
+	// cost on the log.
+	Applied  int64 `json:"applied"`
+	WALBytes int64 `json:"wal_bytes"`
+	// UpdateUs is the mean virtual microseconds per durable update (WAL
+	// append plus overlay application).
+	UpdateUs float64 `json:"update_us"`
+	// RepairUs / RepairEdges are the incremental repair's mean virtual
+	// microseconds and scanned edges per batch; RebuildUs is one full
+	// fresh BFS over the same graph — the cost repair avoids — and
+	// RepairSpeedup their ratio.
+	RepairUs      float64 `json:"repair_us"`
+	RepairEdges   float64 `json:"repair_edges"`
+	RebuildUs     float64 `json:"rebuild_us"`
+	RepairSpeedup float64 `json:"repair_speedup"`
+	// RecoveryUs is the virtual cost of post-crash recovery (reopen +
+	// backward rewrite + WAL replay) and Replayed the updates replayed
+	// from the log; both 0 for the crash-free run.
+	RecoveryUs float64 `json:"recovery_us"`
+	Replayed   int64   `json:"replayed"`
+	// CompactUs is the crash-free compaction's virtual cost (0 when the
+	// run crashed instead).
+	CompactUs float64 `json:"compact_us"`
+}
+
+// updateStream generates effective (state-changing) updates against a
+// DRAM multiset mirror of the evolving graph.
+type updateStream struct {
+	n   int64
+	adj []map[int64]int
+	rng uint64
+}
+
+func newUpdateStream(list *edgelist.List, seed uint64) *updateStream {
+	us := &updateStream{n: list.NumVertices, adj: make([]map[int64]int, list.NumVertices), rng: seed}
+	for v := range us.adj {
+		us.adj[v] = map[int64]int{}
+	}
+	for _, e := range list.Edges {
+		if e.U == e.V {
+			continue
+		}
+		us.adj[e.U][e.V]++
+		us.adj[e.V][e.U]++
+	}
+	return us
+}
+
+func (us *updateStream) next() (int64, int64) {
+	us.rng = us.rng*6364136223846793005 + 1442695040888963407
+	u := int64(us.rng>>33) % us.n
+	us.rng = us.rng*6364136223846793005 + 1442695040888963407
+	v := int64(us.rng>>33) % us.n
+	return u, v
+}
+
+func (us *updateStream) batch(size int) []dyn.Update {
+	var out []dyn.Update
+	for len(out) < size {
+		u, v := us.next()
+		if u == v || us.adj[u][v] > 1 {
+			continue
+		}
+		up := dyn.Update{U: u, V: v, Del: us.adj[u][v] == 1}
+		if up.Del {
+			delete(us.adj[u], v)
+			delete(us.adj[v], u)
+		} else {
+			us.adj[u][v] = 1
+			us.adj[v][u] = 1
+		}
+		out = append(out, up)
+	}
+	return out
+}
+
+func (us *updateStream) unapply(batch []dyn.Update) {
+	for i := len(batch) - 1; i >= 0; i-- {
+		up := batch[i]
+		if up.Del {
+			us.adj[up.U][up.V] = 1
+			us.adj[up.V][up.U] = 1
+		} else {
+			delete(us.adj[up.U], up.V)
+			delete(us.adj[up.V], up.U)
+		}
+	}
+}
+
+// UpdateSweep measures durable-update throughput, incremental BFS repair
+// cost against a full rebuild, and crash-recovery cost, across batch
+// sizes and injected crash kinds on both NVM device profiles. Updates
+// flow WAL-first (one append per batch), land in the DRAM overlay the
+// readers merge at scan time, and each batch's parent-tree damage is
+// repaired incrementally; the crashed runs recover by reopening the
+// live generation, rewriting the backward graph, and replaying the log.
+func UpdateSweep(opts Options) ([]UpdateRow, error) {
+	opts = opts.WithDefaults()
+	gen := generator.Config{Scale: opts.SmallScale, EdgeFactor: opts.EdgeFactor, Seed: opts.Seed}
+	if err := gen.Validate(); err != nil {
+		return nil, err
+	}
+	list, err := generator.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	var rows []UpdateRow
+	for _, base := range []core.Scenario{core.ScenarioPCIeFlash, core.ScenarioSSD} {
+		for _, size := range UpdateBatchSizes {
+			for _, crash := range UpdateCrashes {
+				row, err := updateRun(opts, list, base, size, crash)
+				if err != nil {
+					return nil, fmt.Errorf("update sweep %s b=%d crash=%s: %w", base.Name, size, crash, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func updateRun(opts Options, list *edgelist.List, sc core.Scenario, size int, crash string) (UpdateRow, error) {
+	row := UpdateRow{Scenario: sc.Name, BatchSize: size, Crash: crash}
+	sc.BackwardDRAMEdgeLimit = 4
+	switch crash {
+	case "wal":
+		// Torn write halfway through the batch stream.
+		sc.Faults = faults.Config{Seed: opts.Seed, CutAtWrite: int64(UpdateBatches/2 + 1), TornWrite: true, CutStores: "dyn-wal"}
+	case "compaction":
+		// Torn manifest flip: the only manifest write is compaction's.
+		sc.Faults = faults.Config{Seed: opts.Seed, CutAtWrite: 1, TornWrite: true, CutStores: "dyn-manifest"}
+	}
+	clock := vtime.NewClock(0)
+	ds, err := core.BuildDynamic(edgelist.ListSource{List: list}, topology(), sc, clock)
+	if err != nil {
+		return row, err
+	}
+	defer ds.Close()
+
+	cfg := defaultBFSConfig(opts)
+	cfg.Mode = bfs.ModeTopDownOnly
+	root := int64(1)
+	runner, err := ds.NewRunner(cfg)
+	if err != nil {
+		return row, err
+	}
+	res, err := runner.Run(root)
+	if err != nil {
+		return row, err
+	}
+	row.RebuildUs = float64(res.Time) / float64(vtime.Microsecond)
+	st := bfs.NewTreeState(root, res.Tree)
+
+	us := newUpdateStream(list, opts.Seed|1)
+	var updateTime, repairTime vtime.Duration
+	var repairEdges int64
+	batches := 0
+	cut := false
+	for b := 0; b < UpdateBatches; b++ {
+		batch := us.batch(size)
+		start := clock.Now()
+		if _, err := ds.Graph.Apply(clock, batch); err != nil {
+			if errors.Is(err, nvm.ErrPowerCut) && crash == "wal" {
+				us.unapply(batch)
+				cut = true
+				break
+			}
+			return row, err
+		}
+		updateTime += clock.Now() - start
+		eu := make([]bfs.EdgeUpdate, len(batch))
+		for i, up := range batch {
+			eu[i] = bfs.EdgeUpdate{U: up.U, V: up.V, Del: up.Del}
+		}
+		rstart := clock.Now()
+		rst, err := bfs.RepairTree(st, eu, ds.Backward(), ds.Part, clock)
+		if err != nil {
+			return row, err
+		}
+		repairTime += clock.Now() - rstart
+		repairEdges += rst.EdgesScanned
+		batches++
+	}
+	stats := ds.Graph.Stats()
+	row.Applied = stats.Applied
+	row.WALBytes = stats.WALBytes
+	if stats.Applied > 0 {
+		row.UpdateUs = float64(updateTime) / float64(vtime.Microsecond) / float64(stats.Applied)
+	}
+	if batches > 0 {
+		row.RepairUs = float64(repairTime) / float64(vtime.Microsecond) / float64(batches)
+		row.RepairEdges = float64(repairEdges) / float64(batches)
+	}
+	if row.RepairUs > 0 {
+		row.RepairSpeedup = row.RebuildUs / row.RepairUs
+	}
+
+	switch crash {
+	case "none":
+		start := clock.Now()
+		if err := ds.Graph.Compact(clock); err != nil {
+			return row, err
+		}
+		row.CompactUs = float64(clock.Now()-start) / float64(vtime.Microsecond)
+	case "wal":
+		if !cut {
+			return row, fmt.Errorf("power cut never fired")
+		}
+	case "compaction":
+		if err := ds.Graph.Compact(clock); !errors.Is(err, nvm.ErrPowerCut) {
+			return row, fmt.Errorf("compact: %v, want power cut", err)
+		}
+		cut = true
+	}
+	if cut {
+		rclock := vtime.NewClock(0)
+		if err := ds.Recover(rclock, faults.Config{}); err != nil {
+			return row, err
+		}
+		row.RecoveryUs = float64(rclock.Now()) / float64(vtime.Microsecond)
+		row.Replayed = ds.Graph.Stats().Applied
+	}
+	return row, nil
+}
+
+// FormatUpdateSweep renders the update sweep as a text table.
+func FormatUpdateSweep(rows []UpdateRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Update sweep: durable update cost, incremental repair vs rebuild, crash recovery")
+	fmt.Fprintf(&b, "%-16s %6s %-11s %8s %10s %10s %10s %11s %8s %11s %9s %10s\n",
+		"scenario", "batch", "crash", "applied", "wal-bytes", "update-us",
+		"repair-us", "repair-edges", "speedup", "recovery-us", "replayed", "compact-us")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %6d %-11s %8d %10d %10.2f %10.1f %11.0f %8.1f %11.1f %9d %10.1f\n",
+			r.Scenario, r.BatchSize, r.Crash, r.Applied, r.WALBytes, r.UpdateUs,
+			r.RepairUs, r.RepairEdges, r.RepairSpeedup, r.RecoveryUs, r.Replayed, r.CompactUs)
+	}
+	return b.String()
+}
+
+// UpdateSweepCSV renders the sweep as CSV for plotting.
+func UpdateSweepCSV(rows []UpdateRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "scenario,batch_size,crash,applied,wal_bytes,update_us,repair_us,repair_edges,rebuild_us,repair_speedup,recovery_us,replayed,compact_us")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%.3f,%.3f,%.1f,%.3f,%.2f,%.3f,%d,%.3f\n",
+			r.Scenario, r.BatchSize, r.Crash, r.Applied, r.WALBytes, r.UpdateUs,
+			r.RepairUs, r.RepairEdges, r.RebuildUs, r.RepairSpeedup,
+			r.RecoveryUs, r.Replayed, r.CompactUs)
+	}
+	return b.String()
+}
+
+// UpdateSweepJSON renders the sweep as indented JSON (the bench tooling
+// records it as BENCH_PR8.json).
+func UpdateSweepJSON(rows []UpdateRow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

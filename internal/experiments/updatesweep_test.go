@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestUpdateSweepAcceptance runs the sweep at a tiny scale and checks
+// the shape of the durability story: every configuration applies its
+// updates, the crashed runs recover and replay exactly what survived,
+// and incremental repair costs far less than a fresh rebuild.
+func TestUpdateSweepAcceptance(t *testing.T) {
+	opts := tinyOpts()
+	rows, err := UpdateSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(UpdateBatchSizes) * len(UpdateCrashes)
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Applied <= 0 {
+			t.Errorf("%s b=%d %s: no updates applied", r.Scenario, r.BatchSize, r.Crash)
+		}
+		if r.WALBytes <= 0 {
+			t.Errorf("%s b=%d %s: no WAL bytes", r.Scenario, r.BatchSize, r.Crash)
+		}
+		if r.UpdateUs <= 0 || r.RebuildUs <= 0 {
+			t.Errorf("%s b=%d %s: non-positive timings %+v", r.Scenario, r.BatchSize, r.Crash, r)
+		}
+		switch r.Crash {
+		case "none":
+			if r.CompactUs <= 0 {
+				t.Errorf("%s b=%d: clean run never compacted", r.Scenario, r.BatchSize)
+			}
+			if r.RecoveryUs != 0 || r.Replayed != 0 {
+				t.Errorf("%s b=%d: clean run reports recovery %+v", r.Scenario, r.BatchSize, r)
+			}
+			if full := int64(UpdateBatches * r.BatchSize); r.Applied != full {
+				t.Errorf("%s b=%d: applied %d, want %d", r.Scenario, r.BatchSize, r.Applied, full)
+			}
+		case "wal":
+			if r.RecoveryUs <= 0 {
+				t.Errorf("%s b=%d wal: no recovery cost", r.Scenario, r.BatchSize)
+			}
+			// The torn batch must be dropped: only the pre-cut batches
+			// replay.
+			if cutAt := int64(UpdateBatches/2) * int64(r.BatchSize); r.Replayed != cutAt {
+				t.Errorf("%s b=%d wal: replayed %d, want %d", r.Scenario, r.BatchSize, r.Replayed, cutAt)
+			}
+		case "compaction":
+			if r.RecoveryUs <= 0 {
+				t.Errorf("%s b=%d compaction: no recovery cost", r.Scenario, r.BatchSize)
+			}
+			// The flip never landed: every durable update replays.
+			if r.Replayed != r.Applied {
+				t.Errorf("%s b=%d compaction: replayed %d of %d", r.Scenario, r.BatchSize, r.Replayed, r.Applied)
+			}
+		}
+		if r.RepairSpeedup <= 1 {
+			t.Errorf("%s b=%d %s: repair speedup %.2f, want > 1", r.Scenario, r.BatchSize, r.Crash, r.RepairSpeedup)
+		}
+	}
+}
+
+// TestUpdateSweepDeterminism re-runs the sweep and demands bit-identical
+// rows.
+func TestUpdateSweepDeterminism(t *testing.T) {
+	opts := tinyOpts()
+	a, err := UpdateSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UpdateSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical sweeps:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUpdateSweepRenderings(t *testing.T) {
+	rows := []UpdateRow{
+		{Scenario: "DRAM+PCIeFlash", BatchSize: 64, Crash: "none", Applied: 640,
+			WALBytes: 10896, UpdateUs: 1.5, RepairUs: 120, RepairEdges: 900,
+			RebuildUs: 40000, RepairSpeedup: 333.3, CompactUs: 80000},
+		{Scenario: "DRAM+SSD", BatchSize: 64, Crash: "wal", Applied: 320,
+			WALBytes: 5448, UpdateUs: 2.5, RepairUs: 110, RepairEdges: 850,
+			RebuildUs: 90000, RepairSpeedup: 818.2, RecoveryUs: 500000, Replayed: 320},
+	}
+	text := FormatUpdateSweep(rows)
+	for _, want := range []string{"Update sweep", "DRAM+PCIeFlash", "recovery-us", "speedup"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+	csv := UpdateSweepCSV(rows)
+	if !strings.HasPrefix(csv, "scenario,batch_size,crash,") {
+		t.Fatalf("bad CSV header:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Fatalf("CSV has %d lines, want 3", lines)
+	}
+	js, err := UpdateSweepJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []UpdateRow
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(back) != 2 || back[1].Replayed != 320 {
+		t.Fatalf("JSON round-trip mangled rows: %+v", back)
+	}
+	if !strings.Contains(js, "\"repair_speedup\"") {
+		t.Fatalf("JSON missing field:\n%s", js)
+	}
+}

@@ -25,6 +25,7 @@ package faults
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -62,29 +63,48 @@ type Config struct {
 	// CorruptRate is the probability that a read succeeds but returns a
 	// buffer with one flipped bit.
 	CorruptRate float64
+	// CutAtWrite simulates a host power cut on the Nth write (1-based,
+	// counted per store) to a store whose name contains CutStores. The
+	// cut is host-wide: once any store of a factory trips it, every store
+	// built by that factory fails all further reads and writes with a
+	// *PowerCutError (wrapping nvm.ErrPowerCut, never retryable) until
+	// the stack is rebuilt over the surviving media. 0 = never.
+	CutAtWrite int64
+	// TornWrite makes the cut write persist a deterministic prefix
+	// (strictly shorter than the request) before power is lost, modeling
+	// a torn sector write; false loses the cut write entirely.
+	TornWrite bool
+	// CutStores restricts which stores count writes toward CutAtWrite
+	// (substring match on the store name; "" counts every store).
+	CutStores string
 }
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.TransientRate > 0 || c.DieAfterReads > 0 || c.DieAtTime > 0 ||
-		(c.SpikeRate > 0 && c.SpikeMultiplier > 1) || c.CorruptRate > 0
+		(c.SpikeRate > 0 && c.SpikeMultiplier > 1) || c.CorruptRate > 0 ||
+		c.CutAtWrite > 0
 }
 
 // String renders the active fault parameters (used in cache keys and
 // reports).
 func (c Config) String() string {
-	return fmt.Sprintf("seed=%d rate=%g after=%d at=%v rep=%d spike=%gx@%g corrupt=%g",
+	return fmt.Sprintf("seed=%d rate=%g after=%d at=%v rep=%d spike=%gx@%g corrupt=%g cut=%d@%q torn=%v",
 		c.Seed, c.TransientRate, c.DieAfterReads, c.DieAtTime, c.DieReplica,
-		c.SpikeMultiplier, c.SpikeRate, c.CorruptRate)
+		c.SpikeMultiplier, c.SpikeRate, c.CorruptRate,
+		c.CutAtWrite, c.CutStores, c.TornWrite)
 }
 
 // Counters is a snapshot of one store's injected-fault totals.
 type Counters struct {
 	Reads     int64
+	Writes    int64
 	Transient int64
 	Spikes    int64
 	Corrupted int64
+	Torn      int64
 	Dead      bool
+	Cut       bool
 }
 
 // Store is a fault-injecting nvm.Storage wrapper.
@@ -96,11 +116,18 @@ type Store struct {
 	// canDie reports whether this store is covered by the config's death
 	// clauses (false when DieReplica selects a different replica).
 	canDie bool
+	// canCut reports whether this store's writes count toward CutAtWrite.
+	canCut bool
+	// cut is the host power state, shared by every store a Factory built:
+	// one store tripping the cut takes the whole host down.
+	cut *atomic.Bool
 
 	reads     atomic.Int64
+	writes    atomic.Int64
 	transient atomic.Int64
 	spikes    atomic.Int64
 	corrupted atomic.Int64
+	torn      atomic.Int64
 	dead      atomic.Bool
 
 	mu       sync.Mutex
@@ -111,12 +138,21 @@ type Store struct {
 // in errors and salts its fault stream, so distinct stores built from the
 // same seed fail independently but reproducibly.
 func Wrap(inner nvm.Storage, name string, cfg Config) *Store {
+	return wrapShared(inner, name, cfg, new(atomic.Bool))
+}
+
+// wrapShared is Wrap with an explicit host power-state flag, so a
+// Factory's stores go down together when one of them trips the cut.
+func wrapShared(inner nvm.Storage, name string, cfg Config, cut *atomic.Bool) *Store {
 	return &Store{
-		inner:    inner,
-		name:     name,
-		cfg:      cfg,
-		salt:     rng.Mix64(hashName(name)),
-		canDie:   cfg.DieReplica == 0 || nvm.ReplicaIndex(name)+1 == cfg.DieReplica,
+		inner:  inner,
+		name:   name,
+		cfg:    cfg,
+		salt:   rng.Mix64(hashName(name)),
+		canDie: cfg.DieReplica == 0 || nvm.ReplicaIndex(name)+1 == cfg.DieReplica,
+		canCut: cfg.CutAtWrite > 0 &&
+			(cfg.CutStores == "" || strings.Contains(name, cfg.CutStores)),
+		cut:      cut,
 		attempts: make(map[int64]uint64),
 	}
 }
@@ -155,12 +191,19 @@ func (s *Store) Stats() nvm.LayerStats {
 	if s.dead.Load() {
 		dead = 1
 	}
+	var cut int64
+	if s.cut.Load() {
+		cut = 1
+	}
 	return nvm.LayerStats{Kind: "faults", Counters: []nvm.Counter{
 		{Name: "reads", Value: s.reads.Load()},
+		{Name: "writes", Value: s.writes.Load()},
 		{Name: "transient_injected", Value: s.transient.Load()},
 		{Name: "spikes_injected", Value: s.spikes.Load()},
 		{Name: "corruptions_injected", Value: s.corrupted.Load()},
+		{Name: "torn_writes", Value: s.torn.Load()},
 		{Name: "dead", Value: dead},
+		{Name: "power_cut", Value: cut},
 	}}
 }
 
@@ -168,10 +211,13 @@ func (s *Store) Stats() nvm.LayerStats {
 func (s *Store) Counters() Counters {
 	return Counters{
 		Reads:     s.reads.Load(),
+		Writes:    s.writes.Load(),
 		Transient: s.transient.Load(),
 		Spikes:    s.spikes.Load(),
 		Corrupted: s.corrupted.Load(),
+		Torn:      s.torn.Load(),
 		Dead:      s.dead.Load(),
+		Cut:       s.cut.Load(),
 	}
 }
 
@@ -195,9 +241,55 @@ func (e *TransientError) Error() string {
 
 func (e *TransientError) Unwrap() error { return nvm.ErrTransient }
 
-// WriteAt passes writes through unperturbed (the fault model covers the
-// read-dominated BFS traversal; offload writes happen once at setup).
+// PowerCutError is the structured error every operation returns once the
+// simulated host has lost power. It wraps nvm.ErrPowerCut.
+type PowerCutError struct {
+	Store string
+	Off   int64
+	At    vtime.Duration
+}
+
+func (e *PowerCutError) Error() string {
+	return fmt.Sprintf("faults: store %s @%d at %v: %v", e.Store, e.Off, e.At.ToTime(), nvm.ErrPowerCut)
+}
+
+func (e *PowerCutError) Unwrap() error { return nvm.ErrPowerCut }
+
+func (s *Store) powerCutError(clock *vtime.Clock, off int64) error {
+	var at vtime.Duration
+	if clock != nil {
+		at = clock.Now()
+	}
+	return &PowerCutError{Store: s.name, Off: off, At: at}
+}
+
+// WriteAt implements nvm.Storage. Writes pass through unperturbed by the
+// read-fault model, but count toward CutAtWrite: on the cut write the
+// host loses power — at most a deterministic prefix of the request
+// persists (TornWrite), the error wraps nvm.ErrPowerCut, and every later
+// operation on this host fails the same way until recovery rebuilds the
+// stack over the surviving media.
 func (s *Store) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
+	if s.cut.Load() {
+		return s.powerCutError(clock, off)
+	}
+	if s.canCut {
+		if w := s.writes.Add(1); w == s.cfg.CutAtWrite {
+			s.cut.Store(true)
+			if s.cfg.TornWrite && len(p) > 1 {
+				// The prefix length is a pure function of (seed, store,
+				// offset), so the torn frame is reproducible.
+				g := rng.NewSplitMix64(s.cfg.Seed ^ s.salt ^ rng.Mix64(uint64(off)) ^ 0x746f726e)
+				if n := int(g.Next() % uint64(len(p))); n > 0 {
+					s.torn.Add(1)
+					// The prefix reached the media before the cut; its
+					// error (if any) is irrelevant — the host is gone.
+					_ = s.inner.WriteAt(clock, p[:n], off)
+				}
+			}
+			return s.powerCutError(clock, off)
+		}
+	}
 	return s.inner.WriteAt(clock, p, off)
 }
 
@@ -205,6 +297,9 @@ func (s *Store) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 // charge the device model for the transfer (a failed request occupies the
 // device just like a successful one) and are counted in its health stats.
 func (s *Store) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	if s.cut.Load() {
+		return s.powerCutError(clock, off)
+	}
 	reads := s.reads.Add(1)
 
 	// Permanent death: sticky, and decided before any service.
@@ -281,14 +376,17 @@ func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
 type Factory struct {
 	mk  func(name string, chunk int) (nvm.Storage, error)
 	cfg Config
+	cut *atomic.Bool // host power state shared by every created store
 
 	mu     sync.Mutex
 	stores []*Store
 }
 
 // NewFactory returns a factory injecting cfg into every store mk creates.
+// All created stores share one host power state: a power cut tripped by
+// any of them fails every store the factory built.
 func NewFactory(mk func(name string, chunk int) (nvm.Storage, error), cfg Config) *Factory {
-	return &Factory{mk: mk, cfg: cfg}
+	return &Factory{mk: mk, cfg: cfg, cut: new(atomic.Bool)}
 }
 
 // Make creates a store named name and wraps it with fault injection.
@@ -297,12 +395,15 @@ func (f *Factory) Make(name string, chunk int) (nvm.Storage, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := Wrap(inner, name, f.cfg)
+	st := wrapShared(inner, name, f.cfg, f.cut)
 	f.mu.Lock()
 	f.stores = append(f.stores, st)
 	f.mu.Unlock()
 	return st, nil
 }
+
+// Cut reports whether the factory's host has lost power.
+func (f *Factory) Cut() bool { return f.cut.Load() }
 
 // Stores returns every store the factory has created.
 func (f *Factory) Stores() []*Store {
@@ -317,10 +418,13 @@ func (f *Factory) TotalCounters() Counters {
 	for _, st := range f.Stores() {
 		c := st.Counters()
 		t.Reads += c.Reads
+		t.Writes += c.Writes
 		t.Transient += c.Transient
 		t.Spikes += c.Spikes
 		t.Corrupted += c.Corrupted
+		t.Torn += c.Torn
 		t.Dead = t.Dead || c.Dead
+		t.Cut = t.Cut || c.Cut
 	}
 	return t
 }

@@ -227,3 +227,92 @@ func TestFactoryTracksStores(t *testing.T) {
 		t.Fatalf("totals = %+v, want 1 transient over 1 read", c)
 	}
 }
+
+func TestPowerCutAtWrite(t *testing.T) {
+	mk := func(name string, chunk int) (nvm.Storage, error) {
+		return nvm.NewNamedMemStore(name, nil, chunk), nil
+	}
+	f := NewFactory(mk, Config{Seed: 9, CutAtWrite: 3, CutStores: "wal"})
+	wal, err := f.Make("wal", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := f.Make("data", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewClock(0)
+	buf := make([]byte, 64)
+	// The data store's writes never count toward the cut.
+	for i := 0; i < 10; i++ {
+		if err := other.WriteAt(clock, buf, int64(i)*64); err != nil {
+			t.Fatalf("data write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := wal.WriteAt(clock, buf, int64(i)*64); err != nil {
+			t.Fatalf("wal write %d: %v", i, err)
+		}
+	}
+	// Third wal write: power cut, nothing persists (TornWrite off).
+	err = wal.WriteAt(clock, buf, 128)
+	if !errors.Is(err, nvm.ErrPowerCut) {
+		t.Fatalf("cut write: %v, want ErrPowerCut", err)
+	}
+	var pce *PowerCutError
+	if !errors.As(err, &pce) || pce.Store != "wal" {
+		t.Fatalf("cut error = %#v", err)
+	}
+	if nvm.IsRetryable(err) {
+		t.Fatal("power cut must not be retryable")
+	}
+	if wal.(*Store).Size() > 128 {
+		t.Fatalf("cut write persisted: size=%d", wal.(*Store).Size())
+	}
+	// The whole host is down: the other store fails reads and writes too.
+	if err := other.ReadAt(clock, buf, 0); !errors.Is(err, nvm.ErrPowerCut) {
+		t.Fatalf("read on cut host: %v", err)
+	}
+	if err := other.WriteAt(clock, buf, 0); !errors.Is(err, nvm.ErrPowerCut) {
+		t.Fatalf("write on cut host: %v", err)
+	}
+	if !f.Cut() {
+		t.Fatal("factory does not report the cut")
+	}
+	c := f.TotalCounters()
+	if !c.Cut {
+		t.Fatalf("counters = %+v, want Cut", c)
+	}
+}
+
+func TestPowerCutTornWriteDeterministic(t *testing.T) {
+	sizes := make([]int64, 2)
+	for round := range sizes {
+		st := Wrap(nvm.NewNamedMemStore("wal", nil, 4096), "wal",
+			Config{Seed: 42, CutAtWrite: 1, TornWrite: true})
+		clock := vtime.NewClock(0)
+		p := make([]byte, 1000)
+		for i := range p {
+			p[i] = byte(i)
+		}
+		if err := st.WriteAt(clock, p, 0); !errors.Is(err, nvm.ErrPowerCut) {
+			t.Fatalf("round %d: cut write: %v", round, err)
+		}
+		n := st.Size()
+		if n >= 1000 {
+			t.Fatalf("round %d: torn write persisted whole request (%d bytes)", round, n)
+		}
+		sizes[round] = n
+		if c := st.Counters(); n > 0 && c.Torn != 1 {
+			t.Fatalf("round %d: counters = %+v", round, c)
+		}
+		// The cut wrapper refuses all further reads — recovery must go to
+		// the media directly.
+		if err := st.ReadAt(clock, make([]byte, 1), 0); !errors.Is(err, nvm.ErrPowerCut) {
+			t.Fatalf("round %d: read after cut: %v", round, err)
+		}
+	}
+	if sizes[0] != sizes[1] {
+		t.Fatalf("torn prefix not deterministic: %d vs %d", sizes[0], sizes[1])
+	}
+}

@@ -357,118 +357,142 @@ func (c *PageCache) removeLocked(s *cacheShard, pg *page) {
 // reads advance clock to the page's fill completion. The returned buffer
 // is immutable. A nil buffer with nil error means the block lies beyond
 // the store's end (prefetch past EOF).
+//
+// Write-through races: a write landing while a fill is in flight marks
+// the page stale, and the fill's buffer may hold pre-write bytes. A
+// demand read must never return a stale buffer — both the filler and any
+// waiter that merged onto the fill re-check staleness after the fill
+// settles and retry the lookup (the publish step removed the stale page
+// from the table, so the retry refills from the post-write media). This
+// covers single-block fills and coalesced FillRunAt runs alike.
 func (c *PageCache) getBlock(clock *vtime.Clock, inner Storage, id uint32, block int64, prefetch bool) ([]byte, error) {
 	key := pageKey{store: id, block: block}
 	s := c.shardOf(key)
 
-	s.mu.Lock()
-	if pg, ok := s.pages[key]; ok {
-		if !pg.filling {
-			first := pg.prefetched
-			if !prefetch {
-				// Only demand hits promote the page; a readahead touching
-				// an already-cached block is not evidence of reuse.
-				if pg.refs < maxPageRefs {
-					pg.refs++
+	for {
+		s.mu.Lock()
+		if pg, ok := s.pages[key]; ok {
+			if !pg.filling {
+				first := pg.prefetched
+				if !prefetch {
+					// Only demand hits promote the page; a readahead touching
+					// an already-cached block is not evidence of reuse.
+					if pg.refs < maxPageRefs {
+						pg.refs++
+					}
+					pg.prefetched = false
 				}
-				pg.prefetched = false
+				s.mu.Unlock()
+				if prefetch {
+					return pg.buf, nil
+				}
+				c.hits.Add(1)
+				c.hitBytes.Add(int64(len(pg.buf)))
+				if first {
+					c.prefetchHits.Add(1)
+					// First demand read of a prefetched page waits out the
+					// prefetch's completion: an async readahead is free only
+					// once it has actually finished. Settled demand-filled
+					// pages cost nothing here — the page is plain DRAM, and
+					// dragging this worker's clock to the *filler's* timeline
+					// would couple independent workers' queueing delays.
+					if clock != nil {
+						clock.AdvanceTo(pg.readyAt)
+					}
+				}
+				return pg.buf, nil
 			}
+			// Another worker's fill is in flight: wait for it instead of
+			// issuing a second device request for the same block.
+			done := pg.done
 			s.mu.Unlock()
 			if prefetch {
-				return pg.buf, nil
+				return nil, nil
+			}
+			c.mergedFills.Add(1)
+			<-done
+			if pg.err != nil {
+				return nil, pg.err
+			}
+			s.mu.Lock()
+			stale := pg.stale
+			s.mu.Unlock()
+			if stale {
+				// The fill raced a write-through: its bytes predate the
+				// write this reader may already have observed. Retry.
+				continue
 			}
 			c.hits.Add(1)
 			c.hitBytes.Add(int64(len(pg.buf)))
-			if first {
-				c.prefetchHits.Add(1)
-				// First demand read of a prefetched page waits out the
-				// prefetch's completion: an async readahead is free only
-				// once it has actually finished. Settled demand-filled
-				// pages cost nothing here — the page is plain DRAM, and
-				// dragging this worker's clock to the *filler's* timeline
-				// would couple independent workers' queueing delays.
-				if clock != nil {
-					clock.AdvanceTo(pg.readyAt)
-				}
+			if clock != nil {
+				clock.AdvanceTo(pg.readyAt)
 			}
 			return pg.buf, nil
 		}
-		// Another worker's fill is in flight: wait for it instead of
-		// issuing a second device request for the same block.
-		done := pg.done
+
+		// Miss: reserve the page, then fill it outside the shard lock.
+		off := block * c.block
+		size := inner.Size()
+		if off >= size {
+			s.mu.Unlock()
+			if prefetch {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("nvm: cache read block %d beyond store size %d", block, size)
+		}
+		n := c.block
+		if off+n > size {
+			n = size - off
+		}
+		pg := &page{key: key, filling: true, done: make(chan struct{})}
+		c.insertLocked(s, pg)
 		s.mu.Unlock()
+
+		// The fill's device time is computed on a scratch clock so prefetch
+		// issues the request at the worker's current time without stalling
+		// the worker on its completion; demand reads advance to it below.
+		var at vtime.Duration
+		if clock != nil {
+			at = clock.Now()
+		}
+		fillClock := vtime.NewClock(at)
+		buf := make([]byte, n)
+		err := inner.ReadAt(fillClock, buf, off)
+
+		s.mu.Lock()
+		stale := pg.stale
+		if err != nil || stale {
+			c.removeLocked(s, pg)
+		} else {
+			pg.buf = buf
+			pg.readyAt = fillClock.Now()
+			pg.prefetched = prefetch
+		}
+		pg.err = err
+		pg.filling = false
+		s.mu.Unlock()
+		close(pg.done)
+
+		if err != nil {
+			return nil, err
+		}
 		if prefetch {
-			return nil, nil
+			c.prefetches.Add(1)
+			c.fillBytes.Add(n)
+			return buf, nil
 		}
-		c.mergedFills.Add(1)
-		<-done
-		if pg.err != nil {
-			return nil, pg.err
+		c.misses.Add(1)
+		c.fillBytes.Add(n)
+		if stale {
+			// This fill raced a write-through and may predate it; re-read
+			// so a read issued after the write never returns stale bytes.
+			continue
 		}
-		c.hits.Add(1)
-		c.hitBytes.Add(int64(len(pg.buf)))
 		if clock != nil {
 			clock.AdvanceTo(pg.readyAt)
 		}
-		return pg.buf, nil
-	}
-
-	// Miss: reserve the page, then fill it outside the shard lock.
-	off := block * c.block
-	size := inner.Size()
-	if off >= size {
-		s.mu.Unlock()
-		if prefetch {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("nvm: cache read block %d beyond store size %d", block, size)
-	}
-	n := c.block
-	if off+n > size {
-		n = size - off
-	}
-	pg := &page{key: key, filling: true, done: make(chan struct{})}
-	c.insertLocked(s, pg)
-	s.mu.Unlock()
-
-	// The fill's device time is computed on a scratch clock so prefetch
-	// issues the request at the worker's current time without stalling
-	// the worker on its completion; demand reads advance to it below.
-	var at vtime.Duration
-	if clock != nil {
-		at = clock.Now()
-	}
-	fillClock := vtime.NewClock(at)
-	buf := make([]byte, n)
-	err := inner.ReadAt(fillClock, buf, off)
-
-	s.mu.Lock()
-	if err != nil || pg.stale {
-		c.removeLocked(s, pg)
-	} else {
-		pg.buf = buf
-		pg.readyAt = fillClock.Now()
-		pg.prefetched = prefetch
-	}
-	pg.err = err
-	pg.filling = false
-	s.mu.Unlock()
-	close(pg.done)
-
-	if err != nil {
-		return nil, err
-	}
-	if prefetch {
-		c.prefetches.Add(1)
-		c.fillBytes.Add(n)
 		return buf, nil
 	}
-	c.misses.Add(1)
-	c.fillBytes.Add(n)
-	if clock != nil {
-		clock.AdvanceTo(pg.readyAt)
-	}
-	return buf, nil
 }
 
 // fillRunAt fills the nblocks blocks starting at block for store id,
@@ -544,8 +568,9 @@ func (c *PageCache) fillRunAt(at vtime.Duration, inner Storage, id uint32, block
 				pg.readyAt = ready
 				pg.prefetched = true
 				if pg.stale {
-					// Invalidated mid-fill: waiters may still copy the
-					// buffer, but the page leaves the table.
+					// Invalidated mid-fill: the page leaves the table, and
+					// demand waiters that merged onto this run see the stale
+					// mark and retry against the rewritten media.
 					c.removeLocked(s, pg)
 				}
 			}

@@ -1,0 +1,152 @@
+package nvm
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semibfs/internal/numa"
+	"semibfs/internal/vtime"
+)
+
+// fillGateStore blocks reads while gate is set, releasing them when release
+// is closed, so tests can hold a cache fill in flight while a
+// write-through lands.
+type fillGateStore struct {
+	Storage
+	gate    atomic.Bool
+	release chan struct{}
+	started chan struct{}
+	once    sync.Once
+}
+
+func newFillGateStore(inner Storage) *fillGateStore {
+	return &fillGateStore{
+		Storage: inner,
+		release: make(chan struct{}),
+		started: make(chan struct{}),
+	}
+}
+
+func (g *fillGateStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
+	if g.gate.Load() {
+		g.once.Do(func() { close(g.started) })
+		<-g.release
+	}
+	return g.Storage.ReadAt(clock, p, off)
+}
+
+// TestCacheFillRunInvalidationRace is the regression test for the
+// write-through hole with coalesced run fills: a FillRunAt whose device
+// read is in flight when a block rewrite lands must not let any reader —
+// neither a waiter merged onto the run nor a later demand read — observe
+// the pre-write bytes.
+func TestCacheFillRunInvalidationRace(t *testing.T) {
+	const block = 64
+	inner := newFillGateStore(NewNamedMemStore("data", nil, block))
+	c := NewPageCache(16*block, block, numa.CostModel{})
+	cs := c.Wrap(inner)
+	clock := vtime.NewClock(0)
+
+	old := bytes.Repeat([]byte{0x0A}, 3*block)
+	if err := cs.WriteAt(clock, old, 0); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	// Hold the coalesced run fill on the device.
+	inner.gate.Store(true)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cs.FillRunAt(0, 0, 3*block)
+	}()
+	<-inner.started
+
+	// A demand reader merges onto the in-flight run.
+	got := make([]byte, block)
+	readDone := make(chan error, 1)
+	go func() {
+		readDone <- cs.ReadAt(vtime.NewClock(0), got, block)
+	}()
+
+	// The rewrite lands while the run is still in flight. The inner write
+	// must not block (only reads are gated).
+	next := bytes.Repeat([]byte{0x0B}, 3*block)
+	if err := inner.Storage.WriteAt(clock, next, 0); err != nil {
+		t.Fatalf("inner write: %v", err)
+	}
+	c.invalidate(cs.id, 0, 3*block)
+
+	// Release the run: it read pre-write bytes and must discard them.
+	inner.gate.Store(false)
+	close(inner.release)
+	wg.Wait()
+	if err := <-readDone; err != nil {
+		t.Fatalf("merged read: %v", err)
+	}
+	if !bytes.Equal(got, next[block:2*block]) {
+		t.Fatalf("reader merged onto stale run fill returned pre-write bytes: % x", got[:8])
+	}
+
+	// Later demand reads see the new bytes too.
+	after := make([]byte, 3*block)
+	if err := cs.ReadAt(clock, after, 0); err != nil {
+		t.Fatalf("read after invalidation: %v", err)
+	}
+	if !bytes.Equal(after, next) {
+		t.Fatalf("demand read after rewrite returned stale bytes")
+	}
+}
+
+// TestCacheDemandFillInvalidationRace covers the same hole on the
+// single-block demand path: both the filler itself and a waiter merged
+// onto its fill must retry when a write-through staled the page mid-fill.
+func TestCacheDemandFillInvalidationRace(t *testing.T) {
+	const block = 64
+	inner := newFillGateStore(NewNamedMemStore("data", nil, block))
+	c := NewPageCache(16*block, block, numa.CostModel{})
+	cs := c.Wrap(inner)
+	clock := vtime.NewClock(0)
+
+	old := bytes.Repeat([]byte{0x0A}, block)
+	if err := cs.WriteAt(clock, old, 0); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	inner.gate.Store(true)
+	filler := make([]byte, block)
+	fillErr := make(chan error, 1)
+	go func() {
+		fillErr <- cs.ReadAt(vtime.NewClock(0), filler, 0)
+	}()
+	<-inner.started
+
+	waiter := make([]byte, block)
+	waitErr := make(chan error, 1)
+	go func() {
+		waitErr <- cs.ReadAt(vtime.NewClock(0), waiter, 0)
+	}()
+
+	next := bytes.Repeat([]byte{0x0B}, block)
+	if err := inner.Storage.WriteAt(clock, next, 0); err != nil {
+		t.Fatalf("inner write: %v", err)
+	}
+	c.invalidate(cs.id, 0, block)
+
+	inner.gate.Store(false)
+	close(inner.release)
+	if err := <-fillErr; err != nil {
+		t.Fatalf("filler read: %v", err)
+	}
+	if err := <-waitErr; err != nil {
+		t.Fatalf("waiter read: %v", err)
+	}
+	if !bytes.Equal(filler, next) {
+		t.Fatalf("filler returned pre-write bytes after invalidation")
+	}
+	if !bytes.Equal(waiter, next) {
+		t.Fatalf("waiter returned pre-write bytes after invalidation")
+	}
+}

@@ -17,16 +17,22 @@ import (
 //   - ErrCorrupt: the request "succeeded" but returned bytes that fail
 //     verification; a retry re-reads the media and may succeed.
 //   - ErrDeviceDead: the device is permanently gone; retries cannot help.
+//   - ErrPowerCut: the *host* lost power mid-operation; the in-memory stack
+//     is gone and only recovery (rebuilding the stack over the surviving
+//     media and replaying the WAL) can continue. Never retryable — there is
+//     no process left to retry.
 var (
 	ErrTransient  = errors.New("nvm: transient read error")
 	ErrCorrupt    = errors.New("nvm: chunk checksum mismatch")
 	ErrDeviceDead = errors.New("nvm: device dead")
+	ErrPowerCut   = errors.New("nvm: power cut")
 )
 
 // IsRetryable reports whether err is worth retrying: any storage error
-// except a permanent device death. A nil error is not retryable.
+// except a permanent device death or a host power cut. A nil error is not
+// retryable.
 func IsRetryable(err error) bool {
-	return err != nil && !errors.Is(err, ErrDeviceDead)
+	return err != nil && !errors.Is(err, ErrDeviceDead) && !errors.Is(err, ErrPowerCut)
 }
 
 // DeadError is the structured error a store returns once its device has

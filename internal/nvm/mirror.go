@@ -144,6 +144,11 @@ type MirrorStats struct {
 	// RepairTime's sum: one sample per repaired block, in virtual
 	// nanoseconds, with mergeable log-spaced buckets (p50/p95/p99).
 	RepairHist stats.Histogram `json:"-"`
+	// SkippedInFlight counts scrub steps that skipped a block because a
+	// logical write (e.g. a compaction shadow-block rewrite) was mid-fanout
+	// across the replicas: replicas legitimately diverge inside that
+	// window, and "repairing" one from another would race the writer.
+	SkippedInFlight int64
 }
 
 // Add returns s plus o, field-wise.
@@ -157,6 +162,7 @@ func (s MirrorStats) Add(o MirrorStats) MirrorStats {
 	s.RebuiltBlocks += o.RebuiltBlocks
 	s.RepairTime += o.RepairTime
 	s.RepairHist = s.RepairHist.Add(o.RepairHist)
+	s.SkippedInFlight += o.SkippedInFlight
 	return s
 }
 
@@ -171,6 +177,7 @@ func (s MirrorStats) Sub(o MirrorStats) MirrorStats {
 	s.RebuiltBlocks -= o.RebuiltBlocks
 	s.RepairTime -= o.RepairTime
 	s.RepairHist = s.RepairHist.Sub(o.RepairHist)
+	s.SkippedInFlight -= o.SkippedInFlight
 	return s
 }
 
@@ -265,6 +272,12 @@ type MirrorStore struct {
 	size int64
 
 	stats MirrorStats
+	// fences holds the byte ranges of logical writes currently mid-fanout
+	// across the replicas. The scrubber must not verify a fenced block:
+	// until the last replica write lands the copies legitimately diverge,
+	// and a "repair" from whichever replica happened to be written first
+	// would race the writer's remaining replica writes.
+	fences []fenceRange
 	// Scrub cursor: scrubNext is the fixed virtual time of the next scrub
 	// step, scrubBlock the block it will verify. Steps run at exactly
 	// {k * ScrubInterval} no matter which worker's read triggers the
@@ -394,6 +407,7 @@ func (m *MirrorStore) Stats() LayerStats {
 		{Name: "scrub_errors", Value: st.ScrubErrors},
 		{Name: "repaired_blocks", Value: st.RepairedBlocks},
 		{Name: "rebuilt_blocks", Value: st.RebuiltBlocks},
+		{Name: "scrub_skipped_inflight", Value: st.SkippedInFlight},
 		{Name: "repair_ns", Value: int64(st.RepairTime)},
 		// Quantiles of the per-block repair-latency distribution. Gauges:
 		// a snapshot delta cannot subtract quantiles, so Sub keeps the
@@ -544,10 +558,50 @@ func (m *MirrorStore) ReadAt(clock *vtime.Clock, p []byte, off int64) error {
 	return &DeadError{Store: m.name, At: at}
 }
 
+// fenceRange is a half-open byte range [lo, hi) a logical write is
+// currently fanning out over.
+type fenceRange struct {
+	lo, hi int64
+}
+
+// fenceLocked registers a write's range so concurrent scrub steps treat
+// its blocks as in-flight. The m.mu lock must be held.
+func (m *MirrorStore) fenceLocked(lo, hi int64) {
+	m.fences = append(m.fences, fenceRange{lo, hi})
+}
+
+// unfence removes one registration of [lo, hi).
+func (m *MirrorStore) unfence(lo, hi int64) {
+	m.mu.Lock()
+	for i, f := range m.fences {
+		if f.lo == lo && f.hi == hi {
+			last := len(m.fences) - 1
+			m.fences[i] = m.fences[last]
+			m.fences = m.fences[:last]
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// fencedLocked reports whether [lo, hi) overlaps a write in flight.
+func (m *MirrorStore) fencedLocked(lo, hi int64) bool {
+	for _, f := range m.fences {
+		if lo < f.hi && f.lo < hi {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteAt implements Storage: the write lands on every live replica (dead
 // replicas miss it and become stale; Rebuild or the scrubber restores
-// them). The first replica failure aborts the write.
+// them). The first replica failure aborts the write. The written range is
+// fenced for the duration of the fanout so a scrub step triggered by a
+// concurrent read does not mistake the mid-write replica divergence for
+// staleness and "repair" a replica the writer is about to reach.
 func (m *MirrorStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
+	end := off + int64(len(p))
 	m.mu.Lock()
 	live := make([]*mirrorReplica, 0, len(m.reps))
 	for _, rep := range m.reps {
@@ -555,8 +609,11 @@ func (m *MirrorStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 			live = append(live, rep)
 		}
 	}
-	if end := off + int64(len(p)); end > m.size && len(live) > 0 {
+	if end > m.size && len(live) > 0 {
 		m.size = end
+	}
+	if len(live) > 0 {
+		m.fenceLocked(off, end)
 	}
 	m.mu.Unlock()
 	if len(live) == 0 {
@@ -566,6 +623,7 @@ func (m *MirrorStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
 		}
 		return &DeadError{Store: m.name, At: at}
 	}
+	defer m.unfence(off, end)
 	for _, rep := range live {
 		if err := rep.store.WriteAt(clock, p, off); err != nil {
 			return &BlockError{Store: rep.name, Block: off / m.block, Off: off,
@@ -636,6 +694,14 @@ func (m *MirrorStore) scrubStepLocked(sc *vtime.Clock, b int64) {
 		hi = m.size
 	}
 	n := hi - lo
+	if m.fencedLocked(lo, hi) {
+		// A logical write is mid-fanout over this block (e.g. a
+		// compaction shadow-block rewrite): the replicas are allowed to
+		// diverge until its last replica write lands, so verifying now
+		// would produce false "repairs". Skip; the next pass catches it.
+		m.stats.SkippedInFlight++
+		return
+	}
 	if int64(cap(m.scrubBuf)) < n {
 		m.scrubBuf = make([]byte, n)
 	}

@@ -1,0 +1,101 @@
+package nvm
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semibfs/internal/vtime"
+)
+
+// writeGateStore blocks writes while gate is set, so a mirror write can
+// be held mid-fanout (first replica written, second still pending).
+type writeGateStore struct {
+	Storage
+	gate    atomic.Bool
+	release chan struct{}
+	started chan struct{}
+	once    sync.Once
+}
+
+func newWriteGateStore(inner Storage) *writeGateStore {
+	return &writeGateStore{
+		Storage: inner,
+		release: make(chan struct{}),
+		started: make(chan struct{}),
+	}
+}
+
+func (g *writeGateStore) WriteAt(clock *vtime.Clock, p []byte, off int64) error {
+	if g.gate.Load() {
+		g.once.Do(func() { close(g.started) })
+		<-g.release
+	}
+	return g.Storage.WriteAt(clock, p, off)
+}
+
+// TestScrubSkipsBlockMidWrite is the regression test for the scrubber
+// treating a block mid-shadow-rewrite as corrupt: with a logical write
+// held between its first and second replica writes, the replicas
+// legitimately diverge, and a scrub pass must skip the fenced block
+// instead of "repairing" the not-yet-written replica.
+func TestScrubSkipsBlockMidWrite(t *testing.T) {
+	const block = 64
+	r0 := NewNamedMemStore("m-r0", nil, block)
+	gated := newWriteGateStore(NewNamedMemStore("m-r1", nil, block))
+	m, err := NewMirror("m", []Storage{r0, gated}, block, MirrorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewClock(0)
+
+	// Settle both replicas with identical data.
+	old := bytes.Repeat([]byte{0x0A}, 2*block)
+	if err := m.WriteAt(clock, old, 0); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	// Hold the rewrite mid-fanout: replica 0 has the new bytes, replica 1
+	// still has the old ones.
+	gated.gate.Store(true)
+	next := bytes.Repeat([]byte{0x0B}, 2*block)
+	writeDone := make(chan error, 1)
+	go func() {
+		writeDone <- m.WriteAt(vtime.NewClock(0), next, 0)
+	}()
+	<-gated.started
+
+	m.ScrubPass(clock)
+	st := m.MirrorStats()
+	if st.RepairedBlocks != 0 {
+		t.Fatalf("scrub repaired %d blocks during an in-flight write", st.RepairedBlocks)
+	}
+	if st.SkippedInFlight == 0 {
+		t.Fatal("scrub did not count the fenced blocks as in-flight")
+	}
+
+	// Let the write finish; the fence lifts and the next pass verifies
+	// both replicas agree with no repairs.
+	gated.gate.Store(false)
+	close(gated.release)
+	if err := <-writeDone; err != nil {
+		t.Fatalf("mirror write: %v", err)
+	}
+	before := m.MirrorStats()
+	m.ScrubPass(clock)
+	after := m.MirrorStats()
+	if d := after.RepairedBlocks - before.RepairedBlocks; d != 0 {
+		t.Fatalf("post-write scrub repaired %d blocks", d)
+	}
+	if d := after.SkippedInFlight - before.SkippedInFlight; d != 0 {
+		t.Fatalf("post-write scrub still skipped %d blocks", d)
+	}
+	got := make([]byte, 2*block)
+	if err := m.ReadAt(clock, got, 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, next) {
+		t.Fatal("mirror read returned stale bytes after write completed")
+	}
+}

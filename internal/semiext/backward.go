@@ -44,6 +44,10 @@ type BackwardOptions struct {
 	// QueueDepth > 0 enables the async coalescing pipeline on the tail
 	// stores (requires Cache; see ForwardOptions.QueueDepth).
 	QueueDepth int
+	// StoreSuffix is appended to every tail store name (before the
+	// mirror's "-r<i>" replica suffix); compaction uses it to address CSR
+	// generations, mirroring ForwardOptions.StoreSuffix.
+	StoreSuffix string
 }
 
 // HybridBackward is the backward (bottom-up) graph with a bounded DRAM
@@ -64,7 +68,19 @@ type HybridBackward struct {
 	PerNode []*BackwardNode
 	// Options are the options the graph was built with.
 	Options BackwardOptions
+	// overlay, when set, holds pending dynamic-graph edits that scanners
+	// merge into the stored adjacency, keyed by vertex (see SetOverlay).
+	overlay *DeltaOverlay
 }
+
+// SetOverlay attaches the DRAM edge-delta overlay scanners merge into
+// the stored adjacency. The backward overlay is keyed by vertex: an
+// inserted edge (v, nb) lands in slot v. Attach before scanners run
+// concurrently.
+func (hb *HybridBackward) SetOverlay(o *DeltaOverlay) { hb.overlay = o }
+
+// Overlay returns the attached overlay, or nil.
+func (hb *HybridBackward) Overlay() *DeltaOverlay { return hb.overlay }
 
 // BackwardNode is one NUMA node's slice of a HybridBackward graph.
 type BackwardNode struct {
@@ -155,7 +171,7 @@ func OffloadBackward(bg *csr.BackwardGraph, mk StoreFactory, clock *vtime.Clock,
 		}
 		if len(tail) > 0 {
 			store, err := nvm.BuildStack(nvm.StackSpec{
-				Name:       fmt.Sprintf("bwd-node%d-tail", k),
+				Name:       fmt.Sprintf("bwd-node%d-tail%s", k, opts.StoreSuffix),
 				Chunk:      nvm.DefaultChunkSize,
 				Base:       nvm.BaseFactory(mk),
 				Checksum:   opts.Checksums,
@@ -309,39 +325,75 @@ func NewBackwardScanner(hb *HybridBackward, clock *vtime.Clock) *BackwardScanner
 func (s *BackwardScanner) Scan(k int, v int64, fn func(nb int64) bool) (examined int64, err error) {
 	node := s.hb.PerNode[k]
 	i := v - node.Base
+	var delta *vertexDelta
+	if o := s.hb.overlay; o != nil {
+		delta = o.delta(v, false)
+	}
 	prefix := node.DRAMValue[node.DRAMIndex[i]:node.DRAMIndex[i+1]]
 	for _, nb := range prefix {
+		if delta.deleted(nb) {
+			// The DRAM entry was still examined; it just no longer exists
+			// in the merged adjacency.
+			s.DRAMEdgesScanned++
+			continue
+		}
 		examined++
 		s.DRAMEdgesScanned++
 		if !fn(nb) {
 			return examined, nil
 		}
 	}
-	if node.TailIndex == nil {
-		return examined, nil
+	hasTail := node.TailIndex != nil && node.TailIndex[i] < node.TailIndex[i+1]
+	if hasTail {
+		tailLo, tailHi := node.TailIndex[i], node.TailIndex[i+1]
+		s.TailFetches++
+		// Stream the tail through the shared raw/compressed helper in
+		// chunks of at most 4 KiB, so an early parent hit in the first
+		// chunk never pays for the rest of the tail. Only the deletion
+		// half of the delta rides along: pending adds are DRAM-resident
+		// and are emitted below with DRAM accounting.
+		lo, hi := tailLo, tailHi
+		compress := s.hb.Options.Compress
+		if compress {
+			lo, hi = node.TailByteIndex[i], node.TailByteIndex[i+1]
+		}
+		var tailDelta *vertexDelta
+		if delta != nil && len(delta.dels) > 0 {
+			tailDelta = &vertexDelta{dels: delta.dels}
+		}
+		stopped := false
+		n, err := streamNeighbors(node.TailStore, s.clock, compress, v, lo, hi,
+			&s.byteBuf, &s.valBuf, nvm.DefaultChunkSize, tailDelta, func(nb int64) bool {
+				s.NVMEdgesScanned++
+				if !fn(nb) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		examined += n
+		if err != nil || stopped {
+			return examined, err
+		}
 	}
-	tailLo, tailHi := node.TailIndex[i], node.TailIndex[i+1]
-	if tailLo == tailHi {
-		return examined, nil
+	if delta != nil {
+		for _, nb := range delta.adds {
+			examined++
+			s.DRAMEdgesScanned++
+			if !fn(nb) {
+				return examined, nil
+			}
+		}
 	}
-	s.TailFetches++
-	// Stream the tail through the shared raw/compressed helper in chunks
-	// of at most 4 KiB, so an early parent hit in the first chunk never
-	// pays for the rest of the tail.
-	lo, hi := tailLo, tailHi
-	compress := s.hb.Options.Compress
-	if compress {
-		lo, hi = node.TailByteIndex[i], node.TailByteIndex[i+1]
-	}
-	n, err := streamNeighbors(node.TailStore, s.clock, compress, v, lo, hi,
-		&s.byteBuf, &s.valBuf, nvm.DefaultChunkSize, func(nb int64) bool {
-			s.NVMEdgesScanned++
-			return fn(nb)
-		})
-	return examined + n, err
+	return examined, nil
 }
 
-// Degree returns the full degree of global vertex v.
+// Degree returns the full degree of global vertex v in the merged view
+// (stored adjacency plus any pending overlay edits).
 func (hb *HybridBackward) Degree(v int64) int64 {
-	return hb.PerNode[hb.Part.NodeOf(int(v))].Degree(v)
+	d := hb.PerNode[hb.Part.NodeOf(int(v))].Degree(v)
+	if hb.overlay != nil {
+		d += hb.overlay.DegreeDelta(v)
+	}
+	return d
 }

@@ -50,7 +50,62 @@ func growBytes(buf *[]byte, n int64) []byte {
 // chunkBytes (<= 0 selects nvm.DefaultChunkSize), so an early exit in the
 // first chunk never pays for the rest of a long tail; partial varints at
 // a chunk boundary are carried into the next read.
+//
+// delta, when non-nil, is merged into the stored stream at read time:
+// suppressed neighbors never reach fn, pending adds are interleaved into
+// an ascending stream (delta.sorted) or emitted after the stored range is
+// exhausted, and examined counts the merged view fn actually saw. An
+// early exit skips the remaining adds, exactly as it skips the remaining
+// stored tail.
 func streamNeighbors(store nvm.Storage, clock *vtime.Clock, compressed bool,
+	src, lo, hi int64, scratch *[]byte, ids *[]int64, chunkBytes int,
+	delta *vertexDelta, fn func(nb int64) bool) (examined int64, err error) {
+	if delta == nil {
+		return streamStored(store, clock, compressed, src, lo, hi, scratch, ids, chunkBytes, fn)
+	}
+	ai := 0
+	stopped := false
+	merged := func(nb int64) bool {
+		if delta.sorted {
+			// Strict '<' is safe: the overlay contract keeps pending adds
+			// disjoint from live stored neighbors.
+			for ai < len(delta.adds) && delta.adds[ai] < nb {
+				examined++
+				if !fn(delta.adds[ai]) {
+					stopped = true
+					return false
+				}
+				ai++
+			}
+		}
+		if delta.deleted(nb) {
+			return true
+		}
+		examined++
+		if !fn(nb) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	if _, err := streamStored(store, clock, compressed, src, lo, hi, scratch, ids, chunkBytes, merged); err != nil {
+		return examined, err
+	}
+	if stopped {
+		return examined, nil
+	}
+	for ; ai < len(delta.adds); ai++ {
+		examined++
+		if !fn(delta.adds[ai]) {
+			return examined, nil
+		}
+	}
+	return examined, nil
+}
+
+// streamStored is streamNeighbors' stored-only core: it streams exactly
+// what the CSR holds, with no overlay applied.
+func streamStored(store nvm.Storage, clock *vtime.Clock, compressed bool,
 	src, lo, hi int64, scratch *[]byte, ids *[]int64, chunkBytes int,
 	fn func(nb int64) bool) (examined int64, err error) {
 	if hi <= lo {

@@ -106,6 +106,11 @@ type ForwardOptions struct {
 	// worker's PrefetchFrontier call pushes through the prefetcher at
 	// once. <= 0 disables frontier-driven prefetch.
 	FrontierPrefetch int
+	// StoreSuffix is appended to every store name (before the mirror
+	// layer's "-r<i>" replica suffix). Log-structured compaction uses it
+	// to address CSR generations (".g1", ".g2", ...) so a new generation
+	// is written beside the live one and swapped in atomically.
+	StoreSuffix string
 }
 
 // replicas returns the effective replica count (always >= 1).
@@ -137,6 +142,9 @@ type SemiForward struct {
 	// decoded caches decoded hub adjacencies when Compress is on (takes
 	// 1/4 of the CacheBytes budget; nil otherwise).
 	decoded *decodedCache
+	// overlay, when set, holds pending dynamic-graph edits that readers
+	// merge into the stored adjacency (see SetOverlay).
+	overlay *DeltaOverlay
 	// ValueBytesRaw / ValueBytesStored measure the value arrays before
 	// and after encoding (equal when Compress is off) — the compression
 	// ratio the sweeps report.
@@ -186,40 +194,14 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		}
 		return nil, err
 	}
-	chunk := opts.chunkBytes()
-	if opts.CacheBytes > 0 {
-		// One cache shared by every node's stores, so the DRAM budget is
-		// global and hot index blocks compete with hot value blocks. With
-		// compression, a quarter of the budget moves to the decoded-list
-		// cache so total DRAM stays at CacheBytes either way.
-		pageBudget := opts.CacheBytes
-		if opts.Compress {
-			pageBudget = opts.CacheBytes * 3 / 4
-			sf.decoded = newDecodedCache(opts.CacheBytes - pageBudget)
-		}
-		sf.cache = nvm.NewPageCache(pageBudget, chunk, numa.CostModel{})
-	}
-	mkStack := func(name string) (nvm.Storage, error) {
-		return nvm.BuildStack(nvm.StackSpec{
-			Name:       name,
-			Chunk:      chunk,
-			Base:       nvm.BaseFactory(mk),
-			Checksum:   opts.Checksums,
-			Replicas:   opts.replicas(),
-			Mirror:     opts.Mirror,
-			Cache:      sf.cache,
-			QueueDepth: opts.QueueDepth,
-			BaseChunk:  AggregatedChunk,
-			Retry:      opts.Retry,
-		})
-	}
+	mkStack := forwardStackBuilder(sf, mk, opts)
 	for k, g := range fg.PerNode {
-		idxStore, err := mkStack(fmt.Sprintf("fwd-node%d-index", k))
+		idxStore, err := mkStack(forwardStoreName(k, "index", opts))
 		if err != nil {
 			return fail(err)
 		}
 		created = append(created, idxStore)
-		valStore, err := mkStack(fmt.Sprintf("fwd-node%d-value", k))
+		valStore, err := mkStack(forwardStoreName(k, "value", opts))
 		if err != nil {
 			return fail(err)
 		}
@@ -265,6 +247,131 @@ func OffloadForward(fg *csr.ForwardGraph, mk StoreFactory, clock *vtime.Clock, o
 		sf.PerNode[k] = node
 	}
 	return sf, nil
+}
+
+// forwardStoreName names node k's index or value store, with the
+// options' generation suffix applied. The mirror layer's "-r<i>" replica
+// suffix is appended after this name, so nvm.ReplicaIndex keeps parsing.
+func forwardStoreName(k int, kind string, opts ForwardOptions) string {
+	return fmt.Sprintf("fwd-node%d-%s%s", k, kind, opts.StoreSuffix)
+}
+
+// forwardStackBuilder wires sf's shared page cache (and decoded-list
+// cache split under compression) and returns the per-name stack
+// constructor OffloadForward and OpenForward share.
+func forwardStackBuilder(sf *SemiForward, mk StoreFactory, opts ForwardOptions) func(name string) (nvm.Storage, error) {
+	chunk := opts.chunkBytes()
+	if opts.CacheBytes > 0 {
+		// One cache shared by every node's stores, so the DRAM budget is
+		// global and hot index blocks compete with hot value blocks. With
+		// compression, a quarter of the budget moves to the decoded-list
+		// cache so total DRAM stays at CacheBytes either way.
+		pageBudget := opts.CacheBytes
+		if opts.Compress {
+			pageBudget = opts.CacheBytes * 3 / 4
+			sf.decoded = newDecodedCache(opts.CacheBytes - pageBudget)
+		}
+		sf.cache = nvm.NewPageCache(pageBudget, chunk, numa.CostModel{})
+	}
+	return func(name string) (nvm.Storage, error) {
+		return nvm.BuildStack(nvm.StackSpec{
+			Name:       name,
+			Chunk:      chunk,
+			Base:       nvm.BaseFactory(mk),
+			Checksum:   opts.Checksums,
+			Replicas:   opts.replicas(),
+			Mirror:     opts.Mirror,
+			Cache:      sf.cache,
+			QueueDepth: opts.QueueDepth,
+			BaseChunk:  AggregatedChunk,
+			Retry:      opts.Retry,
+		})
+	}
+}
+
+// OpenForward reassembles a SemiForward handle over stores that already
+// hold an offloaded forward graph — the recovery path after a crash or
+// restart. It builds the same stacks by name over mk without writing a
+// byte, re-reads each node's index array to restore the DRAM index copies
+// and size accounting, and leaves the value stores untouched (the
+// checksum layer re-derives its block sums from the existing content when
+// it wraps the media).
+//
+// ValueBytesRaw is restored exactly for raw graphs; for compressed ones
+// the raw size is unknowable without a full decode, so it is left 0 for
+// the caller to fill in (recovery's backward-graph rebuild decodes
+// everything anyway).
+func OpenForward(part *numa.Partition, mk StoreFactory, clock *vtime.Clock, opts ForwardOptions) (*SemiForward, error) {
+	nodes := part.Topology.Nodes
+	sf := &SemiForward{
+		Part:    part,
+		PerNode: make([]*ForwardNode, nodes),
+		Options: opts,
+	}
+	var created []nvm.Storage
+	fail := func(err error) (*SemiForward, error) {
+		for _, st := range created {
+			st.Close()
+		}
+		return nil, err
+	}
+	mkStack := forwardStackBuilder(sf, mk, opts)
+	n := int64(part.N)
+	index := make([]int64, n+1)
+	var scratch []byte
+	for k := 0; k < nodes; k++ {
+		idxStore, err := mkStack(forwardStoreName(k, "index", opts))
+		if err != nil {
+			return fail(err)
+		}
+		created = append(created, idxStore)
+		valStore, err := mkStack(forwardStoreName(k, "value", opts))
+		if err != nil {
+			return fail(err)
+		}
+		created = append(created, valStore)
+		// Each node's index spans all N vertices (the forward graph holds,
+		// per node, every vertex's neighbors owned by that node).
+		if err := readInt64s(idxStore, clock, 0, n+1, index, &scratch); err != nil {
+			return fail(fmt.Errorf("semiext: open forward index node %d: %w", k, err))
+		}
+		if opts.Compress {
+			sf.ValueBytesStored += index[n]
+		} else {
+			sf.ValueBytesRaw += index[n] * 8
+			sf.ValueBytesStored += index[n] * 8
+		}
+		node := &ForwardNode{
+			N:          n,
+			IndexStore: idxStore,
+			ValueStore: valStore,
+			valueCache: nvm.StackCache(valStore),
+			valuePre:   nvm.StackPrefetcher(valStore),
+			idxPre:     nvm.StackPrefetcher(idxStore),
+		}
+		if opts.IndexInDRAM {
+			node.dramIndex = append([]int64(nil), index...)
+		}
+		sf.PerNode[k] = node
+	}
+	return sf, nil
+}
+
+// SetOverlay attaches the DRAM edge-delta overlay readers merge into the
+// stored adjacency. Attach it before readers run concurrently; the
+// overlay's own snapshots handle edits racing reads after that.
+func (sf *SemiForward) SetOverlay(o *DeltaOverlay) { sf.overlay = o }
+
+// Overlay returns the attached overlay, or nil.
+func (sf *SemiForward) Overlay() *DeltaOverlay { return sf.overlay }
+
+// OverlaySlot maps (owner node k, vertex v) to the overlay slot holding
+// v's pending edits among node k's neighbors. The forward graph
+// partitions each vertex's adjacency by neighbor owner, so the overlay is
+// keyed the same way: an inserted edge (v, nb) lands in slot
+// OverlaySlot(Part.NodeOf(nb), v).
+func (sf *SemiForward) OverlaySlot(k int, v int64) int64 {
+	return v*int64(len(sf.PerNode)) + int64(k)
 }
 
 // Stacks returns every storage stack backing the graph (index and value
@@ -390,8 +497,20 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	var delta *vertexDelta
+	if o := r.sf.overlay; o != nil {
+		delta = o.delta(r.sf.OverlaySlot(k, v), true)
+	}
 	if hi == lo {
-		return nil, nil
+		if delta == nil || len(delta.adds) == 0 {
+			return nil, nil
+		}
+		// Pure-overlay adjacency: the vertex had no stored neighbors on
+		// this node; serve the pending adds straight from DRAM.
+		out := append(r.valBuf[:0], delta.adds...)
+		r.valBuf = out[:0]
+		r.EdgesRead += int64(len(out))
+		return out, nil
 	}
 	compress := r.sf.Options.Compress
 	// Byte extent of the range on NVM: raw entries are 8 bytes each, a
@@ -404,19 +523,26 @@ func (r *ForwardReader) Neighbors(k int, v int64) ([]int64, error) {
 	var out []int64
 	if compress && r.sf.decoded != nil && byteLen >= r.blockBytes(node) {
 		// Hot hub: serve the decoded list if another read already paid
-		// for the varint work.
+		// for the varint work. The cache always holds the *stored* list —
+		// pending edits are applied on top, never cached, so a later
+		// compaction can't leave merged views behind.
 		key := decodedKey{store: uint32(k), v: v}
-		if vals := r.sf.decoded.get(r.clock, key); vals != nil {
-			r.EdgesRead += int64(len(vals))
-			return vals, nil
+		base := r.sf.decoded.get(r.clock, key)
+		if base == nil {
+			base, err = r.readRange(node, v, lo, hi, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			r.sf.decoded.put(key, base)
 		}
-		out, err = r.readRange(node, v, lo, hi, nil)
-		if err != nil {
-			return nil, err
+		if delta == nil {
+			out = base
+		} else {
+			out = mergeDelta(r.valBuf[:0], base, delta)
+			r.valBuf = out[:0]
 		}
-		r.sf.decoded.put(key, out)
 	} else {
-		out, err = r.readRange(node, v, lo, hi, r.valBuf[:0])
+		out, err = r.readRange(node, v, lo, hi, delta, r.valBuf[:0])
 		r.valBuf = out[:0]
 	}
 	if err != nil {
@@ -454,17 +580,18 @@ func (r *ForwardReader) indexRange(node *ForwardNode, v int64) (lo, hi int64, er
 }
 
 // readRange materializes the whole range [lo, hi) of v's neighbors into
-// out (appending). The span travels as one stack read (see
-// streamNeighbors with a whole-span chunk), so multi-block hubs hit the
-// async pipeline's coalescer when it is configured.
-func (r *ForwardReader) readRange(node *ForwardNode, v, lo, hi int64, out []int64) ([]int64, error) {
+// out (appending), merging delta's pending edits at stream time when it
+// is non-nil. The span travels as one stack read (see streamNeighbors
+// with a whole-span chunk), so multi-block hubs hit the async pipeline's
+// coalescer when it is configured.
+func (r *ForwardReader) readRange(node *ForwardNode, v, lo, hi int64, delta *vertexDelta, out []int64) ([]int64, error) {
 	compress := r.sf.Options.Compress
 	span := hi - lo
 	if !compress {
 		span *= 8
 	}
 	_, err := streamNeighbors(node.ValueStore, r.clock, compress, v, lo, hi,
-		&r.byteBuf, &r.idBuf, int(span), func(nb int64) bool {
+		&r.byteBuf, &r.idBuf, int(span), delta, func(nb int64) bool {
 			out = append(out, nb)
 			return true
 		})

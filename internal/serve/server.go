@@ -39,6 +39,14 @@ type ServerConfig struct {
 	// every lane is free, in full cohorts, exactly like QueryPool's
 	// batches. Continuous (per-lane) admission is the default.
 	Gang bool
+	// BetweenSweeps, when set, runs at every sweep boundary with the
+	// current virtual time (seconds). No search is mid-sweep at that
+	// point, so it is the server's safe point for applying dynamic-graph
+	// updates: a mutation it makes is seen atomically by every later
+	// sweep, and admitted queries keep their lanes and run to completion
+	// over the evolving graph. An error aborts the step and surfaces to
+	// the driver.
+	BetweenSweeps func(now float64) error
 }
 
 // SubmitOptions carry a query's serving parameters.
@@ -466,6 +474,11 @@ func (sv *Server) stepLocked() (bool, error) {
 	sess := sv.sess
 	now := sess.Now()
 
+	if sv.cfg.BetweenSweeps != nil && !sv.closed {
+		if err := sv.cfg.BetweenSweeps(now.Seconds()); err != nil {
+			return false, err
+		}
+	}
 	// Between-sweep reclamation: cancelled and expired in-flight queries
 	// give their lanes back before the next sweep.
 	var reclaim uint64

@@ -7,9 +7,11 @@
 # storage stack), the query sweep (amortized per-query TEPS vs
 # multi-source batch width B), the load sweep (serving latency
 # quantiles vs open-loop offered load, with and without admission
-# control), and the I/O sweep (TEPS vs async queue depth x adjacency
-# compression on both device profiles) at a fixed seed and writes the
-# rows as JSON.
+# control), the I/O sweep (TEPS vs async queue depth x adjacency
+# compression on both device profiles), and the update sweep (durable
+# update cost, incremental BFS repair vs full rebuild, and crash-recovery
+# cost across batch sizes and injected power cuts) at a fixed seed and
+# writes the rows as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -25,6 +27,7 @@ PARTIAL_OUT=${PARTIAL_OUT:-BENCH_PR4.json}
 QUERY_OUT=${QUERY_OUT:-BENCH_PR5.json}
 LOAD_OUT=${LOAD_OUT:-BENCH_PR6.json}
 IO_OUT=${IO_OUT:-BENCH_PR7.json}
+UPDATE_OUT=${UPDATE_OUT:-BENCH_PR8.json}
 # The load sweep serves 4x this many queries per row; the stream must be
 # long enough that past the knee the unbounded baseline's queue waits
 # dominate its per-query service-time tail.
@@ -71,3 +74,18 @@ awk '
     for (s in best) printf "%s hybrid compressed+async: %.2fx over raw synchronous\n", s, best[s]
   }
 ' "$IO_OUT"
+
+echo "==> update sweep (scale $((SCALE-1))) -> $UPDATE_OUT"
+go run ./cmd/analyze -exp update -json -scale "$SCALE" > "$UPDATE_OUT"
+echo "wrote $UPDATE_OUT"
+# Headline lines: best incremental-repair speedup over a fresh rebuild
+# per scenario, and the costliest post-crash recovery.
+awk '
+  /"scenario"/       { gsub(/[",]/, ""); scen = $2 }
+  /"repair_speedup"/ { sp = $2 + 0; if (sp > best[scen]) best[scen] = sp }
+  /"recovery_us"/    { rc = $2 + 0; if (rc > worst) worst = rc }
+  END {
+    for (s in best) printf "%s incremental repair: %.0fx over fresh rebuild\n", s, best[s]
+    printf "worst-case crash recovery: %.1f ms virtual\n", worst / 1000
+  }
+' "$UPDATE_OUT"
