@@ -37,6 +37,9 @@ type ClusterOptions struct {
 	// ForwardOnNVM offloads every machine's forward adjacency to its
 	// own simulated PCIe flash device.
 	ForwardOnNVM bool
+	// Compress stores each machine's offloaded adjacency delta+varint
+	// encoded, as the single-node stack does. Requires ForwardOnNVM.
+	Compress bool
 	// DeviceLatencyScale scales the per-machine device latencies.
 	DeviceLatencyScale float64
 	// NetworkLatencySeconds / NetworkBandwidth override the
@@ -79,6 +82,7 @@ func NewCluster(edges *EdgeList, opts ClusterOptions) (*Cluster, error) {
 		Alpha:           opts.Alpha,
 		Beta:            opts.Beta,
 		ForwardOnNVM:    opts.ForwardOnNVM,
+		Compress:        opts.Compress,
 		LatencyScale:    opts.DeviceLatencyScale,
 	}
 	if opts.NetworkLatencySeconds > 0 || opts.NetworkBandwidth > 0 {

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|cache|io|failover|partial|query|load|update|all")
+		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|cache|io|failover|partial|query|load|update|algo|all")
 		scale  = flag.Int("scale", 18, "large instance scale")
 		ef     = flag.Int("edgefactor", 16, "edges per vertex")
 		seed   = flag.Uint64("seed", 12345, "generator seed")
@@ -236,6 +236,21 @@ func run(name string, opts experiments.Options, asJSON bool) error {
 		}
 		fmt.Println(experiments.FormatUpdateSweep(rows))
 		fmt.Println(experiments.UpdateSweepCSV(rows))
+	case "algo":
+		rows, err := experiments.AlgoSweep(opts)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out, err := experiments.AlgoSweepJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}
+		fmt.Println(experiments.FormatAlgoSweep(rows))
+		fmt.Println(experiments.AlgoSweepCSV(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -29,6 +29,7 @@ import (
 	"semibfs/internal/serve"
 	"semibfs/internal/stats"
 	"semibfs/internal/validate"
+	"semibfs/internal/vp"
 	"semibfs/internal/vtime"
 )
 
@@ -43,6 +44,9 @@ func main() {
 		alpha      = flag.Float64("alpha", 1e4, "top-down -> bottom-up switch threshold")
 		betaMult   = flag.Float64("beta-mult", 10, "beta = beta-mult * alpha")
 		mode       = flag.String("mode", "hybrid", "hybrid | topdown | bottomup | reference")
+		algo       = flag.String("algo", "bfs", "vertex program: bfs (Graph500 protocol) | cc (connected components) | pagerank")
+		prTol      = flag.Float64("pr-tol", 0, "PageRank L1 convergence tolerance (0 = 1e-6; requires -algo pagerank)")
+		prIters    = flag.Int("pr-iters", 0, "PageRank iteration cap (0 = 100; requires -algo pagerank)")
 		dir        = flag.String("dir", "", "directory for NVM store files (empty = in-memory)")
 		bwLimit    = flag.Int("backward-limit", 0, "DRAM edges per vertex for the backward graph (0 = all)")
 		levels     = flag.Bool("levels", false, "print per-level statistics of the first root")
@@ -178,6 +182,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	alg, err := core.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	if (*prTol != 0 || *prIters != 0) && alg != core.AlgoPageRank {
+		fatal(fmt.Errorf("-pr-tol / -pr-iters require -algo pagerank"))
+	}
+	if *prTol < 0 || *prIters < 0 {
+		fatal(fmt.Errorf("-pr-tol / -pr-iters must be >= 0"))
+	}
+	sc = sc.WithAlgorithm(alg)
 
 	p := graph500.Params{
 		Scale:          *scale,
@@ -219,6 +234,27 @@ func main() {
 	}
 	if *updates < 0 || *updRate < 0 {
 		fatal(fmt.Errorf("-updates / -update-rate must be >= 0"))
+	}
+	if alg != core.AlgoBFS {
+		if *batch > 0 || *updates > 0 || isRef || *official {
+			fatal(fmt.Errorf("-algo %s runs the vertex-program path; it does not combine with -batch, -updates, -official, or the reference mode", alg))
+		}
+		var list *edgelist.List
+		if *edgesFile != "" {
+			list, err = edgelist.LoadFile(*edgesFile)
+		} else {
+			list, err = generator.Generate(generator.Config{
+				Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed,
+			})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		prOpts := vp.PageRankOptions{Tol: *prTol, MaxIters: *prIters}
+		if err := runAlgorithm(list, p, prOpts, *levels, *layers); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *updates > 0 {
 		if !sc.HasNVM() {
@@ -689,6 +725,97 @@ func runServed(list *edgelist.List, p graph500.Params, queries int, qps float64,
 		fmt.Printf("aggregate_TEPS:       %s\n", stats.FormatTEPS(float64(traversed)/makespan))
 	}
 	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runAlgorithm runs a non-BFS vertex program (connected components or
+// PageRank) once through the configured storage stack and prints a
+// Graph500-style report: the program's convergence summary plus the usual
+// cache and resilience lines. The iterative algorithms are
+// root-independent, so there is no per-root protocol — one run is the
+// measurement.
+func runAlgorithm(list *edgelist.List, p graph500.Params, prOpts vp.PageRankOptions, showLevels, showLayers bool) error {
+	p = p.WithDefaults()
+	start := time.Now()
+	src := edgelist.ListSource{List: list}
+	sys, err := core.Build(src, p.BFS.Topology, p.Scenario, core.BuildOptions{Dir: p.Dir})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	prog, err := sys.NewProgram(prOpts)
+	if err != nil {
+		return err
+	}
+	eng, err := sys.NewEngine(prog, vp.Config{Config: p.BFS})
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(0)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("SCALE:                %d\n", p.Scale)
+	fmt.Printf("edgefactor:           %d\n", p.EdgeFactor)
+	fmt.Printf("scenario:             %s\n", p.Scenario.Name)
+	fmt.Printf("algorithm:            %s\n", p.Scenario.Algorithm)
+	fmt.Printf("mode:                 %s  alpha=%g beta=%g\n", p.BFS.Mode, p.BFS.Alpha, p.BFS.Beta)
+	fmt.Printf("iterations:           %d (converged: %v, %d direction switches)\n",
+		res.Iterations, res.Converged, res.Switches)
+	fmt.Printf("examined edges:       %d push, %d pull (%d from NVM)\n",
+		res.ExaminedPush, res.ExaminedPull, res.ExaminedNVM)
+	fmt.Printf("vtime:                %v\n", res.Time.ToTime())
+	if sec := res.Time.Seconds(); sec > 0 {
+		fmt.Printf("edges/s:              %s\n",
+			stats.FormatTEPS(float64(res.ExaminedPush+res.ExaminedPull)/sec))
+	}
+	fmt.Printf("state bytes:          %s (packed snapshot)\n", stats.FormatBytes(vp.StateBytes(prog)))
+	switch pg := prog.(type) {
+	case *vp.Components:
+		counts := map[int64]int64{}
+		for _, l := range pg.Labels() {
+			counts[l]++
+		}
+		var largest int64
+		for _, c := range counts {
+			if c > largest {
+				largest = c
+			}
+		}
+		fmt.Printf("components:           %d (largest %d vertices)\n", len(counts), largest)
+	case *vp.PageRank:
+		o := pg.Options()
+		var sum float64
+		for _, r := range pg.Ranks() {
+			sum += r
+		}
+		fmt.Printf("pagerank:             damping %g, tol %g, max %d iters; rank sum %.9f\n",
+			o.Damping, o.Tol, o.MaxIters, sum)
+	}
+	if c := res.Cache; c.Hits+c.Misses > 0 {
+		fmt.Printf("cache hits:           %d of %d lookups (%.1f%%)\n",
+			c.Hits, c.Hits+c.Misses, 100*c.HitRate())
+	}
+	if r := res.Resilience; r.ReadErrors > 0 || r.Retries > 0 {
+		fmt.Printf("NVM read errors:      %d (%d retried)\n", r.ReadErrors, r.Retries)
+	}
+	if r := res.Resilience; r.Failovers > 0 {
+		fmt.Printf("mirror failovers:     %d\n", r.Failovers)
+	}
+	fmt.Printf("wall time:            %v\n", time.Since(start).Round(time.Millisecond))
+	if showLevels && len(res.Levels) > 0 {
+		fmt.Println("\nper-level stats:")
+		fmt.Println("level  direction   frontier  avg-degree  examined(DRAM/NVM)   vtime")
+		for _, l := range res.Levels {
+			fmt.Printf("%5d  %-10s %9d  %10.1f  %9d/%-9d  %v\n",
+				l.Level, l.Direction, l.Frontier, l.AvgDegree(),
+				l.ExaminedDRAM, l.ExaminedNVM, l.Time.ToTime())
+		}
+	}
+	if showLayers {
+		printLayers(res.Layers)
+	}
 	return nil
 }
 

@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		fig   = flag.Int("fig", 7, "figure to regenerate: 7, 8, or 9")
-		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), io (TEPS vs queue depth x compression), or update (durable updates, repair, crash recovery)")
+		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), io (TEPS vs queue depth x compression), update (durable updates, repair, crash recovery), or algo (vertex programs vs cache budget)")
 		scale = flag.Int("scale", 18, "large instance scale (fig 9 uses scale-1)")
 		ef    = flag.Int("edgefactor", 16, "edges per vertex")
 		seed  = flag.Uint64("seed", 12345, "generator seed")
@@ -122,8 +122,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	} else if *exp == "algo" {
+		var rows []experiments.AlgoRow
+		rows, err = experiments.AlgoSweep(opts)
+		if err == nil {
+			if *csv {
+				fmt.Print(experiments.AlgoSweepCSV(rows))
+			} else {
+				fmt.Println(experiments.FormatAlgoSweep(rows))
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
 	} else if *exp != "" {
-		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, io, or update)\n", *exp)
+		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, io, update, or algo)\n", *exp)
 		os.Exit(1)
 	}
 	switch *fig {

@@ -81,6 +81,34 @@ func TestComponentsMatchBFS(t *testing.T) {
 	}
 }
 
+// TestComponentsMatchesUnionFindOracle checks the label-propagation path
+// against the retained union-find pass field by field on a Kronecker
+// instance and on hand-built shapes.
+func TestComponentsMatchesUnionFindOracle(t *testing.T) {
+	lists := []*EdgeList{testEdges(t)}
+	if el, err := NewEdgeList(7, []Edge{{0, 0}, {2, 1}, {4, 3}, {3, 5}}); err == nil {
+		lists = append(lists, el)
+	} else {
+		t.Fatal(err)
+	}
+	for i, el := range lists {
+		got := el.Components()
+		want := el.componentsUnionFind()
+		if got.Components != want.Components || got.Isolated != want.Isolated ||
+			got.LargestSize != want.LargestSize || got.LargestRoot != want.LargestRoot {
+			t.Fatalf("list %d: label propagation %+v, union-find %+v", i, got, want)
+		}
+		if len(got.Sizes) != len(want.Sizes) {
+			t.Fatalf("list %d: %d sizes vs %d", i, len(got.Sizes), len(want.Sizes))
+		}
+		for j := range want.Sizes {
+			if got.Sizes[j] != want.Sizes[j] {
+				t.Fatalf("list %d: Sizes[%d] = %d, union-find %d", i, j, got.Sizes[j], want.Sizes[j])
+			}
+		}
+	}
+}
+
 func TestComponentsSizesSortedAndCapped(t *testing.T) {
 	// 40 two-vertex components -> sizes capped at 32 entries.
 	var es []Edge

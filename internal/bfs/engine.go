@@ -309,6 +309,14 @@ func (r *Runner) parallel(fn func(w int) error) error {
 	return runParallel(r.nWorkers, r.cfg.RealWorkers, fn)
 }
 
+// RunParallel multiplexes nWorkers simulated workers over at most
+// realWorkers goroutines with the deterministic worker->goroutine mapping
+// of runParallel. It exists for the vertex-program engine (internal/vp),
+// which shares the BFS runner's execution model.
+func RunParallel(nWorkers, realWorkers int, fn func(w int) error) error {
+	return runParallel(nWorkers, realWorkers, fn)
+}
+
 // runParallel multiplexes nWorkers simulated workers over at most
 // realWorkers goroutines, assigning worker w to goroutine w % real so the
 // simulated-worker -> work mapping (and thus every virtual clock) is

@@ -85,6 +85,15 @@ func backwardNVMOf(bwd BackwardAccess) bool {
 	return true
 }
 
+// ResilienceFromLayers builds the summary counters as views over generic
+// per-layer deltas. It is shared with the vertex-program engine (internal/vp)
+// so every engine reports fault handling identically.
+func ResilienceFromLayers(layers nvm.StackStats) Resilience {
+	var r Resilience
+	r.fromLayers(layers)
+	return r
+}
+
 // fromLayers fills the legacy Resilience summary counters as views over the
 // generic per-layer deltas.
 func (r *Resilience) fromLayers(layers nvm.StackStats) {

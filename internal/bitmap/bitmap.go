@@ -156,6 +156,18 @@ func (b *Atomic) TestAndSet(i int) bool {
 	}
 }
 
+// Clear atomically clears bit i.
+func (b *Atomic) Clear(i int) {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 || atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return
+		}
+	}
+}
+
 // Test reports whether bit i is set. The read is atomic.
 func (b *Atomic) Test(i int) bool {
 	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<uint(i%wordBits)) != 0

@@ -28,6 +28,7 @@ import (
 	"semibfs/internal/bitmap"
 	"semibfs/internal/csr"
 	"semibfs/internal/edgelist"
+	"semibfs/internal/enc"
 	"semibfs/internal/numa"
 	"semibfs/internal/nvm"
 	"semibfs/internal/vtime"
@@ -77,6 +78,10 @@ type Config struct {
 	// LatencyScale scales the device's fixed latencies (see
 	// nvm.Profile.WithLatencyScale).
 	LatencyScale float64
+	// Compress stores each machine's offloaded adjacency delta+varint
+	// encoded (internal/enc), as the single-node stack does: fewer device
+	// bytes per scan traded for host decode time. Requires ForwardOnNVM.
+	Compress bool
 }
 
 // WithDefaults returns c with zero fields defaulted.
@@ -119,6 +124,9 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Compress && !c.ForwardOnNVM {
+		return fmt.Errorf("cluster: Compress requires ForwardOnNVM")
+	}
 	return nil
 }
 
@@ -128,11 +136,15 @@ type machine struct {
 	lo, hi int64 // owned vertex range
 	adj    *csr.LocalGraph
 	clock  *vtime.Clock
-	// Semi-external adjacency (nil when in DRAM).
+	// Semi-external adjacency (nil when in DRAM). With compressed on, the
+	// index holds byte offsets of delta+varint blocks instead of element
+	// offsets of raw int64s.
 	dev        *nvm.Device
 	indexStore nvm.Storage
 	valueStore nvm.Storage
+	compressed bool
 	readBuf    []byte
+	idsBuf     []int64
 	valBuf     []int64
 	// Per-level outboxes: candidate (child, parent) pairs per owner.
 	outbox [][]pair
@@ -204,11 +216,32 @@ func Build(src edgelist.Source, cfg Config) (*Cluster, error) {
 			m.dev = nvm.NewDevice(profile, 0)
 			m.indexStore = nvm.NewMemStore(m.dev, 0)
 			m.valueStore = nvm.NewMemStore(m.dev, 0)
-			if err := writeInt64s(m.indexStore, m.adj.Index); err != nil {
-				return nil, err
-			}
-			if err := writeInt64s(m.valueStore, m.adj.Value); err != nil {
-				return nil, err
+			m.compressed = cfg.Compress
+			if cfg.Compress {
+				// Re-encode each owned adjacency as one delta+varint
+				// block; the index becomes byte offsets into the blob.
+				local := int(m.hi - m.lo)
+				offs := make([]int64, local+1)
+				var blob []byte
+				for i := 0; i < local; i++ {
+					offs[i] = int64(len(blob))
+					v := m.lo + int64(i)
+					blob = enc.AppendList(blob, v, m.adj.Neighbors(v))
+				}
+				offs[local] = int64(len(blob))
+				if err := writeInt64s(m.indexStore, offs); err != nil {
+					return nil, err
+				}
+				if err := writeBytes(m.valueStore, blob); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := writeInt64s(m.indexStore, m.adj.Index); err != nil {
+					return nil, err
+				}
+				if err := writeInt64s(m.valueStore, m.adj.Value); err != nil {
+					return nil, err
+				}
 			}
 			m.readBuf = make([]byte, nvm.DefaultChunkSize)
 		}

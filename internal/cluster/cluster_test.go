@@ -204,6 +204,56 @@ func TestClusterForwardOnNVM(t *testing.T) {
 	}
 }
 
+// TestClusterCompressedAdjacency checks that machines reading
+// delta+varint-encoded stores through the shared semiext decoder produce
+// exactly the DRAM cluster's tree, with fewer device bytes than the raw
+// layout.
+func TestClusterCompressedAdjacency(t *testing.T) {
+	list := testList(t, 10, 54)
+	src := edgelist.ListSource{List: list}
+	dram, err := Build(src, Config{Machines: 4, Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Build(src, Config{Machines: 4, Alpha: 64, Beta: 640, ForwardOnNVM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Build(src, Config{Machines: 4, Alpha: 64, Beta: 640, ForwardOnNVM: true, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := firstConnected(list)
+	want, err := dram.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTree := append([]int64(nil), want.Tree...)
+	got, err := comp.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, list, got)
+	for v := range wantTree {
+		if got.Tree[v] != wantTree[v] {
+			t.Fatalf("tree[%d] = %d compressed, %d in DRAM", v, got.Tree[v], wantTree[v])
+		}
+	}
+	if _, err := raw.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	bytesOf := func(c *Cluster) int64 {
+		var total int64
+		for _, s := range c.DeviceStats() {
+			total += s.ReadBytes
+		}
+		return total
+	}
+	if cb, rb := bytesOf(comp), bytesOf(raw); cb == 0 || cb >= rb {
+		t.Fatalf("compressed cluster read %d device bytes, raw read %d", cb, rb)
+	}
+}
+
 func TestClusterDeterministic(t *testing.T) {
 	list := testList(t, 9, 55)
 	src := edgelist.ListSource{List: list}

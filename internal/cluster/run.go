@@ -7,6 +7,7 @@ import (
 
 	"semibfs/internal/bfs"
 	"semibfs/internal/nvm"
+	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
 
@@ -168,40 +169,30 @@ func (m *machine) charge(c *Cluster, t vtime.Duration) {
 }
 
 // neighbors returns vertex v's adjacency on machine m, reading it from the
-// machine's NVM store when the cluster offloads forward data. The returned
-// slice is valid until the next call.
+// machine's NVM store when the cluster offloads forward data. The NVM path
+// goes through semiext.StreamNeighbors — the same decoder the single-node
+// storage stack uses — so raw and delta+varint-compressed stores stream
+// identically. The returned slice is valid until the next call.
 func (m *machine) neighbors(c *Cluster, v int64) ([]int64, bool, error) {
 	if m.dev == nil {
 		return m.adj.Neighbors(v), false, nil
 	}
 	i := v - m.lo
-	if err := m.indexStore.ReadAt(m.clock, m.readBuf[:16], i*8); err != nil {
+	var idx [16]byte
+	if err := m.indexStore.ReadAt(m.clock, idx[:], i*8); err != nil {
 		return nil, false, err
 	}
-	lo := int64(binary.LittleEndian.Uint64(m.readBuf[0:8]))
-	hi := int64(binary.LittleEndian.Uint64(m.readBuf[8:16]))
-	deg := hi - lo
-	if deg == 0 {
-		return nil, true, nil
-	}
-	if int64(cap(m.valBuf)) < deg {
-		m.valBuf = make([]int64, deg)
-	}
-	out := m.valBuf[:deg]
-	pos := int64(0)
-	for off := lo * 8; off < hi*8; {
-		nb := int64(len(m.readBuf))
-		if off+nb > hi*8 {
-			nb = hi*8 - off
-		}
-		if err := m.valueStore.ReadAt(m.clock, m.readBuf[:nb], off); err != nil {
-			return nil, false, err
-		}
-		for b := int64(0); b < nb; b += 8 {
-			out[pos] = int64(binary.LittleEndian.Uint64(m.readBuf[b : b+8]))
-			pos++
-		}
-		off += nb
+	lo := int64(binary.LittleEndian.Uint64(idx[0:8]))
+	hi := int64(binary.LittleEndian.Uint64(idx[8:16]))
+	out := m.valBuf[:0]
+	_, err := semiext.StreamNeighbors(m.valueStore, m.clock, m.compressed,
+		v, lo, hi, &m.readBuf, &m.idsBuf, 0, func(nb int64) bool {
+			out = append(out, nb)
+			return true
+		})
+	m.valBuf = out
+	if err != nil {
+		return nil, false, err
 	}
 	return out, true, nil
 }
@@ -430,6 +421,20 @@ func writeInt64s(store nvm.Storage, vals []int64) error {
 	}
 	if len(buf) > 0 {
 		return store.WriteAt(nil, buf, off)
+	}
+	return nil
+}
+
+// writeBytes stores raw bytes from offset 0 in chunked writes.
+func writeBytes(store nvm.Storage, data []byte) error {
+	for off := 0; off < len(data); off += nvm.DefaultChunkSize {
+		end := off + nvm.DefaultChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := store.WriteAt(nil, data[off:end], int64(off)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

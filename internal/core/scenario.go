@@ -84,6 +84,15 @@ type Scenario struct {
 	// worker announces for readahead per top-down chunk; 0 disables
 	// frontier-driven prefetch. Requires CacheBytes > 0 to have effect.
 	FrontierPrefetch int
+	// Algorithm selects the vertex program runs over this scenario
+	// execute (see NewProgram); the zero value is AlgoBFS.
+	Algorithm Algorithm
+}
+
+// WithAlgorithm returns the scenario with its vertex program selected.
+func (s Scenario) WithAlgorithm(a Algorithm) Scenario {
+	s.Algorithm = a
+	return s
 }
 
 // WithFaults returns the scenario with fault injection configured.

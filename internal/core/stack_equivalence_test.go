@@ -9,12 +9,17 @@ import (
 	"semibfs/internal/faults"
 	"semibfs/internal/generator"
 	"semibfs/internal/numa"
+	"semibfs/internal/vp"
 )
 
 // treesFor builds a system under sc and returns the parent tree of each
 // root, computed with the given number of real workers. The top-down
 // kernel resolves claim races with an atomic minimum, so the trees must
 // not depend on the worker count.
+//
+// Every permutation also runs the vp BFS program over the same system and
+// requires its parent tree to be bit-identical to bfs.Runner's — the
+// vertex-program framework's correctness anchor.
 func treesFor(t *testing.T, sc Scenario, roots []int64, workers int) [][]int64 {
 	t.Helper()
 	list, err := generator.Generate(generator.Config{Scale: 10, EdgeFactor: 8, Seed: 7})
@@ -27,7 +32,13 @@ func treesFor(t *testing.T, sc Scenario, roots []int64, workers int) [][]int64 {
 		t.Fatal(err)
 	}
 	defer sys.Close()
-	r, err := sys.NewRunner(bfs.Config{Topology: topo, Alpha: 4, Beta: 40, RealWorkers: workers})
+	cfg := bfs.Config{Topology: topo, Alpha: 4, Beta: 40, RealWorkers: workers}
+	r, err := sys.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := vp.NewBFS()
+	eng, err := sys.NewEngine(prog, vp.Config{Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +48,17 @@ func treesFor(t *testing.T, sc Scenario, roots []int64, workers int) [][]int64 {
 		if err != nil {
 			t.Fatalf("scenario %s root %d: %v", sc.Name, root, err)
 		}
-		trees = append(trees, res.CloneTree())
+		tree := res.CloneTree()
+		if _, err := eng.Run(root); err != nil {
+			t.Fatalf("scenario %s root %d: vp engine: %v", sc.Name, root, err)
+		}
+		for v, p := range prog.Tree() {
+			if p != tree[v] {
+				t.Fatalf("scenario %s root %d workers %d: vp tree[%d] = %d, runner has %d",
+					sc.Name, root, workers, v, p, tree[v])
+			}
+		}
+		trees = append(trees, tree)
 	}
 	return trees
 }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"semibfs/internal/core"
+)
+
+// TestAlgoSweepAcceptance is the sweep's acceptance criterion: all three
+// vertex programs complete through the full NVM stack (compressed,
+// mirrored, checksummed, cached, partial backward offload) on both device
+// profiles, each point validated inside AlgoSweep against its DRAM
+// reference, with throughput figures populated.
+func TestAlgoSweepAcceptance(t *testing.T) {
+	opts := tinyOpts()
+	opts.Workers = 2
+	rows, err := AlgoSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 3 * len(CacheFractions)
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Scenario+"/"+r.Algo]++
+		if r.Seconds <= 0 || r.EdgesPerSec <= 0 {
+			t.Errorf("%s/%s frac=%g: no throughput: %+v", r.Scenario, r.Algo, r.Fraction, r)
+		}
+		if !r.Converged {
+			t.Errorf("%s/%s frac=%g: did not converge", r.Scenario, r.Algo, r.Fraction)
+		}
+		if r.StateBytes <= 0 {
+			t.Errorf("%s/%s frac=%g: no state snapshot", r.Scenario, r.Algo, r.Fraction)
+		}
+		if r.Iterations <= 0 {
+			t.Errorf("%s/%s frac=%g: no iterations", r.Scenario, r.Algo, r.Fraction)
+		}
+		switch r.Algo {
+		case "bfs":
+			if r.TEPS <= 0 {
+				t.Errorf("%s/bfs frac=%g: no TEPS", r.Scenario, r.Fraction)
+			}
+		case "cc", "pagerank":
+			if r.IterationsPerSec <= 0 {
+				t.Errorf("%s/%s frac=%g: no iteration throughput", r.Scenario, r.Algo, r.Fraction)
+			}
+		default:
+			t.Errorf("unknown algo %q", r.Algo)
+		}
+	}
+	for _, sc := range []string{core.ScenarioPCIeFlash.Name, core.ScenarioSSD.Name} {
+		for _, algo := range []string{"bfs", "cc", "pagerank"} {
+			if seen[sc+"/"+algo] != len(CacheFractions) {
+				t.Errorf("%s/%s: %d rows, want %d", sc, algo, seen[sc+"/"+algo], len(CacheFractions))
+			}
+		}
+	}
+}
+
+// TestAlgoSweepRenderers smoke-tests the text/CSV/JSON renderings.
+func TestAlgoSweepRenderers(t *testing.T) {
+	rows := []AlgoRow{
+		{Scenario: "DRAM+PCIeFlash", Algo: "bfs", Fraction: 0.125, CacheBytes: 1 << 20,
+			TEPS: 1.5e8, EdgesPerSec: 2e8, Iterations: 9, Converged: true,
+			StateBytes: 4096, HitRate: 0.75, NVMReads: 1234, Seconds: 0.5},
+		{Scenario: "DRAM+SSD", Algo: "pagerank", EdgesPerSec: 3e7, Iterations: 40,
+			IterationsPerSec: 11, Converged: true, StateBytes: 8192, Seconds: 3.5},
+	}
+	text := FormatAlgoSweep(rows)
+	for _, needle := range []string{"bfs", "pagerank", "1/8", "off"} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("table missing %q:\n%s", needle, text)
+		}
+	}
+	csv := AlgoSweepCSV(rows)
+	if !strings.HasPrefix(csv, "scenario,algo,") || len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Errorf("bad CSV:\n%s", csv)
+	}
+	js, err := AlgoSweepJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js, "\"edges_per_sec\"") {
+		t.Errorf("bad JSON:\n%s", js)
+	}
+}

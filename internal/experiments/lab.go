@@ -126,10 +126,11 @@ func (l *Lab) scenario(sc core.Scenario, unscaled bool) core.Scenario {
 // System builds (or returns the cached) system for sc. The series flag
 // enables per-bin device statistics.
 func (l *Lab) System(sc core.Scenario, series bool) (*core.System, error) {
-	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v/cache=%d/ra=%d/rep=%d/scrub=%g/cmp=%v/qd=%d/pf=%d",
+	key := fmt.Sprintf("%s/k=%d/ls=%g/series=%v/faults=%s/cksum=%v/cache=%d/ra=%d/rep=%d/scrub=%g/cmp=%v/qd=%d/pf=%d/alg=%v",
 		sc.Name, sc.BackwardDRAMEdgeLimit, sc.LatencyScale, series,
 		sc.Faults, sc.Checksums, sc.CacheBytes, sc.ReadaheadBlocks,
-		sc.Replicas, sc.ScrubRate, sc.Compress, sc.QueueDepth, sc.FrontierPrefetch)
+		sc.Replicas, sc.ScrubRate, sc.Compress, sc.QueueDepth, sc.FrontierPrefetch,
+		sc.Algorithm)
 	if sys, ok := l.systems[key]; ok {
 		return sys, nil
 	}

@@ -1,0 +1,186 @@
+package vp
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/vtime"
+)
+
+// This file is the engine's frontier management, lifted from the BFS
+// runner: per-worker queues gathered and sorted after a push level, a next
+// bitmap replicated per NUMA node after a pull level, and conversions
+// between the two representations at direction switches. The one semantic
+// addition over bfs.Runner is the gather boundary's program hook: where
+// the BFS runner marks gathered claims visited, the engine calls
+// Program.Activate and clears the claim's dedup bit so non-monotone
+// programs can re-activate the vertex in a later level.
+
+// promoteNext installs the level's output as the frontier in the
+// representation matching dir.
+func (e *Engine) promoteNext(dir bfs.Direction) error {
+	if dir == bfs.TopDown {
+		return e.gatherQueues()
+	}
+	return e.replicateNextBitmap()
+}
+
+// convertFrontier rewrites the current frontier from the representation of
+// direction from into the representation of direction to.
+func (e *Engine) convertFrontier(from, to bfs.Direction) error {
+	switch {
+	case from == bfs.TopDown && to == bfs.BottomUp:
+		return e.queueToReplicas()
+	case from == bfs.BottomUp && to == bfs.TopDown:
+		return e.replicasToQueue()
+	default:
+		return fmt.Errorf("vp: bad frontier conversion %v -> %v", from, to)
+	}
+}
+
+// gatherQueues concatenates the per-worker next queues into the frontier
+// queue, finalizes the gathered claims (Program.Activate), clears their
+// dedup bits, and sorts the frontier ascending — keeping semi-external
+// forward reads in adjacency-offset order for the prefetcher and making
+// the frontier layout independent of which worker won each claim.
+func (e *Engine) gatherQueues() error {
+	total := 0
+	offs := e.offsScratch
+	for w := 0; w < e.nWorkers; w++ {
+		offs[w] = total
+		total += len(e.nextQ[w])
+	}
+	offs[e.nWorkers] = total
+	if cap(e.frontQ) < total {
+		e.frontQ = make([]int64, total)
+	}
+	e.frontQ = e.frontQ[:total]
+	err := e.parallel(func(w int) error {
+		q := e.nextQ[w]
+		if len(q) > 0 {
+			copy(e.frontQ[offs[w]:offs[w+1]], q)
+			for _, v := range q {
+				e.prog.Activate(v)
+				e.dedup.Clear(int(v))
+			}
+			// Read + write of the vertex IDs, plus the activation mark and
+			// the dedup clear.
+			e.clocks[w].Advance(e.cfg.Cost.Stream(len(q)*16) +
+				vtime.Duration(len(q))*2*e.cfg.Cost.BitmapProbe)
+		}
+		e.nextQ[w] = q[:0]
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(e.frontQ, func(i, j int) bool { return e.frontQ[i] < e.frontQ[j] })
+	if total > 0 {
+		// Modeled as one parallel merge pass over the gathered IDs.
+		per := e.cfg.Cost.Stream(total * 16 / e.nWorkers)
+		for _, c := range e.clocks {
+			c.Advance(per)
+		}
+	}
+	return nil
+}
+
+// replicateNextBitmap copies the next bitmap into every NUMA node's
+// frontier replica and clears it — the per-level frontier broadcast that
+// buys the pull kernel its purely node-local frontier probes.
+func (e *Engine) replicateNextBitmap() error {
+	words := e.nextBM.Words()
+	nw := len(words)
+	return e.parallel(func(w int) error {
+		lo, hi := stripe(nw, e.nWorkers, w)
+		if lo >= hi {
+			return nil
+		}
+		var t vtime.Duration
+		for _, bm := range e.frontBM {
+			dst := bm.Words()
+			copy(dst[lo:hi], words[lo:hi])
+			t += e.cfg.Cost.Stream((hi - lo) * 8 * 2)
+		}
+		for i := lo; i < hi; i++ {
+			words[i] = 0
+		}
+		t += e.cfg.Cost.Stream((hi - lo) * 8)
+		e.clocks[w].Advance(t)
+		return nil
+	})
+}
+
+// queueToReplicas sets the frontier queue's vertices in every node's
+// frontier bitmap replica (push -> pull switch).
+func (e *Engine) queueToReplicas() error {
+	return e.parallel(func(w int) error {
+		lo, hi := stripe(len(e.frontQ), e.nWorkers, w)
+		if lo >= hi {
+			return nil
+		}
+		var t vtime.Duration
+		t += e.cfg.Cost.Stream((hi - lo) * 8)
+		probes := vtime.Duration(len(e.frontBM)) * e.cfg.Cost.BitmapProbe
+		for _, v := range e.frontQ[lo:hi] {
+			for _, bm := range e.frontBM {
+				bm.Set(int(v))
+			}
+			t += probes
+		}
+		e.clocks[w].Advance(t)
+		return nil
+	})
+}
+
+// replicasToQueue extracts the frontier from the bitmap replicas into the
+// frontier queue and clears all replicas (pull -> push switch).
+func (e *Engine) replicasToQueue() error {
+	src := e.frontBM[0]
+	nw := src.NumWords()
+	err := e.parallel(func(w int) error {
+		lo, hi := stripe(nw, e.nWorkers, w)
+		q := e.nextQ[w][:0]
+		var t vtime.Duration
+		for i := lo; i < hi; i++ {
+			t += e.cfg.Cost.Stream(8)
+			word := src.WordAt(i)
+			base := i * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				q = append(q, int64(base+b))
+				t += e.cfg.Cost.QueueAppend
+			}
+		}
+		e.nextQ[w] = q
+		// Clear this stripe in every replica.
+		for _, bm := range e.frontBM {
+			dst := bm.Words()
+			for i := lo; i < hi; i++ {
+				dst[i] = 0
+			}
+		}
+		t += e.cfg.Cost.Stream((hi - lo) * 8 * len(e.frontBM))
+		e.clocks[w].Advance(t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return e.gatherQueues()
+}
+
+// stripe splits n items into nWorkers nearly-equal contiguous ranges and
+// returns worker w's half-open range.
+func stripe(n, nWorkers, w int) (lo, hi int) {
+	base, rem := n/nWorkers, n%nWorkers
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,78 @@
+package vp
+
+import (
+	"semibfs/internal/vtime"
+)
+
+// runPullLevel runs one gather sweep: every pull candidate scans its
+// backward adjacency (highest-degree first when the backward graph was
+// built with the NETAL ordering), folding neighbors into the program's
+// accumulator until the program terminates the scan early; EndPull then
+// decides whether the vertex was claimed.
+//
+// Word-block ownership matches the BFS bottom-up kernel: a worker owns the
+// candidates whose bitmap word's base bit falls in its node's range and
+// delegates straddling vertices to the owner node's CSR, so every EndPull
+// state write stays worker-exclusive.
+func (e *Engine) runPullLevel() error {
+	cm := &e.cfg.Cost
+	n := int(e.n)
+	return e.parallel(func(w int) error {
+		k := e.nodeOfWorker(w)
+		j := w % e.cpn
+		clock := e.clocks[w]
+		scanner := e.scanners[w]
+		acc := &e.acc[w]
+		frontier := e.frontBM[k]
+		wordLo, wordHi := wordRangeOf(e.part, k)
+		edgeCost := cm.EdgeCompute + cm.BitmapProbe
+		// One probe closure per worker per level, as in the BFS runner:
+		// allocating it per vertex would cost one heap allocation per
+		// scanned candidate.
+		curV := int64(-1)
+		probe := func(nb int64) bool {
+			return e.prog.PullEdge(w, curV, nb, frontier.Test(int(nb)))
+		}
+		for wi := wordLo + j; wi < wordHi; wi += e.cpn {
+			var t vtime.Duration
+			t += cm.Stream(8) // candidate word load
+			base := wi * 64
+			hi := base + 64
+			if hi > n {
+				hi = n
+			}
+			for vi := base; vi < hi; vi++ {
+				v := int64(vi)
+				if !e.prog.PullCandidate(v) {
+					continue
+				}
+				t += cm.VertexOverhead
+				clock.Advance(t)
+				t = 0
+				// Delegate straddling vertices to their owner node's CSR.
+				vk := k
+				if vi < e.part.Starts[k] || vi >= e.part.Starts[k+1] {
+					vk = e.part.NodeOf(vi)
+				}
+				curV = v
+				e.prog.BeginPull(w, v)
+				dram, nvmEdges, err := scanner.Scan(vk, v, probe)
+				if err != nil {
+					return err
+				}
+				examined := dram + nvmEdges
+				t += edgeCost * vtime.Duration(examined)
+				t += cm.Stream(int(dram) * 8)
+				acc.examinedDRAM += dram
+				acc.examinedNVM += nvmEdges
+				if e.prog.EndPull(w, v) {
+					e.nextBM.Set(vi)
+					t += cm.LocalAccess + 2*cm.BitmapProbe
+					acc.claimed++
+				}
+			}
+			clock.Advance(t)
+		}
+		return nil
+	})
+}

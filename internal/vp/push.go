@@ -1,0 +1,98 @@
+package vp
+
+import (
+	"semibfs/internal/bfs"
+	"semibfs/internal/vtime"
+)
+
+// chunkSize is the number of frontier vertices a worker dequeues at a
+// time, matching the BFS runner (the paper's Section V-C).
+const chunkSize = 64
+
+// runPushLevel expands the frontier queue one level in the scatter
+// direction. Every NUMA node's workers scan the whole frontier against the
+// node's own forward-graph replica, so every state write the program makes
+// is node-local (the NETAL delegation scheme).
+//
+// Claims are deterministic the same way the BFS runner's are: the program
+// performs an idempotent atomic state update per edge and reports whether
+// the destination belongs in the next frontier; the engine's dedup
+// TestAndSet picks exactly one worker to enqueue it. Cursors implementing
+// FrontierPrefetcher get the worker's next chunk announced before the
+// current one is scanned.
+func (e *Engine) runPushLevel() error {
+	cm := &e.cfg.Cost
+	numChunks := (len(e.frontQ) + chunkSize - 1) / chunkSize
+	return e.parallel(func(w int) error {
+		k := e.nodeOfWorker(w)
+		j := w % e.cpn
+		clock := e.clocks[w]
+		cursor := e.cursors[w]
+		pf, _ := cursor.(bfs.FrontierPrefetcher)
+		acc := &e.acc[w]
+		nq := e.nextQ[w]
+		edgeCost := cm.EdgeCompute + cm.BitmapProbe
+		for c := j; c < numChunks; c += e.cpn {
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > len(e.frontQ) {
+				hi = len(e.frontQ)
+			}
+			if pf != nil {
+				// Announce the worker's *next* chunk so its adjacency I/O
+				// is in flight while this chunk is expanded.
+				if nlo := (c + e.cpn) * chunkSize; nlo < len(e.frontQ) {
+					nhi := nlo + chunkSize
+					if nhi > len(e.frontQ) {
+						nhi = len(e.frontQ)
+					}
+					pf.PrefetchFrontier(k, e.frontQ[nlo:nhi])
+				}
+			}
+			var t vtime.Duration
+			t += cm.Stream((hi - lo) * 8) // dequeue the chunk
+			for _, v := range e.frontQ[lo:hi] {
+				t += cm.VertexOverhead
+				if e.part.NodeOf(int(v)) == k {
+					// Statistics only (degree of the frontier vertex,
+					// counted once across nodes).
+					acc.frontierDeg += e.bwd.Degree(v)
+				}
+				clock.Advance(t)
+				t = 0
+				nbs, fromNVM, err := cursor.Neighbors(k, v)
+				if err != nil {
+					// Publish the claims made so far: their state updates
+					// are already applied, and the degraded-mode rescue
+					// seeds or discards them per the program's
+					// monotonicity contract.
+					e.nextQ[w] = nq
+					return err
+				}
+				if fromNVM {
+					acc.examinedNVM += int64(len(nbs))
+				} else {
+					// Index entry fetch plus the streamed adjacency bytes.
+					t += cm.LocalAccess + cm.Stream(len(nbs)*8)
+					acc.examinedDRAM += int64(len(nbs))
+				}
+				for _, nb := range nbs {
+					t += edgeCost
+					if !e.prog.PushEdge(w, v, nb) {
+						continue
+					}
+					if e.dedup.TestAndSet(int(nb)) {
+						t += cm.AtomicOp + cm.LocalAccess + cm.QueueAppend
+						nq = append(nq, nb)
+						acc.claimed++
+					} else {
+						t += cm.AtomicOp
+					}
+				}
+			}
+			clock.Advance(t)
+		}
+		e.nextQ[w] = nq
+		return nil
+	})
+}

@@ -1,0 +1,112 @@
+package vp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"semibfs/internal/vp"
+)
+
+func TestStateInt64RoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{-1, -1, -1, 5, 5, 6, 7, -1},
+		{math.MaxInt64, math.MinInt64, 0, math.MaxInt64},
+	}
+	rng := rand.New(rand.NewSource(42))
+	long := make([]int64, 4096)
+	for i := range long {
+		long[i] = int64(i) - rng.Int63n(8) // locally similar, like a parent tree
+	}
+	cases = append(cases, long)
+	for _, vals := range cases {
+		packed := vp.PackInt64s(nil, vals)
+		got, err := vp.UnpackInt64s(packed, nil)
+		if err != nil {
+			t.Fatalf("unpack %d vals: %v", len(vals), err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("round trip: %d vals, want %d", len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("round trip: vals[%d] = %d, want %d", i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestStateFloat64RoundTrip(t *testing.T) {
+	vals := []float64{0, 1.0 / 3, math.Inf(1), math.SmallestNonzeroFloat64, -0.0, math.NaN()}
+	packed := vp.PackFloat64s(nil, vals)
+	got, err := vp.UnpackFloat64s(packed, nil)
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("round trip: %d vals, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("round trip: vals[%d] = %v, want %v (bit-exact)", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestStateRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"wrong tag":       {0x7a, 0x01, 0x00},
+		"count bomb":      {0x69, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"truncated":       vp.PackInt64s(nil, []int64{1, 2, 3})[:3],
+		"trailing":        append(vp.PackInt64s(nil, []int64{1}), 0x00),
+		"float short":     vp.PackFloat64s(nil, []float64{1, 2})[:10],
+		"float count lie": {0x66, 0x02, 1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	for name, data := range cases {
+		if _, err := vp.UnpackInt64s(data, nil); err == nil {
+			if _, err := vp.UnpackFloat64s(data, nil); err == nil {
+				t.Errorf("%s: both unpackers accepted corrupt input", name)
+			}
+		}
+	}
+}
+
+// FuzzVertexState feeds arbitrary bytes to both unpackers: they must never
+// panic, and any values they accept must survive a pack/unpack round trip
+// (decoded varints may be non-canonical, so byte identity is not required).
+func FuzzVertexState(f *testing.F) {
+	f.Add(vp.PackInt64s(nil, []int64{-1, -1, 0, 3, 3, 9}))
+	f.Add(vp.PackFloat64s(nil, []float64{0.25, 0.5, 0.25}))
+	f.Add([]byte{0x69, 0x00})
+	f.Add([]byte{0x66, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if vals, err := vp.UnpackInt64s(data, nil); err == nil {
+			again, err := vp.UnpackInt64s(vp.PackInt64s(nil, vals), nil)
+			if err != nil {
+				t.Fatalf("repack of accepted int64 input failed: %v", err)
+			}
+			if len(again) != len(vals) {
+				t.Fatalf("int64 round trip: %d vals, want %d", len(again), len(vals))
+			}
+			for i := range vals {
+				if again[i] != vals[i] {
+					t.Fatalf("int64 round trip: vals[%d] = %d, want %d", i, again[i], vals[i])
+				}
+			}
+		}
+		if vals, err := vp.UnpackFloat64s(data, nil); err == nil {
+			again, err := vp.UnpackFloat64s(vp.PackFloat64s(nil, vals), nil)
+			if err != nil {
+				t.Fatalf("repack of accepted float64 input failed: %v", err)
+			}
+			for i := range vals {
+				if math.Float64bits(again[i]) != math.Float64bits(vals[i]) {
+					t.Fatalf("float64 round trip: vals[%d] changed bits", i)
+				}
+			}
+		}
+	})
+}

@@ -10,8 +10,10 @@
 # control), the I/O sweep (TEPS vs async queue depth x adjacency
 # compression on both device profiles), and the update sweep (durable
 # update cost, incremental BFS repair vs full rebuild, and crash-recovery
-# cost across batch sizes and injected power cuts) at a fixed seed and
-# writes the rows as JSON.
+# cost across batch sizes and injected power cuts), and the algorithm
+# sweep (BFS / connected components / PageRank vertex programs through
+# the full compressed+mirrored+cached stack vs cache budget) at a fixed
+# seed and writes the rows as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -28,6 +30,7 @@ QUERY_OUT=${QUERY_OUT:-BENCH_PR5.json}
 LOAD_OUT=${LOAD_OUT:-BENCH_PR6.json}
 IO_OUT=${IO_OUT:-BENCH_PR7.json}
 UPDATE_OUT=${UPDATE_OUT:-BENCH_PR8.json}
+ALGO_OUT=${ALGO_OUT:-BENCH_PR9.json}
 # The load sweep serves 4x this many queries per row; the stream must be
 # long enough that past the knee the unbounded baseline's queue waits
 # dominate its per-query service-time tail.
@@ -89,3 +92,19 @@ awk '
     printf "worst-case crash recovery: %.1f ms virtual\n", worst / 1000
   }
 ' "$UPDATE_OUT"
+
+echo "==> algorithm sweep (scale $SCALE, $ROOTS roots) -> $ALGO_OUT"
+go run ./cmd/analyze -exp algo -json -scale "$SCALE" -roots "$ROOTS" > "$ALGO_OUT"
+echo "wrote $ALGO_OUT"
+# Headline lines: best BFS TEPS per scenario through the full stack, and
+# each iterative algorithm's best iteration throughput.
+awk '
+  /"scenario"/           { gsub(/[",]/, ""); scen = $2 }
+  /"algo"/               { gsub(/[",]/, ""); algo = $2 }
+  /"teps"/               { t = $2 + 0; if (algo == "bfs" && t > teps[scen]) teps[scen] = t }
+  /"iterations_per_sec"/ { r = $2 + 0; if (algo != "bfs" && r > ips[scen "/" algo]) ips[scen "/" algo] = r }
+  END {
+    for (s in teps) printf "%s bfs through full stack: %.2f MTEPS (harmonic mean)\n", s, teps[s] / 1e6
+    for (k in ips)  printf "%s: %.1f iterations/s (virtual)\n", k, ips[k]
+  }
+' "$ALGO_OUT"
