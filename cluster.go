@@ -16,8 +16,8 @@ const (
 	// simple, but its bottom-up frontier allgather spans all P machines.
 	Layout1D ClusterLayout = iota
 	// Layout2D blocks the adjacency matrix over an R x C grid (Beamer,
-	// MTAAP 2013), shrinking collectives to sqrt(P) machines. Does not
-	// support per-machine NVM offload.
+	// MTAAP 2013), shrinking collectives to sqrt(P) machines. Each grid
+	// machine carries the same per-node semi-external stack as 1D.
 	Layout2D
 )
 
@@ -40,6 +40,18 @@ type ClusterOptions struct {
 	// Compress stores each machine's offloaded adjacency delta+varint
 	// encoded, as the single-node stack does. Requires ForwardOnNVM.
 	Compress bool
+	// Checksums guards every machine's offloaded blocks with CRC framing.
+	Checksums bool
+	// Replicas mirrors each machine's device (2 = primary + mirror), so
+	// a single replica death is rescued transparently.
+	Replicas int
+	// CacheBytes adds a DRAM page cache of that size to each machine's
+	// stack; QueueDepth enables the async I/O layer when > 0.
+	CacheBytes int64
+	QueueDepth int
+	// Workers runs each machine's per-level scan on that many real
+	// goroutines (simulated time is unaffected; default 1).
+	Workers int
 	// DeviceLatencyScale scales the per-machine device latencies.
 	DeviceLatencyScale float64
 	// NetworkLatencySeconds / NetworkBandwidth override the
@@ -58,6 +70,7 @@ type Cluster struct {
 type distRunner interface {
 	Run(root int64) (*cluster.Result, error)
 	NumMachines() int
+	Close() error
 }
 
 // ClusterResult is one distributed traversal's outcome.
@@ -72,6 +85,11 @@ type ClusterResult struct {
 	CommBytes int64
 	Switches  int
 	Levels    int
+	// Degraded reports that a machine died unrescuably mid-run and the
+	// traversal finished from DRAM-resident state; DeadMachines lists
+	// the casualties (row-major machine indices).
+	Degraded     bool
+	DeadMachines []int
 }
 
 // NewCluster partitions edges across the configured machines.
@@ -83,6 +101,11 @@ func NewCluster(edges *EdgeList, opts ClusterOptions) (*Cluster, error) {
 		Beta:            opts.Beta,
 		ForwardOnNVM:    opts.ForwardOnNVM,
 		Compress:        opts.Compress,
+		Checksums:       opts.Checksums,
+		Replicas:        opts.Replicas,
+		CacheBytes:      opts.CacheBytes,
+		QueueDepth:      opts.QueueDepth,
+		RealWorkers:     opts.Workers,
 		LatencyScale:    opts.DeviceLatencyScale,
 	}
 	if opts.NetworkLatencySeconds > 0 || opts.NetworkBandwidth > 0 {
@@ -121,15 +144,20 @@ func (c *Cluster) BFS(root int64) (*ClusterResult, error) {
 		return nil, err
 	}
 	return &ClusterResult{
-		Root:      res.Root,
-		Visited:   res.Visited,
-		Parents:   append([]int64(nil), res.Tree...),
-		Seconds:   res.Time.Seconds(),
-		CommBytes: res.CommBytes,
-		Switches:  res.Switches,
-		Levels:    len(res.Levels),
+		Root:         res.Root,
+		Visited:      res.Visited,
+		Parents:      append([]int64(nil), res.Tree...),
+		Seconds:      res.Time.Seconds(),
+		CommBytes:    res.CommBytes,
+		Switches:     res.Switches,
+		Levels:       len(res.Levels),
+		Degraded:     res.Degraded,
+		DeadMachines: append([]int(nil), res.DeadMachines...),
 	}, nil
 }
+
+// Close releases every machine's simulated storage stack.
+func (c *Cluster) Close() error { return c.c.Close() }
 
 // Validate checks a distributed result against the edge list.
 func (c *Cluster) Validate(res *ClusterResult) error {

@@ -119,11 +119,26 @@ func TestCluster2DLayout(t *testing.T) {
 	if err := c.Validate(res); err != nil {
 		t.Fatalf("2D validation: %v", err)
 	}
-	// 2D + per-machine NVM is rejected.
-	if _, err := NewCluster(edges, ClusterOptions{
-		Machines: 4, Layout: Layout2D, ForwardOnNVM: true,
-	}); err == nil {
-		t.Fatal("2D with NVM offload accepted")
+	// 2D + per-machine NVM runs the same tree through the full stack.
+	nvm, err := NewCluster(edges, ClusterOptions{
+		Machines: 4, Layout: Layout2D, Alpha: 64, Beta: 640,
+		ForwardOnNVM: true, Compress: true, Checksums: true, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatalf("2D with NVM offload rejected: %v", err)
+	}
+	defer nvm.Close()
+	nres, err := nvm.BFS(res.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Degraded {
+		t.Fatal("healthy 2D+NVM run reported degraded")
+	}
+	for v := range nres.Parents {
+		if nres.Parents[v] != res.Parents[v] {
+			t.Fatalf("2D+NVM tree[%d] = %d, want %d", v, nres.Parents[v], res.Parents[v])
+		}
 	}
 }
 

@@ -20,14 +20,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|pearce|trace|faults|cache|io|failover|partial|query|load|update|algo|all")
+		exp    = flag.String("exp", "all", "experiment: table1|table2|fig3|fig10|fig11|fig12-13|fig14|headline|green|ablations|scaling|scale|pearce|trace|faults|cache|io|failover|partial|query|load|update|algo|all")
 		scale  = flag.Int("scale", 18, "large instance scale")
 		ef     = flag.Int("edgefactor", 16, "edges per vertex")
 		seed   = flag.Uint64("seed", 12345, "generator seed")
 		roots  = flag.Int("roots", 8, "BFS iterations per configuration")
 		dir    = flag.String("dir", "", "directory for NVM store files")
 		noEq   = flag.Bool("no-latency-equivalence", false, "disable the SCALE-27 latency equivalence in performance experiments")
-		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (supported: cache, io, failover, partial, query, load, update)")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text tables (supported: cache, io, failover, partial, query, load, update, scale)")
 	)
 	flag.Parse()
 
@@ -112,6 +112,21 @@ func run(name string, opts experiments.Options, asJSON bool) error {
 			return err
 		}
 		fmt.Println(experiments.FormatScaling(rows))
+	case "scale":
+		rows, err := experiments.Scaling2D(opts)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out, err := experiments.Scaling2DJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}
+		fmt.Println(experiments.FormatScaling2D(rows))
+		fmt.Println(experiments.Scaling2DCSV(rows))
 	case "pearce":
 		rows, err := experiments.PearceComparison(opts)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"semibfs/internal/bfs"
+	"semibfs/internal/cluster"
 	"semibfs/internal/core"
 	"semibfs/internal/dyn"
 	"semibfs/internal/edgelist"
@@ -75,6 +76,7 @@ func main() {
 		deadline   = flag.Float64("deadline", 0, "serving mode: per-query virtual deadline in seconds (0 = none)")
 		queueCap   = flag.Int("queue-cap", 0, "serving mode: submission-queue bound; full queues shed per -shed-policy (0 = unbounded)")
 		shedPolicy = flag.String("shed-policy", "reject-newest", "serving mode: reject-newest | reject-oldest | reject-lowest-priority")
+		grid       = flag.String("grid", "", "simulate an RxC cluster (e.g. 4x4): the adjacency is 2D-blocked and every machine carries the scenario's per-node storage stack")
 		updates    = flag.Int("updates", 0, "dynamic mode: stream this many durable graph updates through the WAL, interleaved with the BFS iterations (requires pcie or ssd)")
 		updRate    = flag.Int("update-rate", 0, "dynamic mode: updates per batch; one batch is logged, applied, and repaired before each BFS iteration (0 = updates/roots)")
 		crashAt    = flag.String("crash-at", "none", "dynamic mode: inject a power cut during 'wal' (mid log append) or 'compaction' (mid manifest flip), then recover (none = crash-free)")
@@ -235,6 +237,30 @@ func main() {
 	if *updates < 0 || *updRate < 0 {
 		fatal(fmt.Errorf("-updates / -update-rate must be >= 0"))
 	}
+	if *grid != "" {
+		if *batch > 0 || *updates > 0 || isRef || *official || alg != core.AlgoBFS {
+			fatal(fmt.Errorf("-grid runs the distributed BFS protocol; it does not combine with -batch, -updates, -official, -algo, or the reference mode"))
+		}
+		gr, gc, err := parseGrid(*grid)
+		if err != nil {
+			fatal(err)
+		}
+		var list *edgelist.List
+		if *edgesFile != "" {
+			list, err = edgelist.LoadFile(*edgesFile)
+		} else {
+			list, err = generator.Generate(generator.Config{
+				Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed,
+			})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := runGrid(list, p, gr, gc); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if alg != core.AlgoBFS {
 		if *batch > 0 || *updates > 0 || isRef || *official {
 			fatal(fmt.Errorf("-algo %s runs the vertex-program path; it does not combine with -batch, -updates, -official, or the reference mode", alg))
@@ -371,6 +397,127 @@ func printLayers(s nvm.StackStats) {
 			fmt.Printf("    %-20s %12d%s\n", c.Name, c.Value, mark)
 		}
 	}
+}
+
+// parseGrid parses an "RxC" shape like "4x4" or "1x8".
+func parseGrid(s string) (rows, cols int, err error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -grid %q (want RxC, e.g. 4x4)", s)
+	}
+	rows, err = strconv.Atoi(parts[0])
+	if err == nil {
+		cols, err = strconv.Atoi(parts[1])
+	}
+	if err != nil || rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("bad -grid %q (want RxC with positive factors)", s)
+	}
+	return rows, cols, nil
+}
+
+// runGrid runs the per-root protocol on a simulated RxC cluster whose
+// machines each carry the scenario's per-node storage stack, and prints
+// the distributed report plus the per-machine layer/health table.
+func runGrid(list *edgelist.List, p graph500.Params, rows, cols int) error {
+	p = p.WithDefaults()
+	start := time.Now()
+	src := edgelist.ListSource{List: list}
+	cfg := p.Scenario.WithGrid(rows, cols).ClusterConfig()
+	cfg.Alpha, cfg.Beta = p.BFS.Alpha, p.BFS.Beta
+	g, err := cluster.BuildGrid(src, cfg)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	degree := make([]int64, list.NumVertices)
+	for _, e := range list.Edges {
+		if e.U != e.V {
+			degree[e.U]++
+			degree[e.V]++
+		}
+	}
+	roots, err := graph500.SampleRoots(list.NumVertices, p.Roots, p.Seed,
+		func(v int64) int64 { return degree[v] })
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("SCALE:                %d\n", p.Scale)
+	fmt.Printf("edgefactor:           %d\n", p.EdgeFactor)
+	fmt.Printf("NBFS:                 %d\n", len(roots))
+	fmt.Printf("scenario:             %s (per machine)\n", p.Scenario.Name)
+	fmt.Printf("grid:                 %dx%d machines, 2D adjacency blocking\n", rows, cols)
+	fmt.Printf("mode:                 hybrid  alpha=%g beta=%g\n", cfg.Alpha, cfg.Beta)
+
+	var teps []float64
+	var comm cluster.CommStats
+	validated, degradedRuns := 0, 0
+	for _, root := range roots {
+		res, err := g.Run(root)
+		if err != nil {
+			return fmt.Errorf("root %d: %w", root, err)
+		}
+		var sum int64
+		for v, par := range res.Tree {
+			if par != -1 {
+				sum += degree[v]
+			}
+		}
+		te := float64(sum / 2)
+		if sec := res.Time.Seconds(); sec > 0 && te > 0 {
+			teps = append(teps, te/sec)
+		}
+		comm.TDFrontier += res.Comm.TDFrontier
+		comm.TDCandidate += res.Comm.TDCandidate
+		comm.BUAllgather += res.Comm.BUAllgather
+		comm.BURing += res.Comm.BURing
+		comm.Control += res.Comm.Control
+		if res.Degraded {
+			degradedRuns++
+		}
+		if p.ValidateRoots == 0 || validated < p.ValidateRoots {
+			if _, err := validate.Run(res.Tree, root, src); err != nil {
+				return fmt.Errorf("root %d: %w", root, err)
+			}
+			validated++
+		}
+	}
+	s := stats.Summarize(teps)
+	fmt.Printf("validated roots:      %d of %d\n", validated, len(roots))
+	fmt.Printf("median_TEPS:          %s\n", stats.FormatTEPS(s.Median))
+	fmt.Printf("harmonic_mean_TEPS:   %s\n", stats.FormatTEPS(s.HarmonicMean))
+	fmt.Printf("comm bytes:           %s over %d runs\n", stats.FormatBytes(comm.Total()), len(roots))
+	fmt.Printf("  td frontier:        %s\n", stats.FormatBytes(comm.TDFrontier))
+	fmt.Printf("  td candidates:      %s\n", stats.FormatBytes(comm.TDCandidate))
+	fmt.Printf("  bu allgather:       %s\n", stats.FormatBytes(comm.BUAllgather))
+	fmt.Printf("  bu ring:            %s\n", stats.FormatBytes(comm.BURing))
+	fmt.Printf("  control:            %s\n", stats.FormatBytes(comm.Control))
+	if degradedRuns > 0 {
+		fmt.Printf("degraded runs:        %d (a machine died unrescuably; traversal pinned to DRAM-resident state)\n", degradedRuns)
+	}
+
+	fmt.Println("\nper-machine report:")
+	fmt.Println("machine  status  vtime         reads   read-bytes   replicas")
+	for _, st := range g.MachineReport() {
+		status := "ok"
+		if st.Dead {
+			status = "DEAD"
+		}
+		rep := "-"
+		if len(st.Health) > 0 {
+			var parts []string
+			for _, h := range st.Health {
+				parts = append(parts, fmt.Sprintf("%s:%s", h.Name, h.State))
+			}
+			rep = strings.Join(parts, " ")
+		}
+		fmt.Printf("(%d,%d)    %-6s  %-12v %6d   %-10s   %s\n",
+			st.Row, st.Col, status, st.Time.ToTime(), st.Device.Reads,
+			stats.FormatBytes(st.Device.ReadBytes), rep)
+	}
+	fmt.Printf("\nwall time:            %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func scenarioByName(name string) (core.Scenario, error) {

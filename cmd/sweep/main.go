@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		fig   = flag.Int("fig", 7, "figure to regenerate: 7, 8, or 9")
-		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), io (TEPS vs queue depth x compression), update (durable updates, repair, crash recovery), or algo (vertex programs vs cache budget)")
+		exp   = flag.String("exp", "", "run a named sweep instead of a figure: query (batch-width sweep), load (serving latency vs offered load), io (TEPS vs queue depth x compression), update (durable updates, repair, crash recovery), algo (vertex programs vs cache budget), or scale (grid-over-NVM cluster scaling, 1D vs 2D x raw vs compressed)")
 		scale = flag.Int("scale", 18, "large instance scale (fig 9 uses scale-1)")
 		ef    = flag.Int("edgefactor", 16, "edges per vertex")
 		seed  = flag.Uint64("seed", 12345, "generator seed")
@@ -137,8 +137,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	} else if *exp == "scale" {
+		var rows []experiments.Scaling2DRow
+		rows, err = experiments.Scaling2D(opts)
+		if err == nil {
+			if *csv {
+				fmt.Print(experiments.Scaling2DCSV(rows))
+			} else {
+				fmt.Println(experiments.FormatScaling2D(rows))
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		return
 	} else if *exp != "" {
-		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, io, update, or algo)\n", *exp)
+		fmt.Fprintf(os.Stderr, "sweep: unknown -exp %q (want query, load, io, update, algo, or scale)\n", *exp)
 		os.Exit(1)
 	}
 	switch *fig {

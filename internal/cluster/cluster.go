@@ -4,20 +4,29 @@
 // forward-graph offloading applied independently on every machine.
 //
 // The cluster is simulated the same way the single node is: the graph is
-// 1D block-partitioned across P machines, each machine executes its real
-// share of every BFS level, and time is modeled — each machine owns a
-// virtual clock charged for its compute (scaled by its core count) and
-// its NVM requests, and communication phases charge a latency + bandwidth
-// network model. The resulting BFS tree is exact and validated.
+// block-partitioned across P machines (1D, or a 2D R x C grid — see
+// Grid), each machine executes its real share of every BFS level, and
+// time is modeled — each machine owns a virtual clock charged for its
+// compute (scaled by its core count) and its NVM requests, and
+// communication phases charge a latency + bandwidth network model.
+// Every machine's offloaded adjacency is held in a real storage stack
+// built by nvm.BuildStack — metrics, retry, async pipeline, page cache,
+// mirroring, checksums, optional delta+varint compression — with
+// per-machine fault streams, so node-level failure and recovery compose
+// with the single-node failover machinery. The resulting BFS tree is
+// exact, validated, and bit-identical to the single-node engine's.
 //
 // Communication structure per level:
 //
-//   - top-down: machines expand their local frontier; discoveries owned
-//     by remote machines travel in per-destination outboxes exchanged
-//     all-to-all at the level end, and the owner claims them.
+//   - top-down: machines expand their local frontier; discoveries travel
+//     as candidate (child, parent) pairs in wire-encoded per-destination
+//     outboxes, and the owner arbitrates claims by minimum parent — the
+//     same rule as the single-node engine's min-parent CAS, which is what
+//     makes the parent trees bit-identical across topologies.
 //   - bottom-up: each machine needs the whole frontier bitmap to test
 //     "is this neighbor in the frontier?"; the next bitmap fragments are
-//     allgathered at the end of every bottom-up level.
+//     allgathered (wire-encoded, run-length compressed when enabled) at
+//     the end of every bottom-up level.
 //   - direction switching uses the global frontier count (an allreduce,
 //     charged as a log2(P) latency tree).
 package cluster
@@ -29,8 +38,10 @@ import (
 	"semibfs/internal/csr"
 	"semibfs/internal/edgelist"
 	"semibfs/internal/enc"
+	"semibfs/internal/faults"
 	"semibfs/internal/numa"
 	"semibfs/internal/nvm"
+	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
 
@@ -69,8 +80,12 @@ type Config struct {
 	// Alpha / Beta are the hybrid switching thresholds on the *global*
 	// frontier size; zero selects 1e4 / 10*alpha.
 	Alpha, Beta float64
+	// GridRows / GridCols force an explicit R x C shape on BuildGrid
+	// (their product must equal Machines, or Machines may be left 0 to
+	// be derived); both zero picks the most square factorization.
+	GridRows, GridCols int
 	// ForwardOnNVM offloads every machine's forward adjacency to a
-	// per-machine NVM device — the paper's technique, per node.
+	// per-machine NVM storage stack — the paper's technique, per node.
 	ForwardOnNVM bool
 	// Device is the per-machine NVM profile (required when
 	// ForwardOnNVM); zero selects the ioDrive2 profile.
@@ -79,13 +94,44 @@ type Config struct {
 	// nvm.Profile.WithLatencyScale).
 	LatencyScale float64
 	// Compress stores each machine's offloaded adjacency delta+varint
-	// encoded (internal/enc), as the single-node stack does: fewer device
-	// bytes per scan traded for host decode time. Requires ForwardOnNVM.
+	// encoded (internal/enc), and additionally compresses the wire
+	// formats (run-length bitmaps, delta-encoded lists and pairs).
+	// Requires ForwardOnNVM.
 	Compress bool
+
+	// Checksums enables per-replica CRC32-C verification on every
+	// machine's stores.
+	Checksums bool
+	// Replicas > 1 mirrors each machine's stores across that many media
+	// stores, each on its own simulated device, with scrub-driven repair
+	// and failover exactly as the single-node stack.
+	Replicas int
+	// CacheBytes > 0 gives each machine a page cache of that budget,
+	// shared by the machine's stores.
+	CacheBytes int64
+	// QueueDepth > 0 enables each machine's async coalescing I/O
+	// pipeline (needs CacheBytes).
+	QueueDepth int
+	// Faults configures per-machine fault injection; FaultMachine
+	// selects which machine's media it applies to (1-based; 0 = every
+	// machine). Each selected machine gets its own faults.Factory, so
+	// replica-death clauses (DieReplica) and power cuts are scoped to
+	// one node, composing node failure with the mirror failover path.
+	Faults       faults.Config
+	FaultMachine int
+	// RealWorkers > 1 executes per-machine work on that many OS
+	// goroutines. Results are independent of worker count.
+	RealWorkers int
+	// WrapBase, when non-nil, wraps every media store as it is created
+	// (innermost, below fault injection). Test hook for close tracking.
+	WrapBase func(machine int, name string, inner nvm.Storage) nvm.Storage
 }
 
 // WithDefaults returns c with zero fields defaulted.
 func (c Config) WithDefaults() Config {
+	if c.Machines == 0 && c.GridRows > 0 && c.GridCols > 0 {
+		c.Machines = c.GridRows * c.GridCols
+	}
 	if c.Machines == 0 {
 		c.Machines = 4
 	}
@@ -107,6 +153,9 @@ func (c Config) WithDefaults() Config {
 	if c.ForwardOnNVM && c.Device.Name == "" {
 		c.Device = nvm.ProfileIoDrive2
 	}
+	if c.RealWorkers < 1 {
+		c.RealWorkers = 1
+	}
 	return c
 }
 
@@ -127,7 +176,109 @@ func (c Config) Validate() error {
 	if c.Compress && !c.ForwardOnNVM {
 		return fmt.Errorf("cluster: Compress requires ForwardOnNVM")
 	}
+	if !c.ForwardOnNVM && (c.Checksums || c.Replicas > 1 || c.CacheBytes > 0 || c.QueueDepth > 0) {
+		return fmt.Errorf("cluster: storage stack options require ForwardOnNVM")
+	}
+	if (c.GridRows > 0) != (c.GridCols > 0) {
+		return fmt.Errorf("cluster: grid shape needs both rows and cols (got %dx%d)",
+			c.GridRows, c.GridCols)
+	}
+	if c.GridRows > 0 && c.GridRows*c.GridCols != c.Machines {
+		return fmt.Errorf("cluster: grid shape %dx%d does not cover %d machines",
+			c.GridRows, c.GridCols, c.Machines)
+	}
 	return nil
+}
+
+// nodeStacks is one machine's storage plumbing: its simulated devices
+// (one per mirror replica), its page cache, its fault stream, and every
+// stack built on them.
+type nodeStacks struct {
+	profile nvm.Profile
+	devs    []*nvm.Device
+	cache   *nvm.PageCache
+	faults  *faults.Factory
+	mk      nvm.BaseFactory
+	stores  []nvm.Storage
+	closed  bool
+}
+
+// newNodeStacks prepares machine idx's device/cache/fault plumbing. The
+// base factory routes replica r (parsed from the "-r<i>" name suffix the
+// mirror layer appends) onto the machine's r-th simulated device, so a
+// DieReplica fault kills one whole device of one machine — the node-death
+// scenario the failover machinery rescues.
+func newNodeStacks(cfg Config, idx int) *nodeStacks {
+	profile := cfg.Device
+	if cfg.LatencyScale > 0 {
+		profile = profile.WithLatencyScale(cfg.LatencyScale)
+	}
+	ns := &nodeStacks{profile: profile}
+	if cfg.CacheBytes > 0 {
+		ns.cache = nvm.NewPageCache(cfg.CacheBytes, nvm.DefaultChunkSize, cfg.Cost)
+	}
+	mk := func(name string, chunk int) (nvm.Storage, error) {
+		r := nvm.ReplicaIndex(name)
+		if r < 0 {
+			r = 0
+		}
+		for len(ns.devs) <= r {
+			ns.devs = append(ns.devs, nvm.NewDevice(profile, 0))
+		}
+		var st nvm.Storage = nvm.NewMemStore(ns.devs[r], chunk)
+		if cfg.WrapBase != nil {
+			st = cfg.WrapBase(idx, name, st)
+		}
+		return st, nil
+	}
+	ns.mk = mk
+	if cfg.Faults.Enabled() && (cfg.FaultMachine == 0 || cfg.FaultMachine == idx+1) {
+		ns.faults = faults.NewFactory(mk, cfg.Faults)
+		ns.mk = ns.faults.Make
+	}
+	return ns
+}
+
+// build assembles one named stack over the machine's plumbing.
+func (ns *nodeStacks) build(cfg Config, name string) (nvm.Storage, error) {
+	st, err := nvm.BuildStack(nvm.StackSpec{
+		Name:       name,
+		Base:       ns.mk,
+		Checksum:   cfg.Checksums,
+		Replicas:   cfg.Replicas,
+		Cache:      ns.cache,
+		QueueDepth: cfg.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns.stores = append(ns.stores, st)
+	return st, nil
+}
+
+// Close closes every stack exactly once (each stack closes its own
+// layers down to the media).
+func (ns *nodeStacks) Close() error {
+	if ns == nil || ns.closed {
+		return nil
+	}
+	ns.closed = true
+	var first error
+	for _, st := range ns.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (ns *nodeStacks) resetDevices() {
+	if ns == nil {
+		return
+	}
+	for _, d := range ns.devs {
+		d.Reset()
+	}
 }
 
 // machine is one simulated cluster node.
@@ -136,18 +287,23 @@ type machine struct {
 	lo, hi int64 // owned vertex range
 	adj    *csr.LocalGraph
 	clock  *vtime.Clock
-	// Semi-external adjacency (nil when in DRAM). With compressed on, the
-	// index holds byte offsets of delta+varint blocks instead of element
-	// offsets of raw int64s.
-	dev        *nvm.Device
+	// Semi-external forward adjacency (nil stacks when in DRAM). With
+	// compression on, the index holds byte offsets of delta+varint blocks
+	// instead of element offsets of raw int64s.
+	stacks     *nodeStacks
 	indexStore nvm.Storage
 	valueStore nvm.Storage
 	compressed bool
 	readBuf    []byte
 	idsBuf     []int64
-	valBuf     []int64
-	// Per-level outboxes: candidate (child, parent) pairs per owner.
-	outbox [][]pair
+	// Per-level outboxes: candidate (child, parent) pairs per owner, plus
+	// the wire-decoded inbox and the encode scratch buffer.
+	outbox  [][]pair
+	inbox   []pair
+	wirebuf []byte
+	// Per-level accumulators, reduced after each parallel phase.
+	examined int64
+	claimed  int64
 }
 
 type pair struct{ child, parent int64 }
@@ -161,21 +317,23 @@ type Cluster struct {
 
 	// BFS status data (globally addressed; each machine writes only its
 	// own range, so the single arrays stand in for per-machine copies).
+	// visited and next are atomic because owner ranges straddle words.
 	tree     []int64
-	visited  *bitmap.Bitmap
-	frontier *bitmap.Bitmap // global frontier bitmap (bottom-up + ownership tests)
-	next     *bitmap.Bitmap
+	visited  *bitmap.Atomic
+	frontier *bitmap.Bitmap // global frontier bitmap (bottom-up tests)
+	next     *bitmap.Atomic
 	frontQ   [][]int64 // per-machine top-down frontier queues
 
-	// CommBytes / CommTime accumulate interconnect usage per Run.
-	commBytes int64
+	// comm accumulates interconnect usage per Run, split by phase.
+	comm CommStats
 }
 
 // Build partitions src across the configured machines and constructs each
 // machine's local adjacency (hubs-first, as in NETAL). With ForwardOnNVM,
-// every machine's adjacency is additionally offloaded to its own device
-// and the DRAM copy is kept only for the bottom-up direction, mirroring
-// the single-node placement (forward on NVM, backward in DRAM).
+// every machine's adjacency is additionally offloaded through its own
+// storage stack and the DRAM copy is kept only for the bottom-up
+// direction, mirroring the single-node placement (forward on NVM,
+// backward in DRAM).
 func Build(src edgelist.Source, cfg Config) (*Cluster, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -193,9 +351,9 @@ func Build(src edgelist.Source, cfg Config) (*Cluster, error) {
 		n:        n,
 		part:     part,
 		tree:     make([]int64, n),
-		visited:  bitmap.New(int(n)),
+		visited:  bitmap.NewAtomic(int(n)),
 		frontier: bitmap.New(int(n)),
-		next:     bitmap.New(int(n)),
+		next:     bitmap.NewAtomic(int(n)),
 		frontQ:   make([][]int64, cfg.Machines),
 	}
 	for k := 0; k < cfg.Machines; k++ {
@@ -209,45 +367,72 @@ func Build(src edgelist.Source, cfg Config) (*Cluster, error) {
 			outbox: make([][]pair, cfg.Machines),
 		}
 		if cfg.ForwardOnNVM {
-			profile := cfg.Device
-			if cfg.LatencyScale > 0 {
-				profile = profile.WithLatencyScale(cfg.LatencyScale)
+			if err := c.offloadForward(m, cfg); err != nil {
+				c.Close()
+				return nil, err
 			}
-			m.dev = nvm.NewDevice(profile, 0)
-			m.indexStore = nvm.NewMemStore(m.dev, 0)
-			m.valueStore = nvm.NewMemStore(m.dev, 0)
-			m.compressed = cfg.Compress
-			if cfg.Compress {
-				// Re-encode each owned adjacency as one delta+varint
-				// block; the index becomes byte offsets into the blob.
-				local := int(m.hi - m.lo)
-				offs := make([]int64, local+1)
-				var blob []byte
-				for i := 0; i < local; i++ {
-					offs[i] = int64(len(blob))
-					v := m.lo + int64(i)
-					blob = enc.AppendList(blob, v, m.adj.Neighbors(v))
-				}
-				offs[local] = int64(len(blob))
-				if err := writeInt64s(m.indexStore, offs); err != nil {
-					return nil, err
-				}
-				if err := writeBytes(m.valueStore, blob); err != nil {
-					return nil, err
-				}
-			} else {
-				if err := writeInt64s(m.indexStore, m.adj.Index); err != nil {
-					return nil, err
-				}
-				if err := writeInt64s(m.valueStore, m.adj.Value); err != nil {
-					return nil, err
-				}
-			}
-			m.readBuf = make([]byte, nvm.DefaultChunkSize)
 		}
 		c.machines = append(c.machines, m)
 	}
 	return c, nil
+}
+
+// offloadForward builds machine m's forward stack pair and writes its
+// owned adjacency through it (untimed setup clock; per-run device stats
+// start from Run's device reset).
+func (c *Cluster) offloadForward(m *machine, cfg Config) error {
+	ns := newNodeStacks(cfg, m.id)
+	m.stacks = ns
+	idx, err := ns.build(cfg, fmt.Sprintf("m%d-fwd-idx", m.id))
+	if err != nil {
+		return err
+	}
+	val, err := ns.build(cfg, fmt.Sprintf("m%d-fwd-val", m.id))
+	if err != nil {
+		return err
+	}
+	m.indexStore, m.valueStore = idx, val
+	m.compressed = cfg.Compress
+	setup := vtime.NewClock(0)
+	local := int(m.hi - m.lo)
+	if cfg.Compress {
+		// Re-encode each owned adjacency as one delta+varint block; the
+		// index becomes byte offsets into the blob.
+		offs := make([]int64, local+1)
+		var blob []byte
+		for i := 0; i < local; i++ {
+			offs[i] = int64(len(blob))
+			v := m.lo + int64(i)
+			blob = enc.AppendList(blob, v, m.adj.Neighbors(v))
+		}
+		offs[local] = int64(len(blob))
+		if err := semiext.WriteInt64s(idx, setup, offs); err != nil {
+			return err
+		}
+		if err := semiext.WriteBytes(val, setup, blob); err != nil {
+			return err
+		}
+	} else {
+		if err := semiext.WriteInt64s(idx, setup, m.adj.Index); err != nil {
+			return err
+		}
+		if err := semiext.WriteInt64s(val, setup, m.adj.Value); err != nil {
+			return err
+		}
+	}
+	m.readBuf = make([]byte, nvm.DefaultChunkSize)
+	return nil
+}
+
+// Close releases every machine's storage stacks (exactly once each).
+func (c *Cluster) Close() error {
+	var first error
+	for _, m := range c.machines {
+		if err := m.stacks.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // NumMachines returns the cluster size.
@@ -256,14 +441,27 @@ func (c *Cluster) NumMachines() int { return c.cfg.Machines }
 // Owner returns the machine owning vertex v.
 func (c *Cluster) Owner(v int64) int { return c.part.NodeOf(int(v)) }
 
-// DeviceStats returns per-machine NVM statistics (nil without offload).
+// DeviceStats returns per-machine NVM statistics (nil without offload);
+// with mirroring, the primary replica's device is reported.
 func (c *Cluster) DeviceStats() []nvm.Stats {
 	if !c.cfg.ForwardOnNVM {
 		return nil
 	}
 	out := make([]nvm.Stats, len(c.machines))
 	for i, m := range c.machines {
-		out[i] = m.dev.Snapshot()
+		if m.stacks != nil && len(m.stacks.devs) > 0 {
+			out[i] = m.stacks.devs[0].Snapshot()
+		}
 	}
 	return out
+}
+
+// ReplicaHealth returns machine k's merged replica health (nil without
+// mirroring).
+func (c *Cluster) ReplicaHealth(k int) []nvm.ReplicaHealth {
+	m := c.machines[k]
+	if m.stacks == nil {
+		return nil
+	}
+	return nvm.CollectReplicaHealth(m.stacks.stores...)
 }

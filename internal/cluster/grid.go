@@ -3,9 +3,16 @@ package cluster
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"semibfs/internal/bfs"
+	"semibfs/internal/bitmap"
+	"semibfs/internal/csr"
 	"semibfs/internal/edgelist"
+	"semibfs/internal/enc"
+	"semibfs/internal/numa"
+	"semibfs/internal/nvm"
+	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
 
@@ -16,45 +23,105 @@ import (
 // block j and whose destination lies in row block i. Vertex status is
 // striped so machine (i,j) owns the j-th slice of row block i.
 //
+// Every grid machine is a full semi-external node: its edge blocks are
+// written through its own nvm.BuildStack storage stack (metrics, retry,
+// async pipeline, page cache, mirroring, checksums, optional delta+varint
+// compression), its clock is charged for every NVM request, and its fault
+// stream is independent — so node death composes with the mirror failover
+// machinery. A machine whose storage dies unrescuably pins the whole grid
+// to the DRAM-resident bottom-up layout: top-down levels are emulated
+// from the transpose under the same min-parent claim rule, which keeps
+// even degraded runs bit-identical to the single-node engine.
+//
 // Communication per level follows the 2D schedule:
 //
 //   - top-down: the frontier fragment of column block j is allgathered
 //     down each processor column (R-1 fragments in, instead of the 1D
-//     layout's P-1), each machine expands its block, and candidate
-//     parents travel across each processor row to their owners;
-//   - bottom-up: each row performs C ring sub-phases — machine (i,j)
-//     scans the not-yet-claimed vertices of one stripe of row i against
-//     its own edge block, then passes the stripe's claim state to its
-//     right neighbor, exactly Beamer's rotating scheme.
+//     layout's P-1) as wire-encoded sparse vertex lists, each machine
+//     expands its block, and candidate parents travel across each
+//     processor row to their owners, who arbitrate by minimum parent;
+//   - bottom-up: frontier bitmap fragments allgather down columns, then
+//     each row performs C ring sub-phases — machine (i,j) scans one
+//     stripe of row i against its own edge block, carrying the stripe's
+//     best claim so far, and ring-shifts the wire-encoded claim updates
+//     to the next machine, exactly Beamer's rotating scheme.
 //
 // The point of 2D is communication volume: collectives span sqrt(P)
-// machines instead of P, which the CommBytes accounting exposes (see the
+// machines instead of P, which the CommStats accounting exposes (see the
 // Scaling2D experiment).
 type Grid struct {
 	cfg  Config
 	rows int
 	cols int
 	n    int64
+	// deg holds every vertex's undirected degree — the bottom-up
+	// scan-order key (hubs first), shared by all blocks so the claim
+	// comparator is global.
+	deg []int64
 
-	// blocks[i][j] is a CSR over column block j's sources, restricted
-	// to destinations in row block i (the top-down layout); bu[i][j] is
-	// the transpose — a CSR over row block i's destinations listing
-	// their sources in column block j (the bottom-up layout, hubs kept
-	// in edge order).
-	blocks [][]*gridBlock
-	bu     [][]*gridBlock
-	clocks [][]*vtime.Clock
+	// blocks[i][j] is a CSR over column block j's sources, restricted to
+	// destinations in row block i, neighbor lists ascending (the
+	// top-down layout; nil once offloaded to the machine's stack);
+	// bu[i][j] is the transpose — a CSR over row block i's destinations
+	// listing their sources in column block j, neighbor lists sorted
+	// hubs-first (the bottom-up layout, always DRAM-resident: it is the
+	// degraded-mode residence).
+	blocks   [][]*gridBlock
+	bu       [][]*gridBlock
+	machines [][]*gridMachine
 
 	// rowStart[i] / colStart[j] delimit the vertex blocks.
 	rowStart []int64
 	colStart []int64
 
-	tree     []int64
-	visited  []bool
-	frontier []bool
-	next     []bool
+	tree    []int64
+	visited *bitmap.Atomic
+	next    *bitmap.Atomic
+	// frontier is the authoritative current-frontier bitmap; fview is
+	// the wire-decoded replica the scans actually read, and colQ the
+	// wire-decoded per-column top-down queues — the codec is in the
+	// data path, not just the accounting.
+	frontier *bitmap.Bitmap
+	fview    *bitmap.Bitmap
+	colQ     [][]int64
 
-	commBytes int64
+	// cand is the bottom-up rotating claim state (best parent candidate
+	// per vertex, -1 when none); touched[i] lists row block i's vertices
+	// with live candidates so failed level attempts can roll back.
+	cand    []int64
+	touched [][]int64
+
+	comm         CommStats
+	degraded     bool
+	deadMachines []int
+}
+
+// gridMachine is one grid processor: its clock, its storage stacks, and
+// its per-level scratch.
+type gridMachine struct {
+	i, j  int
+	clock *vtime.Clock
+
+	td *gridBlock // DRAM top-down block; nil when offloaded
+	bu *gridBlock // DRAM bottom-up block; always retained
+
+	stacks     *nodeStacks
+	tdIdx      nvm.Storage
+	tdVal      nvm.Storage
+	buIdx      nvm.Storage
+	buVal      nvm.Storage
+	compressed bool
+	dead       bool
+
+	readBuf []byte
+	idsBuf  []int64
+	wirebuf []byte
+	outbox  [][]pair // top-down candidates per destination column
+	inbox   []pair
+	pending []pair // bottom-up claim updates for the stripe in hand
+
+	examined int64
+	claimed  int64
 }
 
 type gridBlock struct {
@@ -84,40 +151,57 @@ func GridShape(p int) (rows, cols int) {
 }
 
 // BuildGrid partitions src over the most square R x C grid with
-// cfg.Machines processors.
+// cfg.Machines processors, offloading every machine's blocks through its
+// own storage stack when cfg.ForwardOnNVM is set.
 func BuildGrid(src edgelist.Source, cfg Config) (*Grid, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.ForwardOnNVM {
-		return nil, fmt.Errorf("cluster: grid layout does not support per-machine NVM offload yet")
-	}
 	rows, cols := GridShape(cfg.Machines)
+	if cfg.GridRows > 0 && cfg.GridCols > 0 {
+		rows, cols = cfg.GridRows, cfg.GridCols
+	}
 	n := src.NumVertices()
+	deg, err := csr.Degrees(src)
+	if err != nil {
+		return nil, err
+	}
 	g := &Grid{
 		cfg:      cfg,
 		rows:     rows,
 		cols:     cols,
 		n:        n,
+		deg:      deg,
 		rowStart: blockStarts(n, rows),
 		colStart: blockStarts(n, cols),
 		tree:     make([]int64, n),
-		visited:  make([]bool, n),
-		frontier: make([]bool, n),
-		next:     make([]bool, n),
+		visited:  bitmap.NewAtomic(int(n)),
+		next:     bitmap.NewAtomic(int(n)),
+		frontier: bitmap.New(int(n)),
+		fview:    bitmap.New(int(n)),
+		colQ:     make([][]int64, cols),
+		cand:     make([]int64, n),
+		touched:  make([][]int64, rows),
+	}
+	for i := range g.cand {
+		g.cand[i] = -1
 	}
 	g.blocks = make([][]*gridBlock, rows)
 	g.bu = make([][]*gridBlock, rows)
-	g.clocks = make([][]*vtime.Clock, rows)
+	g.machines = make([][]*gridMachine, rows)
 	for i := 0; i < rows; i++ {
 		g.blocks[i] = make([]*gridBlock, cols)
 		g.bu[i] = make([]*gridBlock, cols)
-		g.clocks[i] = make([]*vtime.Clock, cols)
+		g.machines[i] = make([]*gridMachine, cols)
 		for j := 0; j < cols; j++ {
 			g.blocks[i][j] = &gridBlock{base: g.colStart[j]}
 			g.bu[i][j] = &gridBlock{base: g.rowStart[i]}
-			g.clocks[i][j] = vtime.NewClock(0)
+			g.machines[i][j] = &gridMachine{
+				i: i, j: j,
+				clock:  vtime.NewClock(0),
+				outbox: make([][]pair, cols),
+			}
 		}
 	}
 	// The top-down blocks index by source u; the bottom-up transpose
@@ -129,7 +213,155 @@ func BuildGrid(src edgelist.Source, cfg Config) (*Grid, error) {
 	if err := g.fillBlocks(src, true); err != nil {
 		return nil, err
 	}
+	g.sortBlocks()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m := g.machines[i][j]
+			m.td = g.blocks[i][j]
+			m.bu = g.bu[i][j]
+			if cfg.ForwardOnNVM {
+				if err := g.offloadMachine(m, cfg); err != nil {
+					g.Close()
+					return nil, err
+				}
+				// Semi-external placement: the top-down block now lives
+				// only on the machine's stack.
+				m.td = nil
+				g.blocks[i][j] = nil
+			}
+		}
+	}
 	return g, nil
+}
+
+// sortBlocks orders every top-down neighbor list ascending and every
+// bottom-up list by the single-node engine's hubs-first comparator
+// (degree descending, ID ascending). Because each neighbor lives in
+// exactly one column block, merging per-block minima under the same
+// global comparator reproduces the single-node scan order — the heart of
+// the cross-topology bit-identity contract.
+func (g *Grid) sortBlocks() {
+	deg := g.deg
+	for i := range g.blocks {
+		for j := range g.blocks[i] {
+			sortBlockLists(g.blocks[i][j], func(a, b int64) bool { return a < b })
+			sortBlockLists(g.bu[i][j], func(a, b int64) bool {
+				if deg[a] != deg[b] {
+					return deg[a] > deg[b]
+				}
+				return a < b
+			})
+		}
+	}
+}
+
+func sortBlockLists(b *gridBlock, less func(a, b int64) bool) {
+	for k := 0; k+1 < len(b.index); k++ {
+		seg := b.value[b.index[k]:b.index[k+1]]
+		sort.Slice(seg, func(x, y int) bool { return less(seg[x], seg[y]) })
+	}
+}
+
+// better reports whether u precedes c in the bottom-up scan order.
+func (g *Grid) better(u, c int64) bool {
+	if g.deg[u] != g.deg[c] {
+		return g.deg[u] > g.deg[c]
+	}
+	return u < c
+}
+
+// offloadMachine builds machine m's four stacks and writes both of its
+// blocks through them.
+func (g *Grid) offloadMachine(m *gridMachine, cfg Config) error {
+	ns := newNodeStacks(cfg, m.i*g.cols+m.j)
+	m.stacks = ns
+	prefix := fmt.Sprintf("g%dx%d", m.i, m.j)
+	var err error
+	if m.tdIdx, err = ns.build(cfg, prefix+"-td-idx"); err != nil {
+		return err
+	}
+	if m.tdVal, err = ns.build(cfg, prefix+"-td-val"); err != nil {
+		return err
+	}
+	if m.buIdx, err = ns.build(cfg, prefix+"-bu-idx"); err != nil {
+		return err
+	}
+	if m.buVal, err = ns.build(cfg, prefix+"-bu-val"); err != nil {
+		return err
+	}
+	m.compressed = cfg.Compress
+	if err := writeBlock(m.td, m.tdIdx, m.tdVal, cfg.Compress); err != nil {
+		return err
+	}
+	if err := writeBlock(m.bu, m.buIdx, m.buVal, cfg.Compress); err != nil {
+		return err
+	}
+	m.readBuf = make([]byte, nvm.DefaultChunkSize)
+	return nil
+}
+
+// writeBlock stores one grid block through a stack pair, raw or
+// delta+varint compressed (untimed setup clock).
+func writeBlock(b *gridBlock, idxSt, valSt nvm.Storage, compressed bool) error {
+	setup := vtime.NewClock(0)
+	if !compressed {
+		if err := semiext.WriteInt64s(idxSt, setup, b.index); err != nil {
+			return err
+		}
+		return semiext.WriteInt64s(valSt, setup, b.value)
+	}
+	local := len(b.index) - 1
+	offs := make([]int64, local+1)
+	var blob []byte
+	for k := 0; k < local; k++ {
+		offs[k] = int64(len(blob))
+		blob = enc.AppendList(blob, b.base+int64(k), b.value[b.index[k]:b.index[k+1]])
+	}
+	offs[local] = int64(len(blob))
+	if err := semiext.WriteInt64s(idxSt, setup, offs); err != nil {
+		return err
+	}
+	return semiext.WriteBytes(valSt, setup, blob)
+}
+
+// streamTD streams source u's top-down block neighbors on machine m.
+func (m *gridMachine) streamTD(u, base int64, t *vtime.Duration, cm *numa.CostModel, fn func(v int64) bool) error {
+	if m.tdIdx == nil {
+		nbs := m.td.neighbors(u)
+		*t += cm.LocalAccess + cm.Stream(len(nbs)*8)
+		streamDRAM(nbs, fn)
+		return nil
+	}
+	_, err := semiext.StreamIndexedNeighbors(m.tdIdx, m.tdVal, m.clock, m.compressed,
+		u, u-base, &m.readBuf, &m.idsBuf, 0, fn)
+	return err
+}
+
+// streamBU streams destination v's bottom-up block sources on machine m.
+// A dead machine falls back to its DRAM transpose — the degraded
+// residence.
+func (m *gridMachine) streamBU(v, base int64, t *vtime.Duration, cm *numa.CostModel, fn func(u int64) bool) error {
+	if m.buIdx == nil || m.dead {
+		nbs := m.bu.neighbors(v)
+		*t += cm.LocalAccess + cm.Stream(len(nbs)*8)
+		streamDRAM(nbs, fn)
+		return nil
+	}
+	_, err := semiext.StreamIndexedNeighbors(m.buIdx, m.buVal, m.clock, m.compressed,
+		v, v-base, &m.readBuf, &m.idsBuf, 0, fn)
+	return err
+}
+
+func streamDRAM(nbs []int64, fn func(v int64) bool) {
+	for _, w := range nbs {
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+func (m *gridMachine) charge(g *Grid, t vtime.Duration) {
+	m.clock.Advance(t / vtime.Duration(g.cfg.CoresPerMachine))
 }
 
 // fillBlocks builds either the source-indexed top-down blocks or the
@@ -261,6 +493,57 @@ func (g *Grid) Shape() (rows, cols int) { return g.rows, g.cols }
 // NumMachines returns the total processor count.
 func (g *Grid) NumMachines() int { return g.rows * g.cols }
 
+// machineAt returns the machine with flat index idx (row-major).
+func (g *Grid) machineAt(idx int) *gridMachine {
+	return g.machines[idx/g.cols][idx%g.cols]
+}
+
+// Close releases every machine's storage stacks (exactly once each).
+func (g *Grid) Close() error {
+	var first error
+	for i := range g.machines {
+		for _, m := range g.machines[i] {
+			if err := m.stacks.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// MachineStatus is one grid machine's post-run report.
+type MachineStatus struct {
+	Row, Col int
+	// Dead reports unrescuable storage death (the grid finished in
+	// degraded mode).
+	Dead bool
+	// Device is the machine's primary device snapshot (zero without
+	// offload); Health its merged replica health (nil without
+	// mirroring).
+	Device nvm.Stats
+	Health []nvm.ReplicaHealth
+	// Time is the machine's virtual clock.
+	Time vtime.Duration
+}
+
+// MachineReport returns per-machine layer and health status, row-major.
+func (g *Grid) MachineReport() []MachineStatus {
+	out := make([]MachineStatus, 0, g.rows*g.cols)
+	for i := range g.machines {
+		for _, m := range g.machines[i] {
+			st := MachineStatus{Row: m.i, Col: m.j, Dead: m.dead, Time: m.clock.Now()}
+			if m.stacks != nil {
+				if len(m.stacks.devs) > 0 {
+					st.Device = m.stacks.devs[0].Snapshot()
+				}
+				st.Health = nvm.CollectReplicaHealth(m.stacks.stores...)
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
 // ownerOf returns the grid machine owning vertex v's status: the vertex
 // lies in row block i; within the row its stripe index selects the
 // column.
@@ -290,8 +573,10 @@ func (g *Grid) stripeRange(i, t int) (int64, int64) {
 
 func (g *Grid) allClocks() []*vtime.Clock {
 	out := make([]*vtime.Clock, 0, g.rows*g.cols)
-	for i := range g.clocks {
-		out = append(out, g.clocks[i]...)
+	for i := range g.machines {
+		for _, m := range g.machines[i] {
+			out = append(out, m.clock)
+		}
 	}
 	return out
 }
@@ -305,15 +590,7 @@ func (g *Grid) barrier() vtime.Duration {
 	return max
 }
 
-// chargeAll advances every clock by a collective's cost.
-func (g *Grid) chargeAll(cost vtime.Duration, bytes int64) {
-	for _, c := range g.allClocks() {
-		c.Advance(cost)
-	}
-	g.commBytes += bytes
-}
-
-// decide2D applies the alpha/beta rule (global counts, allreduce charged
+// decide applies the alpha/beta rule (global counts, allreduce charged
 // by the caller).
 func (g *Grid) decide(dir bfs.Direction, prev, cur int64) bfs.Direction {
 	switch dir {
@@ -334,5 +611,8 @@ func (g *Grid) allreduce(bytes int64) {
 	p := g.rows * g.cols
 	steps := bits.Len(uint(p - 1))
 	cost := vtime.Duration(steps) * g.cfg.Net.transfer(bytes)
-	g.chargeAll(cost, int64(steps)*bytes*int64(p))
+	for _, c := range g.allClocks() {
+		c.Advance(cost)
+	}
+	g.comm.Control += int64(steps) * bytes * int64(p)
 }

@@ -167,12 +167,52 @@ func TestGridOddVertexCount(t *testing.T) {
 	checkTree(t, l, res)
 }
 
-func TestGridRejectsNVMOffload(t *testing.T) {
+func TestGridNVMOffload(t *testing.T) {
 	list := testList(t, 8, 96)
-	_, err := BuildGrid(edgelist.ListSource{List: list},
-		Config{Machines: 4, ForwardOnNVM: true})
-	if err == nil {
-		t.Fatal("grid accepted NVM offload")
+	src := edgelist.ListSource{List: list}
+	root := firstConnected(list)
+	ref, err := BuildGrid(src, Config{Machines: 4, Alpha: 64, Beta: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		g, err := BuildGrid(src, Config{
+			Machines: 4, Alpha: 64, Beta: 640,
+			ForwardOnNVM: true, Compress: compress,
+		})
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		res, err := g.Run(root)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		checkTree(t, list, res)
+		for v := range res.Tree {
+			if res.Tree[v] != refRes.Tree[v] {
+				t.Fatalf("compress=%v: tree[%d] = %d, want %d (DRAM grid)",
+					compress, v, res.Tree[v], refRes.Tree[v])
+			}
+		}
+		report := g.MachineReport()
+		if len(report) != 4 {
+			t.Fatalf("compress=%v: %d machine statuses, want 4", compress, len(report))
+		}
+		for _, st := range report {
+			if st.Dead {
+				t.Fatalf("compress=%v: machine (%d,%d) reported dead", compress, st.Row, st.Col)
+			}
+			if st.Device.Reads == 0 {
+				t.Errorf("compress=%v: machine (%d,%d) never read its device", compress, st.Row, st.Col)
+			}
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("compress=%v: close: %v", compress, err)
+		}
 	}
 }
 

@@ -1,12 +1,11 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"semibfs/internal/bfs"
-	"semibfs/internal/nvm"
 	"semibfs/internal/semiext"
 	"semibfs/internal/vtime"
 )
@@ -18,7 +17,10 @@ type LevelStats struct {
 	Frontier  int64
 	Claimed   int64
 	Examined  int64
+	// CommBytes is this level's total interconnect traffic; Comm splits
+	// it by phase.
 	CommBytes int64
+	Comm      CommStats
 	Time      vtime.Duration
 }
 
@@ -30,9 +32,28 @@ type Result struct {
 	Levels   []LevelStats
 	Time     vtime.Duration
 	Switches int
-	// CommBytes is the total interconnect traffic of the run.
+	// CommBytes is the total interconnect traffic of the run; Comm
+	// splits it by phase and encoding.
 	CommBytes int64
+	Comm      CommStats
+	// Degraded reports that a machine's storage died unrescuably during
+	// the run and the traversal finished from the DRAM-resident layout
+	// (2D grid only); DeadMachines lists the dead machine indices.
+	Degraded     bool
+	DeadMachines []int
 }
+
+// machineError attributes a storage failure to one machine so the grid's
+// rescue path knows whom to declare dead.
+type machineError struct {
+	machine int
+	err     error
+}
+
+func (e *machineError) Error() string {
+	return fmt.Sprintf("cluster: machine %d: %v", e.machine, e.err)
+}
+func (e *machineError) Unwrap() error { return e.err }
 
 // Run executes one distributed hybrid BFS from root.
 func (c *Cluster) Run(root int64) (*Result, error) {
@@ -45,12 +66,10 @@ func (c *Cluster) Run(root int64) (*Result, error) {
 	c.visited.Reset()
 	c.frontier.Reset()
 	c.next.Reset()
-	c.commBytes = 0
+	c.comm = CommStats{}
 	for _, m := range c.machines {
 		m.clock.AdvanceTo(0)
-		if m.dev != nil {
-			m.dev.Reset()
-		}
+		m.stacks.resetDevices()
 	}
 	for k := range c.frontQ {
 		c.frontQ[k] = c.frontQ[k][:0]
@@ -58,7 +77,6 @@ func (c *Cluster) Run(root int64) (*Result, error) {
 
 	c.tree[root] = root
 	c.visited.Set(int(root))
-	c.frontier.Set(int(root))
 	owner := c.Owner(root)
 	c.frontQ[owner] = append(c.frontQ[owner], root)
 
@@ -81,13 +99,13 @@ func (c *Cluster) Run(root int64) (*Result, error) {
 			}
 		}
 		start := vtime.MaxOf(c.clocks())
-		comm0 := c.commBytes
+		comm0 := c.comm
 		var claimed, examined int64
 		var err error
 		if dir == bfs.TopDown {
 			claimed, examined, err = c.topDownLevel()
 		} else {
-			claimed, examined, err = c.bottomUpLevel()
+			claimed, examined = c.bottomUpLevel()
 		}
 		if err != nil {
 			return nil, err
@@ -96,25 +114,30 @@ func (c *Cluster) Run(root int64) (*Result, error) {
 		c.allreduce(8)
 		end := c.barrier()
 
+		delta := c.comm.sub(comm0)
 		res.Levels = append(res.Levels, LevelStats{
 			Level:     level,
 			Direction: dir,
 			Frontier:  curCount,
 			Claimed:   claimed,
 			Examined:  examined,
-			CommBytes: c.commBytes - comm0,
+			CommBytes: delta.Total(),
+			Comm:      delta,
 			Time:      end - start,
 		})
 		res.Visited += claimed
 		if claimed == 0 {
 			break
 		}
-		c.promoteNext(dir)
+		if err := c.promoteNext(dir); err != nil {
+			return nil, err
+		}
 		prevCount, curCount = curCount, claimed
 	}
 	res.Time = vtime.MaxOf(c.clocks())
 	res.Tree = c.tree
-	res.CommBytes = c.commBytes
+	res.Comm = c.comm
+	res.CommBytes = c.comm.Total()
 	return res, nil
 }
 
@@ -144,7 +167,7 @@ func (c *Cluster) allreduce(bytes int64) {
 	for _, m := range c.machines {
 		m.clock.Advance(cost)
 	}
-	c.commBytes += int64(steps) * bytes * int64(p)
+	c.comm.Control += int64(steps) * bytes * int64(p)
 }
 
 // decide applies the alpha/beta rule to the global frontier count.
@@ -168,119 +191,154 @@ func (m *machine) charge(c *Cluster, t vtime.Duration) {
 	m.clock.Advance(t / vtime.Duration(c.cfg.CoresPerMachine))
 }
 
-// neighbors returns vertex v's adjacency on machine m, reading it from the
-// machine's NVM store when the cluster offloads forward data. The NVM path
-// goes through semiext.StreamNeighbors — the same decoder the single-node
-// storage stack uses — so raw and delta+varint-compressed stores stream
-// identically. The returned slice is valid until the next call.
-func (m *machine) neighbors(c *Cluster, v int64) ([]int64, bool, error) {
-	if m.dev == nil {
-		return m.adj.Neighbors(v), false, nil
+// sortDedupPairs orders candidates by (child, parent) and keeps only the
+// smallest parent per child. Outboxes become deterministic regardless of
+// discovery interleaving, and the kept pair is exactly the one min-parent
+// arbitration would pick, so dropping the rest loses nothing.
+func sortDedupPairs(ps []pair) []pair {
+	if len(ps) < 2 {
+		return ps
 	}
-	i := v - m.lo
-	var idx [16]byte
-	if err := m.indexStore.ReadAt(m.clock, idx[:], i*8); err != nil {
-		return nil, false, err
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].child != ps[b].child {
+			return ps[a].child < ps[b].child
+		}
+		return ps[a].parent < ps[b].parent
+	})
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p.child != out[len(out)-1].child {
+			out = append(out, p)
+		}
 	}
-	lo := int64(binary.LittleEndian.Uint64(idx[0:8]))
-	hi := int64(binary.LittleEndian.Uint64(idx[8:16]))
-	out := m.valBuf[:0]
-	_, err := semiext.StreamNeighbors(m.valueStore, m.clock, m.compressed,
-		v, lo, hi, &m.readBuf, &m.idsBuf, 0, func(nb int64) bool {
-			out = append(out, nb)
-			return true
-		})
-	m.valBuf = out
-	if err != nil {
-		return nil, false, err
-	}
-	return out, true, nil
+	return out
 }
 
-// topDownLevel expands each machine's local frontier queue; remote
-// discoveries are exchanged all-to-all and claimed by their owners.
+// topDownLevel expands each machine's local frontier queue into
+// per-owner candidate outboxes, ships the remote boxes wire-encoded, and
+// lets each owner arbitrate its children by minimum parent — the same
+// claim rule as the single-node engine's min-parent CAS, which keeps the
+// parent tree bit-identical across worker counts and topologies.
 func (c *Cluster) topDownLevel() (claimed, examined int64, err error) {
 	cm := &c.cfg.Cost
-	// Local expansion.
-	for _, m := range c.machines {
-		for k := range m.outbox {
-			m.outbox[k] = m.outbox[k][:0]
+	p := len(c.machines)
+	// Phase 1: expansion (parallel; each job touches only machine k's
+	// state, reading visited bits frozen since the previous level).
+	err = runJobsErr(c.cfg.RealWorkers, p, func(k int) error {
+		m := c.machines[k]
+		m.examined, m.claimed = 0, 0
+		for o := range m.outbox {
+			m.outbox[o] = m.outbox[o][:0]
 		}
+		m.inbox = m.inbox[:0]
 		var t vtime.Duration
-		for _, v := range c.frontQ[m.id] {
+		for _, v := range c.frontQ[k] {
 			t += cm.VertexOverhead
-			nbs, fromNVM, nerr := m.neighbors(c, v)
-			if nerr != nil {
-				return 0, 0, nerr
-			}
-			if !fromNVM {
-				t += cm.LocalAccess + cm.Stream(len(nbs)*8)
-			}
-			examined += int64(len(nbs))
-			for _, w := range nbs {
+			parent := v
+			emit := func(w int64) bool {
 				t += cm.EdgeCompute + cm.BitmapProbe
-				owner := c.Owner(w)
-				if owner == m.id {
-					if !c.visited.Test(int(w)) {
-						c.visited.Set(int(w))
-						c.tree[w] = v
-						c.next.Set(int(w))
-						t += cm.AtomicOp + cm.LocalAccess
-						claimed++
-					}
-				} else {
-					m.outbox[owner] = append(m.outbox[owner], pair{w, v})
+				m.examined++
+				if !c.visited.Test(int(w)) {
+					o := c.Owner(w)
+					m.outbox[o] = append(m.outbox[o], pair{w, parent})
 					t += cm.QueueAppend
 				}
+				return true
 			}
-		}
-		m.charge(c, t)
-	}
-	// All-to-all exchange of candidate pairs (16 bytes each), then the
-	// owners claim.
-	recvTime := make([]vtime.Duration, len(c.machines))
-	for _, m := range c.machines {
-		for k, box := range m.outbox {
-			if k == m.id || len(box) == 0 {
-				continue
-			}
-			bytes := int64(len(box)) * 16
-			done := m.clock.Now() + c.cfg.Net.transfer(bytes)
-			if done > recvTime[k] {
-				recvTime[k] = done
-			}
-			c.commBytes += bytes
-		}
-	}
-	for _, dst := range c.machines {
-		dst.clock.AdvanceTo(recvTime[dst.id])
-		var t vtime.Duration
-		for _, src := range c.machines {
-			if src.id == dst.id {
-				continue
-			}
-			for _, pr := range src.outbox[dst.id] {
-				t += cm.EdgeCompute + cm.BitmapProbe
-				if !c.visited.Test(int(pr.child)) {
-					c.visited.Set(int(pr.child))
-					c.tree[pr.child] = pr.parent
-					c.next.Set(int(pr.child))
-					t += cm.AtomicOp + cm.LocalAccess
-					claimed++
+			if m.indexStore != nil {
+				if _, serr := semiext.StreamIndexedNeighbors(
+					m.indexStore, m.valueStore, m.clock, m.compressed,
+					v, v-m.lo, &m.readBuf, &m.idsBuf, 0, emit); serr != nil {
+					return &machineError{machine: k, err: serr}
+				}
+			} else {
+				nbs := m.adj.Neighbors(v)
+				t += cm.LocalAccess + cm.Stream(len(nbs)*8)
+				for _, w := range nbs {
+					emit(w)
 				}
 			}
 		}
+		for o := range m.outbox {
+			m.outbox[o] = sortDedupPairs(m.outbox[o])
+		}
+		m.charge(c, t)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Phase 2: all-to-all candidate exchange (serial). The wire bytes are
+	// what the codec actually produced, and the receiver works from the
+	// decoded copy, so the codec is load-bearing, not just accounted.
+	recv := make([]vtime.Duration, p)
+	for _, m := range c.machines {
+		for o, box := range m.outbox {
+			if o == m.id || len(box) == 0 {
+				continue
+			}
+			m.wirebuf = appendPairs(m.wirebuf[:0], box, c.cfg.Compress)
+			nb := int64(len(m.wirebuf))
+			c.comm.TDCandidate += nb
+			if done := m.clock.Now() + c.cfg.Net.transfer(nb); done > recv[o] {
+				recv[o] = done
+			}
+			dst := c.machines[o]
+			dec, _, derr := decodePairs(m.wirebuf, dst.inbox)
+			if derr != nil {
+				return 0, 0, derr
+			}
+			dst.inbox = dec
+		}
+	}
+	// Phase 3: arbitration (parallel; every child has exactly one owner,
+	// so tree writes never race, and next-bitmap word sharing is atomic).
+	runJobs(c.cfg.RealWorkers, p, func(k int) {
+		dst := c.machines[k]
+		if recv[k] > dst.clock.Now() {
+			dst.clock.AdvanceTo(recv[k])
+		}
+		var t vtime.Duration
+		claim := func(pr pair) {
+			t += cm.EdgeCompute + cm.BitmapProbe
+			if c.visited.Test(int(pr.child)) {
+				return
+			}
+			if !c.next.Test(int(pr.child)) {
+				c.next.Set(int(pr.child))
+				c.tree[pr.child] = pr.parent
+				t += cm.AtomicOp + cm.LocalAccess
+				dst.claimed++
+			} else if pr.parent < c.tree[pr.child] {
+				c.tree[pr.child] = pr.parent
+			}
+		}
+		for _, pr := range dst.outbox[k] {
+			claim(pr)
+		}
+		for _, pr := range dst.inbox {
+			claim(pr)
+		}
 		dst.charge(c, t)
+	})
+	for _, m := range c.machines {
+		claimed += m.claimed
+		examined += m.examined
 	}
 	return claimed, examined, nil
 }
 
 // bottomUpLevel scans each machine's unvisited vertices against the full
-// frontier bitmap (replicated by the previous allgather).
-func (c *Cluster) bottomUpLevel() (claimed, examined int64, err error) {
+// frontier bitmap (replicated by the previous allgather). The backward
+// adjacency stays in DRAM — the semi-external placement — so this
+// direction cannot hit storage faults. Each vertex is scanned by exactly
+// one machine (word ranges are disjoint) and claims the first frontier
+// neighbor of its degree-sorted list, the single-node rule.
+func (c *Cluster) bottomUpLevel() (claimed, examined int64) {
 	cm := &c.cfg.Cost
-	words := c.visited.Words()
-	for _, m := range c.machines {
+	runJobs(c.cfg.RealWorkers, len(c.machines), func(k int) {
+		m := c.machines[k]
+		m.examined, m.claimed = 0, 0
 		var t vtime.Duration
 		wordLo := int(m.lo+63) / 64
 		if m.id == 0 {
@@ -289,7 +347,7 @@ func (c *Cluster) bottomUpLevel() (claimed, examined int64, err error) {
 		wordHi := (int(m.hi) + 63) / 64
 		for wi := wordLo; wi < wordHi; wi++ {
 			t += cm.Stream(8)
-			unvisited := ^words[wi]
+			unvisited := ^c.visited.WordAt(wi)
 			base := int64(wi * 64)
 			if base+64 > c.n {
 				unvisited &= (1 << uint(c.n-base)) - 1
@@ -299,9 +357,9 @@ func (c *Cluster) bottomUpLevel() (claimed, examined int64, err error) {
 				unvisited &= unvisited - 1
 				v := base + int64(b)
 				t += cm.VertexOverhead
-				// Straddling words: delegate to the true owner's
-				// adjacency (same machine loop handles it since the
-				// adjacency is globally indexed per owner).
+				// Straddling words: the word's scanner handles vertices
+				// owned by the neighboring machine too, reading the true
+				// owner's adjacency.
 				mv := m
 				if v < m.lo || v >= m.hi {
 					mv = c.machines[c.Owner(v)]
@@ -316,7 +374,7 @@ func (c *Cluster) bottomUpLevel() (claimed, examined int64, err error) {
 						break
 					}
 				}
-				examined += int64(scanned)
+				m.examined += int64(scanned)
 				t += (cm.EdgeCompute + cm.BitmapProbe) * vtime.Duration(scanned)
 				t += cm.Stream(scanned * 8)
 				if parent >= 0 {
@@ -324,23 +382,29 @@ func (c *Cluster) bottomUpLevel() (claimed, examined int64, err error) {
 					c.visited.Set(int(v))
 					c.next.Set(int(v))
 					t += cm.LocalAccess + 2*cm.BitmapProbe
-					claimed++
+					m.claimed++
 				}
 			}
 		}
 		m.charge(c, t)
+	})
+	for _, m := range c.machines {
+		claimed += m.claimed
+		examined += m.examined
 	}
-	return claimed, examined, nil
+	return claimed, examined
 }
 
 // promoteNext installs the next frontier in dir's representation.
-func (c *Cluster) promoteNext(dir bfs.Direction) {
+func (c *Cluster) promoteNext(dir bfs.Direction) error {
+	p := len(c.machines)
 	if dir == bfs.TopDown {
-		// Each machine extracts its owned range of the next bitmap
-		// into its frontier queue.
+		// Each machine marks its claims visited and extracts its owned
+		// range of the next bitmap into its frontier queue.
 		for _, m := range c.machines {
 			q := c.frontQ[m.id][:0]
-			c.next.ForEachSet(int(m.lo), int(m.hi), func(i int) {
+			forEachSetAtomic(c.next, int(m.lo), int(m.hi), func(i int) {
+				c.visited.Set(i)
 				q = append(q, int64(i))
 			})
 			c.frontQ[m.id] = q
@@ -348,41 +412,66 @@ func (c *Cluster) promoteNext(dir bfs.Direction) {
 		}
 		c.frontier.Reset()
 	} else {
-		// Allgather: every machine broadcasts its fragment of the
-		// next bitmap (n/P bits) to all others.
-		fragBytes := (c.n/int64(len(c.machines)) + 7) / 8
-		cost := c.cfg.Net.transfer(fragBytes * int64(len(c.machines)-1))
+		// Allgather: every machine broadcasts its wire-encoded fragment of
+		// the next bitmap; the frontier everyone scans next level is the
+		// decoded copy.
+		frags := make([][]byte, p)
+		var total int64
 		for _, m := range c.machines {
-			m.clock.Advance(cost)
+			frag := appendBitmap(nil, c.next.Test, int(m.lo), int(m.hi), c.cfg.Compress)
+			frags[m.id] = frag
+			total += int64(len(frag))
+			c.comm.BUAllgather += int64(len(frag)) * int64(p-1)
 		}
-		c.commBytes += fragBytes * int64(len(c.machines)) * int64(len(c.machines)-1)
-		c.frontier.CopyFrom(c.next)
+		for _, m := range c.machines {
+			m.clock.Advance(c.cfg.Net.transfer(total - int64(len(frags[m.id]))))
+		}
+		c.frontier.Reset()
+		for _, m := range c.machines {
+			lo := int(m.lo)
+			if _, _, err := decodeBitmap(frags[m.id], int(m.hi-m.lo), func(i int) {
+				c.frontier.Set(lo + i)
+			}); err != nil {
+				return err
+			}
+		}
 	}
 	c.next.Reset()
 	c.barrier()
+	return nil
 }
 
 // convertFrontier switches the frontier representation at a direction
 // change.
 func (c *Cluster) convertFrontier(from, to bfs.Direction) error {
+	p := len(c.machines)
 	switch {
 	case from == bfs.TopDown && to == bfs.BottomUp:
-		// Queues -> global bitmap: each machine publishes its queue as
-		// bitmap fragments (an allgather of the set vertices).
+		// Queues -> global bitmap: each machine publishes its queue as a
+		// wire-encoded sparse vertex list (an allgather).
+		frags := make([][]byte, p)
 		var total int64
 		for k, q := range c.frontQ {
-			for _, v := range q {
-				c.frontier.Set(int(v))
-			}
-			total += int64(len(q))
+			frag := appendList(nil, q, c.cfg.Compress)
+			frags[k] = frag
+			total += int64(len(frag))
+			c.comm.BUAllgather += int64(len(frag)) * int64(p-1)
 			c.machines[k].charge(c, c.cfg.Cost.Stream(len(q)*8))
 		}
-		fragBytes := (c.n/int64(len(c.machines)) + 7) / 8
-		cost := c.cfg.Net.transfer(fragBytes * int64(len(c.machines)-1))
 		for _, m := range c.machines {
-			m.clock.Advance(cost)
+			m.clock.Advance(c.cfg.Net.transfer(total - int64(len(frags[m.id]))))
 		}
-		c.commBytes += fragBytes * int64(len(c.machines)) * int64(len(c.machines)-1)
+		c.frontier.Reset()
+		for k := range frags {
+			vs, _, err := decodeList(frags[k], c.machines[k].idsBuf[:0])
+			if err != nil {
+				return err
+			}
+			for _, v := range vs {
+				c.frontier.Set(int(v))
+			}
+			c.machines[k].idsBuf = vs[:0]
+		}
 		c.barrier()
 		return nil
 	case from == bfs.BottomUp && to == bfs.TopDown:
@@ -401,40 +490,4 @@ func (c *Cluster) convertFrontier(from, to bfs.Direction) error {
 	default:
 		return fmt.Errorf("cluster: bad conversion %v -> %v", from, to)
 	}
-}
-
-// writeInt64s stores vals as little-endian bytes from offset 0.
-func writeInt64s(store nvm.Storage, vals []int64) error {
-	buf := make([]byte, 0, nvm.DefaultChunkSize)
-	off := int64(0)
-	for _, v := range vals {
-		var tmp [8]byte
-		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
-		buf = append(buf, tmp[:]...)
-		if len(buf) >= nvm.DefaultChunkSize {
-			if err := store.WriteAt(nil, buf, off); err != nil {
-				return err
-			}
-			off += int64(len(buf))
-			buf = buf[:0]
-		}
-	}
-	if len(buf) > 0 {
-		return store.WriteAt(nil, buf, off)
-	}
-	return nil
-}
-
-// writeBytes stores raw bytes from offset 0 in chunked writes.
-func writeBytes(store nvm.Storage, data []byte) error {
-	for off := 0; off < len(data); off += nvm.DefaultChunkSize {
-		end := off + nvm.DefaultChunkSize
-		if end > len(data) {
-			end = len(data)
-		}
-		if err := store.WriteAt(nil, data[off:end], int64(off)); err != nil {
-			return err
-		}
-	}
-	return nil
 }

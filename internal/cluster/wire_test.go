@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"semibfs/internal/nvm"
+)
+
+func bitsOf(set map[int]bool) func(int) bool {
+	return func(i int) bool { return set[i] }
+}
+
+func TestWireBitmapRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		for _, density := range []float64{0, 0.01, 0.5, 1} {
+			rng := rand.New(rand.NewSource(42))
+			set := make(map[int]bool)
+			span := 1000
+			for i := 0; i < span; i++ {
+				if rng.Float64() < density {
+					set[i] = true
+				}
+			}
+			enc := appendBitmap(nil, bitsOf(set), 0, span, compress)
+			got := make(map[int]bool)
+			sp, n, err := decodeBitmap(enc, span, func(i int) { got[i] = true })
+			if err != nil {
+				t.Fatalf("decode(compress=%v density=%g): %v", compress, density, err)
+			}
+			if sp != span || n != len(enc) {
+				t.Fatalf("span=%d consumed=%d, want %d/%d", sp, n, span, len(enc))
+			}
+			if len(got) != len(set) {
+				t.Fatalf("bit count %d, want %d", len(got), len(set))
+			}
+			for i := range set {
+				if !got[i] {
+					t.Fatalf("bit %d lost", i)
+				}
+			}
+		}
+	}
+}
+
+func TestWireBitmapCompressedNotLarger(t *testing.T) {
+	// A sparse bitmap must RLE-compress; a dense random one must fall back
+	// to the literal form — never exceeding it by more than nothing.
+	set := map[int]bool{3: true, 900: true}
+	raw := appendBitmap(nil, bitsOf(set), 0, 1024, false)
+	cmp := appendBitmap(nil, bitsOf(set), 0, 1024, true)
+	if len(cmp) >= len(raw) {
+		t.Fatalf("sparse bitmap: compressed %dB >= raw %dB", len(cmp), len(raw))
+	}
+	rng := rand.New(rand.NewSource(7))
+	dense := make(map[int]bool)
+	for i := 0; i < 1024; i++ {
+		if rng.Intn(2) == 0 {
+			dense[i] = true
+		}
+	}
+	raw = appendBitmap(nil, bitsOf(dense), 0, 1024, false)
+	cmp = appendBitmap(nil, bitsOf(dense), 0, 1024, true)
+	if len(cmp) > len(raw) {
+		t.Fatalf("dense bitmap: compressed %dB > raw %dB", len(cmp), len(raw))
+	}
+}
+
+func TestWireListRoundTrip(t *testing.T) {
+	lists := [][]int64{nil, {0}, {5, 6, 7, 100}, {1 << 40, 3, -9, 0}}
+	for _, compress := range []bool{false, true} {
+		for _, vs := range lists {
+			enc := appendList(nil, vs, compress)
+			got, n, err := decodeList(enc, nil)
+			if err != nil {
+				t.Fatalf("decode(%v, compress=%v): %v", vs, compress, err)
+			}
+			if n != len(enc) || len(got) != len(vs) {
+				t.Fatalf("consumed %d/%d, %d values want %d", n, len(enc), len(got), len(vs))
+			}
+			for i := range vs {
+				if got[i] != vs[i] {
+					t.Fatalf("value %d: got %d want %d", i, got[i], vs[i])
+				}
+			}
+			if compress {
+				if raw := appendList(nil, vs, false); len(enc) > len(raw) {
+					t.Fatalf("compressed list %dB > raw %dB", len(enc), len(raw))
+				}
+			}
+		}
+	}
+}
+
+func TestWirePairsRoundTrip(t *testing.T) {
+	lists := [][]pair{
+		nil,
+		{{child: 4, parent: 2}},
+		{{child: 4, parent: 2}, {child: 9, parent: 2}, {child: 10, parent: 8}},
+	}
+	for _, compress := range []bool{false, true} {
+		for _, ps := range lists {
+			enc := appendPairs(nil, ps, compress)
+			got, n, err := decodePairs(enc, nil)
+			if err != nil {
+				t.Fatalf("decode(compress=%v): %v", compress, err)
+			}
+			if n != len(enc) || len(got) != len(ps) {
+				t.Fatalf("consumed %d/%d, %d pairs want %d", n, len(enc), len(got), len(ps))
+			}
+			for i := range ps {
+				if got[i] != ps[i] {
+					t.Fatalf("pair %d: got %+v want %+v", i, got[i], ps[i])
+				}
+			}
+			if compress {
+				if raw := appendPairs(nil, ps, false); len(enc) > len(raw) {
+					t.Fatalf("compressed pairs %dB > raw %dB", len(enc), len(raw))
+				}
+			}
+		}
+	}
+}
+
+func TestWireMalformedWrapsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                      // empty
+		{0x42, 1},               // unknown tag
+		{wireBitmapRaw},         // missing span
+		{wireBitmapRaw, 64},     // truncated payload
+		{wireBitmapRLE, 8, 200}, // run overflows span
+		{wireListRaw, 3, 0},     // truncated values
+		{wirePairsRaw, 2, 0},    // truncated pairs
+		{wireListDelta, 200},    // count exceeds payload
+	}
+	for i, data := range cases {
+		if _, _, err := decodeBitmap(data, 1<<16, func(int) {}); err == nil || !errors.Is(err, nvm.ErrCorrupt) {
+			t.Errorf("case %d: decodeBitmap err = %v, want ErrCorrupt", i, err)
+		}
+		if _, _, err := decodeList(data, nil); err == nil || !errors.Is(err, nvm.ErrCorrupt) {
+			t.Errorf("case %d: decodeList err = %v, want ErrCorrupt", i, err)
+		}
+		if _, _, err := decodePairs(data, nil); err == nil || !errors.Is(err, nvm.ErrCorrupt) {
+			t.Errorf("case %d: decodePairs err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// An oversized span is corrupt even when well-formed.
+	big := appendBitmap(nil, func(int) bool { return false }, 0, 4096, false)
+	if _, _, err := decodeBitmap(big, 100, func(int) {}); err == nil || !errors.Is(err, nvm.ErrCorrupt) {
+		t.Errorf("oversized span err = %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzFrontierWire feeds arbitrary bytes through every wire decoder: no
+// input may panic, every malformed input must wrap nvm.ErrCorrupt, and
+// any successfully decoded message must survive a decode -> encode ->
+// decode round trip bit-for-bit (in both raw and compressed encodings).
+func FuzzFrontierWire(f *testing.F) {
+	f.Add([]byte{wireBitmapRaw, 8, 0xa5})
+	f.Add(appendBitmap(nil, func(i int) bool { return i%3 == 0 }, 0, 200, true))
+	f.Add(appendList(nil, []int64{3, 5, 900}, true))
+	f.Add(appendPairs(nil, []pair{{child: 1, parent: 0}, {child: 7, parent: 1}}, true))
+	f.Add([]byte{wireBitmapRLE, 10, 2, 3, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxSpan = 1 << 16
+
+		var bits []int
+		span, _, err := decodeBitmap(data, maxSpan, func(i int) { bits = append(bits, i) })
+		if err != nil {
+			if !errors.Is(err, nvm.ErrCorrupt) {
+				t.Fatalf("decodeBitmap error does not wrap ErrCorrupt: %v", err)
+			}
+		} else {
+			set := make(map[int]bool, len(bits))
+			for _, b := range bits {
+				set[b] = true
+			}
+			for _, compress := range []bool{false, true} {
+				enc := appendBitmap(nil, bitsOf(set), 0, span, compress)
+				var again []int
+				sp2, n2, err := decodeBitmap(enc, maxSpan, func(i int) { again = append(again, i) })
+				if err != nil || sp2 != span || n2 != len(enc) {
+					t.Fatalf("bitmap re-decode: span %d->%d consumed %d/%d err %v", span, sp2, n2, len(enc), err)
+				}
+				if len(again) != len(bits) {
+					t.Fatalf("bitmap re-decode: %d bits, want %d", len(again), len(bits))
+				}
+				for i := range bits {
+					if again[i] != bits[i] {
+						t.Fatalf("bitmap re-decode: bit %d = %d, want %d", i, again[i], bits[i])
+					}
+				}
+			}
+		}
+
+		vs, _, err := decodeList(data, nil)
+		if err != nil {
+			if !errors.Is(err, nvm.ErrCorrupt) {
+				t.Fatalf("decodeList error does not wrap ErrCorrupt: %v", err)
+			}
+		} else {
+			for _, compress := range []bool{false, true} {
+				enc := appendList(nil, vs, compress)
+				again, n2, err := decodeList(enc, nil)
+				if err != nil || n2 != len(enc) || len(again) != len(vs) {
+					t.Fatalf("list re-decode: %d values consumed %d/%d err %v", len(again), n2, len(enc), err)
+				}
+				for i := range vs {
+					if again[i] != vs[i] {
+						t.Fatalf("list re-decode: value %d = %d, want %d", i, again[i], vs[i])
+					}
+				}
+			}
+		}
+
+		ps, _, err := decodePairs(data, nil)
+		if err != nil {
+			if !errors.Is(err, nvm.ErrCorrupt) {
+				t.Fatalf("decodePairs error does not wrap ErrCorrupt: %v", err)
+			}
+		} else {
+			for _, compress := range []bool{false, true} {
+				enc := appendPairs(nil, ps, compress)
+				again, n2, err := decodePairs(enc, nil)
+				if err != nil || n2 != len(enc) || len(again) != len(ps) {
+					t.Fatalf("pairs re-decode: %d pairs consumed %d/%d err %v", len(again), n2, len(enc), err)
+				}
+				for i := range ps {
+					if again[i] != ps[i] {
+						t.Fatalf("pairs re-decode: pair %d = %+v, want %+v", i, again[i], ps[i])
+					}
+				}
+			}
+		}
+	})
+}

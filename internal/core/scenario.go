@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"semibfs/internal/bfs"
+	"semibfs/internal/cluster"
 	"semibfs/internal/csr"
 	"semibfs/internal/edgelist"
 	"semibfs/internal/faults"
@@ -87,6 +88,39 @@ type Scenario struct {
 	// Algorithm selects the vertex program runs over this scenario
 	// execute (see NewProgram); the zero value is AlgoBFS.
 	Algorithm Algorithm
+	// GridRows / GridCols extend the scenario to a simulated R x C
+	// cluster in which every machine carries this scenario's per-node
+	// storage stack (see ClusterConfig). Both zero (or 1x1) keeps the
+	// single-node system; rows 1 with cols P is the 1D layout.
+	GridRows, GridCols int
+}
+
+// WithGrid returns the scenario laid out as an R x C cluster of nodes,
+// each running this scenario's storage stack.
+func (s Scenario) WithGrid(rows, cols int) Scenario {
+	s.GridRows, s.GridCols = rows, cols
+	return s
+}
+
+// ClusterConfig translates the scenario's per-node stack spec into a
+// cluster configuration: the device profile, compression, checksums,
+// mirroring, cache, async depth, and fault stream carry over unchanged,
+// so a grid machine is exactly this scenario's single-node stack.
+func (s Scenario) ClusterConfig() cluster.Config {
+	return cluster.Config{
+		Machines:     s.GridRows * s.GridCols,
+		GridRows:     s.GridRows,
+		GridCols:     s.GridCols,
+		ForwardOnNVM: s.ForwardOnNVM,
+		Device:       s.Device,
+		LatencyScale: s.LatencyScale,
+		Compress:     s.Compress,
+		Checksums:    s.Checksums,
+		Replicas:     s.Replicas,
+		CacheBytes:   s.CacheBytes,
+		QueueDepth:   s.QueueDepth,
+		Faults:       s.Faults,
+	}
 }
 
 // WithAlgorithm returns the scenario with its vertex program selected.

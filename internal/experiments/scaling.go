@@ -14,12 +14,18 @@ type ScalingRow struct {
 	Machines  int
 	TEPS      float64 // median over roots, 1D layout
 	CommBytes int64   // mean per BFS, 1D layout
+	// Comm splits the 1D traffic by phase; the bottom-up allgather
+	// bucket is the one that scales with P.
+	Comm cluster.CommStats
 	// NVMTEPS is the same cluster with per-machine forward offload.
 	NVMTEPS float64
-	// TEPS2D / CommBytes2D measure the 2D (Beamer MTAAP'13) layout,
-	// whose collectives span sqrt(P) machines.
+	// TEPS2D / CommBytes2D / Comm2D measure the 2D (Beamer MTAAP'13)
+	// layout, whose collectives span sqrt(P) machines — visible in the
+	// allgather bucket. (The 2D ring pays for parent updates the 1D
+	// layout resolves locally, so totals need not favor 2D.)
 	TEPS2D      float64
 	CommBytes2D int64
+	Comm2D      cluster.CommStats
 }
 
 // ScalingMachines is the cluster-size sweep of the multi-node experiment.
@@ -49,13 +55,14 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 		return nil, err
 	}
 
-	runRoots := func(run func(int64) (*cluster.Result, error)) (float64, int64, error) {
+	runRoots := func(run func(int64) (*cluster.Result, error)) (float64, int64, cluster.CommStats, error) {
 		teps := make([]float64, 0, len(roots))
 		var comm int64
+		var split cluster.CommStats
 		for _, root := range roots {
 			res, err := run(root)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, split, err
 			}
 			var traversed int64
 			for v, parent := range res.Tree {
@@ -68,8 +75,19 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 				teps = append(teps, float64(traversed)/res.Time.Seconds())
 			}
 			comm += res.CommBytes
+			split.TDFrontier += res.Comm.TDFrontier
+			split.TDCandidate += res.Comm.TDCandidate
+			split.BUAllgather += res.Comm.BUAllgather
+			split.BURing += res.Comm.BURing
+			split.Control += res.Comm.Control
 		}
-		return stats.Median(teps), comm / int64(len(roots)), nil
+		n := int64(len(roots))
+		split.TDFrontier /= n
+		split.TDCandidate /= n
+		split.BUAllgather /= n
+		split.BURing /= n
+		split.Control /= n
+		return stats.Median(teps), comm / n, split, nil
 	}
 
 	var rows []ScalingRow
@@ -89,7 +107,8 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			median, comm, err := runRoots(c.Run)
+			median, comm, split, err := runRoots(c.Run)
+			c.Close()
 			if err != nil {
 				return nil, err
 			}
@@ -98,6 +117,7 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 			} else {
 				row.TEPS = median
 				row.CommBytes = comm
+				row.Comm = split
 			}
 		}
 		grid, err := cluster.BuildGrid(lab.Src, cluster.Config{
@@ -106,12 +126,13 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		median, comm, err := runRoots(grid.Run)
+		median, comm, split, err := runRoots(grid.Run)
 		if err != nil {
 			return nil, err
 		}
 		row.TEPS2D = median
 		row.CommBytes2D = comm
+		row.Comm2D = split
 		rows = append(rows, row)
 	}
 	return rows, nil

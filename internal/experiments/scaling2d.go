@@ -1,0 +1,237 @@
+package experiments
+
+// This file is the unified grid-over-NVM experiment: distributed hybrid
+// BFS where every machine carries the full per-node semi-external stack,
+// swept over cluster size x layout (1D vs 2D) x wire/adjacency encoding
+// (raw vs compressed) x device profile. Every row's parent trees are
+// validated against the single-node DRAM reference — the cross-topology
+// equivalence contract — and the per-phase communication split makes the
+// Buluc-style claim measurable: the bottom-up allgather scales with the
+// grid's column height sqrt(P) instead of P.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"semibfs/internal/bfs"
+	"semibfs/internal/cluster"
+	"semibfs/internal/core"
+	"semibfs/internal/graph500"
+	"semibfs/internal/nvm"
+	"semibfs/internal/stats"
+)
+
+// Scaling2DRow is one (machines, layout, encoding, device) cell.
+type Scaling2DRow struct {
+	Machines   int    `json:"machines"`
+	Layout     string `json:"layout"` // "1d" or "2d"
+	Rows       int    `json:"rows"`
+	Cols       int    `json:"cols"`
+	Device     string `json:"device"`
+	Compressed bool   `json:"compressed"`
+	// TEPS is the median traversal rate over the sampled roots.
+	TEPS float64 `json:"teps"`
+	// CommBytes is the mean interconnect traffic per BFS; Comm splits it
+	// by phase (the bottom-up allgather bucket carries the 2D-vs-1D
+	// claim — the 2D ring pays for parent updates 1D resolves locally,
+	// so totals need not favor 2D).
+	CommBytes int64             `json:"comm_bytes"`
+	Comm      cluster.CommStats `json:"comm"`
+	// Validated records that every root's parent tree was bit-identical
+	// to the single-node DRAM reference (a mismatch fails the sweep).
+	Validated bool `json:"validated"`
+}
+
+// Scaling2DMachines is the cluster-size sweep.
+var Scaling2DMachines = []int{4, 8, 16}
+
+// scaling2DDevices returns the two device profiles of Table I.
+func scaling2DDevices() []nvm.Profile {
+	return []nvm.Profile{nvm.ProfileIoDrive2, nvm.ProfileSSD320}
+}
+
+// Scaling2D sweeps the unified cluster. Every machine's forward
+// adjacency lives behind its own checksummed, cached storage stack; the
+// compressed cells additionally delta+varint encode both the adjacency
+// and the wire formats.
+func Scaling2D(opts Options) ([]Scaling2DRow, error) {
+	opts = opts.WithDefaults()
+	lab, err := NewLab(opts, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer lab.Close()
+
+	degree := make([]int64, lab.List.NumVertices)
+	for _, e := range lab.List.Edges {
+		if e.U != e.V {
+			degree[e.U]++
+			degree[e.V]++
+		}
+	}
+	roots, err := graph500.SampleRoots(lab.List.NumVertices, opts.Roots, opts.Seed,
+		func(v int64) int64 { return degree[v] })
+	if err != nil {
+		return nil, err
+	}
+
+	// The oracle: single-node, everything in DRAM, same alpha/beta on
+	// the same global frontier counts.
+	refSys, err := core.Build(lab.Src, topology(), core.ScenarioDRAMOnly, core.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer refSys.Close()
+	refRun, err := refSys.NewRunner(bfs.Config{Topology: topology(), Alpha: 1e4, Beta: 1e5})
+	if err != nil {
+		return nil, err
+	}
+	refTrees := make(map[int64][]int64, len(roots))
+	for _, root := range roots {
+		res, err := refRun.Run(root)
+		if err != nil {
+			return nil, err
+		}
+		refTrees[root] = res.CloneTree()
+	}
+
+	var rows []Scaling2DRow
+	for _, p := range Scaling2DMachines {
+		for _, profile := range scaling2DDevices() {
+			for _, compressed := range []bool{false, true} {
+				for _, layout := range []string{"1d", "2d"} {
+					r, c := 1, p
+					if layout == "2d" {
+						r, c = cluster.GridShape(p)
+					}
+					sc := core.ScenarioDRAMOnly
+					sc.Device = profile
+					sc.ForwardOnNVM = true
+					sc.Checksums = true
+					sc.CacheBytes = 1 << 20
+					sc.Compress = compressed
+					if opts.ScaleEquivalentLatency {
+						sc.LatencyScale = nvm.ScaleEquivalenceFactor(opts.Scale, PaperScale)
+					}
+					cfg := sc.WithGrid(r, c).ClusterConfig()
+					cfg.Alpha, cfg.Beta = 1e4, 1e5
+					row := Scaling2DRow{
+						Machines: p, Layout: layout, Rows: r, Cols: c,
+						Device: profile.Name, Compressed: compressed,
+					}
+					var run func(int64) (*cluster.Result, error)
+					var done func() error
+					if layout == "2d" {
+						g, err := cluster.BuildGrid(lab.Src, cfg)
+						if err != nil {
+							return nil, err
+						}
+						run, done = g.Run, g.Close
+					} else {
+						cl, err := cluster.Build(lab.Src, cfg)
+						if err != nil {
+							return nil, err
+						}
+						run, done = cl.Run, cl.Close
+					}
+					teps := make([]float64, 0, len(roots))
+					var split cluster.CommStats
+					for _, root := range roots {
+						res, err := run(root)
+						if err != nil {
+							done()
+							return nil, fmt.Errorf("scaling2d %s p=%d: %w", layout, p, err)
+						}
+						want := refTrees[root]
+						for v := range want {
+							if res.Tree[v] != want[v] {
+								done()
+								return nil, fmt.Errorf(
+									"scaling2d %s p=%d dev=%s compressed=%v root %d: tree[%d] = %d, single-node DRAM has %d",
+									layout, p, profile.Name, compressed, root, v, res.Tree[v], want[v])
+							}
+						}
+						var traversed int64
+						for v, parent := range res.Tree {
+							if parent != -1 {
+								traversed += degree[v]
+							}
+						}
+						traversed /= 2
+						if res.Time > 0 {
+							teps = append(teps, float64(traversed)/res.Time.Seconds())
+						}
+						split.TDFrontier += res.Comm.TDFrontier
+						split.TDCandidate += res.Comm.TDCandidate
+						split.BUAllgather += res.Comm.BUAllgather
+						split.BURing += res.Comm.BURing
+						split.Control += res.Comm.Control
+					}
+					if err := done(); err != nil {
+						return nil, err
+					}
+					nr := int64(len(roots))
+					row.TEPS = stats.Median(teps)
+					row.Comm = cluster.CommStats{
+						TDFrontier:  split.TDFrontier / nr,
+						TDCandidate: split.TDCandidate / nr,
+						BUAllgather: split.BUAllgather / nr,
+						BURing:      split.BURing / nr,
+						Control:     split.Control / nr,
+					}
+					// Derive the mean total from the averaged split so the
+					// phase-sum invariant holds exactly despite integer
+					// rounding.
+					row.CommBytes = row.Comm.Total()
+					row.Validated = true
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatScaling2D renders the unified-cluster table.
+func FormatScaling2D(rows []Scaling2DRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Unified grid-over-NVM scaling: per-machine semi-external stacks")
+	fmt.Fprintln(&b, "(every row's parent trees validated against the single-node DRAM reference)")
+	fmt.Fprintf(&b, "%-9s %-6s %-6s %-10s %-5s %12s %12s %12s %12s\n",
+		"machines", "shape", "layout", "device", "enc", "TEPS", "comm", "allgather", "ring")
+	for _, r := range rows {
+		enc := "raw"
+		if r.Compressed {
+			enc = "cmp"
+		}
+		fmt.Fprintf(&b, "%-9d %-6s %-6s %-10s %-5s %12s %12s %12s %12s\n",
+			r.Machines, fmt.Sprintf("%dx%d", r.Rows, r.Cols), r.Layout, r.Device, enc,
+			shortTEPS(r.TEPS), stats.FormatBytes(r.CommBytes),
+			stats.FormatBytes(r.Comm.BUAllgather), stats.FormatBytes(r.Comm.BURing))
+	}
+	return b.String()
+}
+
+// Scaling2DCSV renders the sweep as CSV rows.
+func Scaling2DCSV(rows []Scaling2DRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "machines,rows,cols,layout,device,compressed,teps,comm_bytes,td_frontier,td_candidate,bu_allgather,bu_ring,control,validated")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%s,%v,%.6g,%d,%d,%d,%d,%d,%d,%v\n",
+			r.Machines, r.Rows, r.Cols, r.Layout, r.Device, r.Compressed,
+			r.TEPS, r.CommBytes, r.Comm.TDFrontier, r.Comm.TDCandidate,
+			r.Comm.BUAllgather, r.Comm.BURing, r.Comm.Control, r.Validated)
+	}
+	return b.String()
+}
+
+// Scaling2DJSON renders the sweep as indented JSON (the bench tooling
+// records it as BENCH_PR10.json).
+func Scaling2DJSON(rows []Scaling2DRow) (string, error) {
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

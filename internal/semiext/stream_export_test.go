@@ -1,0 +1,80 @@
+package semiext
+
+import (
+	"testing"
+
+	"semibfs/internal/enc"
+	"semibfs/internal/nvm"
+)
+
+// TestStreamIndexedNeighbors is the regression test for the exported
+// index-bracket glue the cluster layouts share: the same (index, value)
+// store pair must stream identically through the raw and compressed
+// paths, including early exit.
+func TestStreamIndexedNeighbors(t *testing.T) {
+	adj := [][]int64{
+		{},
+		{0, 2, 5},
+		{1},
+		{1, 2, 4, 9, 10, 11},
+	}
+	dev := nvm.NewDevice(nvm.ProfileIoDrive2, 0)
+
+	for _, compressed := range []bool{false, true} {
+		idxStore := nvm.NewMemStore(dev, 0)
+		valStore := nvm.NewMemStore(dev, 0)
+		offs := make([]int64, len(adj)+1)
+		if compressed {
+			var blob []byte
+			for i, nbs := range adj {
+				offs[i] = int64(len(blob))
+				blob = enc.AppendList(blob, int64(i), nbs)
+			}
+			offs[len(adj)] = int64(len(blob))
+			if err := WriteBytes(valStore, nil, blob); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var flat []int64
+			for i, nbs := range adj {
+				offs[i] = int64(len(flat))
+				flat = append(flat, nbs...)
+			}
+			offs[len(adj)] = int64(len(flat))
+			if err := WriteInt64s(valStore, nil, flat); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := WriteInt64s(idxStore, nil, offs); err != nil {
+			t.Fatal(err)
+		}
+
+		var scratch []byte
+		var ids []int64
+		for v, want := range adj {
+			var got []int64
+			n, err := StreamIndexedNeighbors(idxStore, valStore, nil, compressed,
+				int64(v), int64(v), &scratch, &ids, 0, func(nb int64) bool {
+					got = append(got, nb)
+					return true
+				})
+			if err != nil {
+				t.Fatalf("compressed=%v v=%d: %v", compressed, v, err)
+			}
+			if n != int64(len(want)) || len(got) != len(want) {
+				t.Fatalf("compressed=%v v=%d: examined %d, got %v, want %v", compressed, v, n, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("compressed=%v v=%d: neighbor %d = %d, want %d", compressed, v, i, got[i], want[i])
+				}
+			}
+		}
+		// Early exit stops after the first neighbor and reports one examined.
+		n, err := StreamIndexedNeighbors(idxStore, valStore, nil, compressed,
+			3, 3, &scratch, &ids, 0, func(nb int64) bool { return false })
+		if err != nil || n != 1 {
+			t.Fatalf("compressed=%v early exit: examined %d err %v, want 1/nil", compressed, n, err)
+		}
+	}
+}

@@ -12,8 +12,11 @@
 # update cost, incremental BFS repair vs full rebuild, and crash-recovery
 # cost across batch sizes and injected power cuts), and the algorithm
 # sweep (BFS / connected components / PageRank vertex programs through
-# the full compressed+mirrored+cached stack vs cache budget) at a fixed
-# seed and writes the rows as JSON.
+# the full compressed+mirrored+cached stack vs cache budget), and the
+# cluster-scaling sweep (grid-over-NVM distributed BFS, 1D vs 2D layout
+# x raw vs compressed wire encoding, every row tree-validated against
+# the single-node DRAM reference) at a fixed seed and writes the rows
+# as JSON.
 #
 # The output file names carry the PR number so successive PRs leave a
 # comparable series of benchmark snapshots in the repo root.
@@ -31,6 +34,7 @@ LOAD_OUT=${LOAD_OUT:-BENCH_PR6.json}
 IO_OUT=${IO_OUT:-BENCH_PR7.json}
 UPDATE_OUT=${UPDATE_OUT:-BENCH_PR8.json}
 ALGO_OUT=${ALGO_OUT:-BENCH_PR9.json}
+SCALE_OUT=${SCALE_OUT:-BENCH_PR10.json}
 # The load sweep serves 4x this many queries per row; the stream must be
 # long enough that past the knee the unbounded baseline's queue waits
 # dominate its per-query service-time tail.
@@ -108,3 +112,26 @@ awk '
     for (k in ips)  printf "%s: %.1f iterations/s (virtual)\n", k, ips[k]
   }
 ' "$ALGO_OUT"
+
+echo "==> cluster scaling sweep (scale $SCALE, $ROOTS roots) -> $SCALE_OUT"
+go run ./cmd/analyze -exp scale -json -scale "$SCALE" -roots "$ROOTS" > "$SCALE_OUT"
+echo "wrote $SCALE_OUT"
+# Headline lines: at the largest machine count, the 2D layout's bottom-up
+# allgather traffic vs 1D (the sqrt(P) column fan-out claim) and the
+# compressed wire's saving over raw, both on the primary device.
+awk '
+  /"machines"/     { p = $2 + 0; if (p > maxp) maxp = p }
+  /"layout"/       { gsub(/[",]/, ""); layout = $2 }
+  /"device"/       { gsub(/[",]/, ""); dev = $2 }
+  /"compressed"/   { cmp = ($2 == "true,") }
+  /"comm_bytes"/   { total[p "/" layout "/" dev "/" cmp] = $2 + 0 }
+  /"bu_allgather_bytes"/ { ag[p "/" layout "/" dev "/" cmp] = $2 + 0 }
+  END {
+    k1 = maxp "/1d/ioDrive2/0"; k2 = maxp "/2d/ioDrive2/0"
+    if (ag[k1] > 0)
+      printf "P=%d bottom-up allgather: 2D ships %.0f%% of 1D bytes (sqrt(P) column fan-out)\n", maxp, 100 * ag[k2] / ag[k1]
+    kr = maxp "/2d/ioDrive2/0"; kc = maxp "/2d/ioDrive2/1"
+    if (total[kr] > 0)
+      printf "P=%d 2D compressed wire: %.0f%% of raw bytes\n", maxp, 100 * total[kc] / total[kr]
+  }
+' "$SCALE_OUT"
